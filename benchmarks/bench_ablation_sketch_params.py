@@ -1,0 +1,145 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Two ablations that do not correspond to a single figure but back claims
+made in Sections 2-3 of the paper:
+
+* **Column count (failure probability delta).**  Each CubeSketch column
+  costs 12 bytes per row and buys a constant factor of failure
+  probability; the paper fixes delta = 1/100 (7 columns).  The sweep
+  measures the observed per-query failure rate as columns are removed,
+  confirming that the paper's choice sits comfortably below 1% while a
+  single column fails noticeably often.
+
+* **End-to-end StreamingCC vs GraphZeppelin.**  Section 3 argues that
+  building the connectivity sketch on the general-purpose sampler is
+  infeasible (the paper estimates ~29 updates/second for a million-node
+  graph).  Both engines run the same small stream here; the assertion is
+  the orders-of-magnitude ingestion-rate gap, which is the reason
+  CubeSketch exists.
+"""
+
+import time
+
+import numpy as np
+from conftest import print_table
+
+from repro.analysis.tables import render_table
+from repro.core.config import GraphZeppelinConfig
+from repro.core.graph_zeppelin import GraphZeppelin
+from repro.core.streaming_cc import StreamingCC
+from repro.generators.erdos_renyi import erdos_renyi_gnm
+from repro.sketch.cubesketch import CubeSketch
+from repro.streaming.generator import StreamConversionSettings, graph_to_stream
+
+
+def test_ablation_column_count_vs_failure_rate(benchmark):
+    """Observed sampler failure rate as a function of the column count."""
+    vector_length = 4096
+    trials = 400
+    rng = np.random.default_rng(0)
+
+    def run():
+        rows = []
+        for columns in (1, 2, 4, 7, 10):
+            failures = 0
+            for trial in range(trials):
+                sketch = CubeSketch(
+                    vector_length, seed=trial * 31 + columns, num_columns=columns
+                )
+                support = rng.choice(
+                    vector_length, size=int(rng.integers(1, 400)), replace=False
+                )
+                sketch.update_batch(support.astype(np.uint64))
+                if sketch.query().is_fail:
+                    failures += 1
+            rows.append(
+                {
+                    "columns": columns,
+                    "delta_bound": round(0.5**columns, 4),
+                    "observed_failure_rate": round(failures / trials, 4),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(render_table(rows, title="Ablation: CubeSketch columns vs failure rate"))
+
+    by_columns = {row["columns"]: row for row in rows}
+    # More columns -> (weakly) fewer failures; the paper's 7 columns keep
+    # the observed rate at or below the 1% bound.
+    assert by_columns[7]["observed_failure_rate"] <= 0.01 + 0.01
+    assert by_columns[1]["observed_failure_rate"] >= by_columns[7]["observed_failure_rate"]
+    # Every observed rate respects its theoretical bound (with slack for
+    # sampling noise over 400 trials).
+    for row in rows:
+        assert row["observed_failure_rate"] <= row["delta_bound"] + 0.03
+
+
+def test_ablation_streaming_cc_vs_graphzeppelin(benchmark):
+    """StreamingCC vs GraphZeppelin: same answers, very different sketch cost.
+
+    End-to-end rates at the tiny scales this harness runs are dominated
+    by Python per-update overhead, so the speed comparison is made at the
+    node-sketch level (the work that scales with graph size): applying
+    the same batch of edge updates to one node's worth of general-purpose
+    sketches vs one node's worth of CubeSketches.
+    """
+    # Part 1: both engines give the same component structure on a stream.
+    num_nodes, edges = erdos_renyi_gnm(32, 120, seed=1)
+    stream = graph_to_stream(
+        num_nodes, edges, settings=StreamConversionSettings(seed=2, disconnect_nodes=2)
+    )
+
+    def answers_agree():
+        scc = StreamingCC(num_nodes, seed=3)
+        scc.ingest(stream)
+        gz = GraphZeppelin(num_nodes, config=GraphZeppelinConfig(seed=3))
+        gz.ingest(stream)
+        return (
+            scc.list_spanning_forest().partition_signature()
+            == gz.list_spanning_forest().partition_signature()
+        )
+
+    # Part 2: per-node-sketch update cost at a realistic vector length.
+    graph_nodes = 1024                      # vector length ~10^6
+    rounds = 10                             # log2(graph_nodes) rounds per node
+    vector_length = graph_nodes * graph_nodes
+    updates = 2000
+    rng = np.random.default_rng(4)
+    indices = rng.integers(0, vector_length, size=updates, dtype=np.uint64)
+
+    def run():
+        same_answer = answers_agree()
+
+        from repro.sketch.standard_l0 import StandardL0Sketch
+
+        standard_node = [StandardL0Sketch(vector_length, seed=r) for r in range(rounds)]
+        start = time.perf_counter()
+        for sketch in standard_node:
+            for index in indices[:200]:
+                sketch.update(int(index), 1)
+        standard_seconds = (time.perf_counter() - start) * (updates / 200)
+
+        cube_node = [CubeSketch(vector_length, seed=r) for r in range(rounds)]
+        start = time.perf_counter()
+        for sketch in cube_node:
+            sketch.update_batch(indices)
+        cube_seconds = time.perf_counter() - start
+
+        return {
+            "updates_per_node_sketch": updates,
+            "streamingcc_node_rate": round(updates / standard_seconds, 1),
+            "graphzeppelin_node_rate": round(updates / cube_seconds, 1),
+            "speedup": round(standard_seconds / cube_seconds, 1),
+            "same_answer": same_answer,
+        }
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        render_table(
+            [row], title="Ablation: StreamingCC vs GraphZeppelin node-sketch update cost"
+        )
+    )
+    assert row["same_answer"]
+    # The CubeSketch-based node sketch must be dramatically faster to update.
+    assert row["speedup"] > 5

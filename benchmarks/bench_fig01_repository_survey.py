@@ -1,0 +1,32 @@
+"""Figure 1: published graphs have few nodes or are sparse.
+
+The paper's Figure 1 plots NetworkRepository datasets by node count and
+density and notes that almost every one fits in 16 GB of RAM as an
+adjacency list; the densest graphs never exceed ~10 GB.  This benchmark
+regenerates the same summary statistics from the synthetic repository
+population (see ``repro.analysis.repository_survey`` for the
+substitution rationale) and times the survey generation.
+"""
+
+from conftest import print_table
+
+from repro.analysis.repository_survey import survey_repository_graphs
+from repro.analysis.tables import format_bytes, render_table
+
+
+def test_fig01_repository_survey(benchmark):
+    summary = benchmark(survey_repository_graphs, population=2000, seed=1)
+
+    rows = [
+        {
+            "population": summary.total,
+            "fraction_below_16GB": f"{summary.fraction_below_budget:.3f}",
+            "largest_dense_graph": format_bytes(summary.max_dense_graph_bytes),
+        }
+    ]
+    print_table(render_table(rows, title="Figure 1: repository survey (synthetic population)"))
+
+    # The paper's observation: nearly all published graphs fit in 16 GB,
+    # and dense graphs stay well below 10 GB.
+    assert summary.fraction_below_budget > 0.9
+    assert summary.max_dense_graph_bytes < 16 * 1024**3

@@ -1,0 +1,55 @@
+"""Figure 5: CubeSketch is significantly smaller than standard l0 sketching.
+
+The paper lists sketch sizes for vector lengths 10^3..10^12 at delta =
+1/100 and observes a ~2x size reduction for short vectors growing to
+~4x once the general sampler needs 128-bit words.  Sizes are a
+deterministic function of the parameters, so the full table (including
+the 10^12 row) is regenerated exactly; the benchmark timing covers the
+size-model evaluation plus a consistency check against real sketch
+instances.
+"""
+
+from conftest import print_table
+
+from repro.analysis.experiments import sketch_size_table
+from repro.analysis.tables import format_bytes, render_table
+from repro.sketch.cubesketch import CubeSketch
+from repro.sketch.standard_l0 import StandardL0Sketch
+
+VECTOR_LENGTHS = [10**3, 10**4, 10**5, 10**6, 10**7, 10**8, 10**9, 10**10, 10**11, 10**12]
+
+
+def test_fig05_sketch_size_table(benchmark):
+    rows = benchmark(sketch_size_table, VECTOR_LENGTHS)
+    printable = [
+        {
+            "vector_length": f"{row['vector_length']:.0e}",
+            "standard_l0": format_bytes(row["standard_l0_bytes"]),
+            "cubesketch": format_bytes(row["cubesketch_bytes"]),
+            "size_reduction": f"{row['size_reduction']:.1f} x",
+        }
+        for row in rows
+    ]
+    print_table(render_table(printable, title="Figure 5: l0 sketch sizes (delta = 1/100)"))
+
+    by_length = {row["vector_length"]: row for row in rows}
+    # Paper shape: ~2x reduction for short vectors, ~4x at 10^10 and beyond.
+    assert 1.5 <= by_length[10**4]["size_reduction"] <= 2.5
+    assert by_length[10**10]["size_reduction"] >= 3.5
+    assert by_length[10**12]["size_reduction"] >= 3.5
+    # Sizes stay in the kilobyte range even for 10^12-length vectors.
+    assert by_length[10**12]["cubesketch_bytes"] < 64 * 1024
+
+
+def test_fig05_model_matches_real_instances(benchmark):
+    """The closed-form sizes must agree with actually-constructed sketches."""
+
+    def check():
+        for length in (10**3, 10**5, 10**6):
+            cube = CubeSketch(length)
+            standard = StandardL0Sketch(length)
+            model = sketch_size_table([length])[0]
+            assert cube.size_bytes() == model["cubesketch_bytes"]
+            assert standard.size_bytes() == model["standard_l0_bytes"]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,95 @@
+"""Figure 12a/12b: ingestion rate when data structures spill to SSD.
+
+The paper limits RAM to 16 GB and shows Aspen's and Terrace's ingestion
+collapsing once their structures exceed it, while GraphZeppelin (with
+either buffering structure) keeps a high rate -- the gutter tree
+finishes kron18 at 2.5 M updates/s, only ~29% below its in-RAM rate.
+
+Here every system runs against the simulated hybrid memory with a RAM
+budget sized to a fraction of GraphZeppelin's sketch space, so all of
+them are pushed out of core; processing time = wall time + modelled I/O
+time (see DESIGN.md).  The assertions check the ordering the paper
+reports: both GraphZeppelin variants ingest faster than the baselines
+once everything pages, and GraphZeppelin's own slowdown relative to its
+in-RAM rate stays moderate while the baselines' collapse is severe.
+"""
+
+from conftest import print_table
+
+from repro.analysis.experiments import ingestion_rate_comparison
+from repro.analysis.tables import render_table
+from repro.baselines.space_models import aspen_bytes
+from repro.core.config import GraphZeppelinConfig
+from repro.core.graph_zeppelin import GraphZeppelin
+
+
+def test_fig12_out_of_core_ingestion(benchmark, kron15):
+    # Budget: half of the *smallest* system's final footprint, so every
+    # system -- GraphZeppelin included -- is pushed out of core, as in the
+    # paper's 16 GB-limit experiment.
+    budget = aspen_bytes(kron15.num_nodes, kron15.num_edges) // 2
+
+    def run():
+        out_of_core = ingestion_rate_comparison(
+            kron15, ram_budget_bytes=budget, baseline_batch_size=2000, seed=1
+        )
+        in_ram = ingestion_rate_comparison(
+            kron15, ram_budget_bytes=None, baseline_batch_size=2000, seed=1
+        )
+        return out_of_core, in_ram
+
+    out_of_core, in_ram = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_table(render_table(in_ram, title="Figure 12 (everything in RAM)"))
+    print_table(
+        render_table(out_of_core, title=f"Figure 12 (RAM budget {budget} bytes, on SSD)")
+    )
+
+    ooc = {row["system"]: row for row in out_of_core}
+    ram = {row["system"]: row for row in in_ram}
+
+    gz_leaf = "graphzeppelin (leaf-only)"
+    gz_tree = "graphzeppelin (gutter tree)"
+
+    # Absolute wall-clock rates of the Python stand-ins are not comparable
+    # to the paper's C++ systems, so the assertions target the two claims
+    # that do transfer (see EXPERIMENTS.md):
+    #
+    # 1. I/O efficiency: GraphZeppelin's batched, node-grouped access
+    #    pattern pays far less disk time per update than the baselines'
+    #    per-vertex random accesses.
+    for gz in (gz_leaf, gz_tree):
+        assert (
+            ooc[gz]["modelled_io_seconds"]
+            < ooc["aspen-like"]["modelled_io_seconds"]
+        )
+        assert (
+            ooc[gz]["modelled_io_seconds"]
+            < ooc["terrace-like"]["modelled_io_seconds"]
+        )
+
+    # 2. Graceful degradation: moving out of core costs GraphZeppelin's
+    #    gutter tree a modest factor (the paper reports 29%), while the
+    #    baselines lose a larger fraction of their in-RAM rate.
+    def slowdown(system):
+        return ram[system]["ingestion_rate"] / max(ooc[system]["ingestion_rate"], 1e-9)
+
+    assert slowdown("aspen-like") > slowdown(gz_tree)
+    assert slowdown("terrace-like") > slowdown(gz_tree)
+
+
+def test_fig12_gutter_tree_ingestion_kernel(benchmark, kron13):
+    """pytest-benchmark timing of out-of-core gutter-tree ingestion."""
+    def run():
+        engine = GraphZeppelin(
+            kron13.num_nodes,
+            config=GraphZeppelinConfig.out_of_core(
+                ram_budget_bytes=256 * 1024, use_gutter_tree=True, seed=2
+            ),
+        )
+        for update in kron13.stream:
+            engine.edge_update(update.u, update.v)
+        engine.flush()
+        return engine
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""Figure 12c: connected-components computation time after stream ingestion.
+
+After each system has ingested a full kron stream, the paper measures
+how long a single connected-components query takes.  GraphZeppelin's
+query cost is dominated by Boruvka over the sketches and is essentially
+independent of the number of edges, whereas the baselines traverse
+their adjacency structures (and page them from disk when out of core).
+"""
+
+from conftest import print_table
+
+from repro.analysis.experiments import cc_query_time_comparison
+from repro.analysis.tables import render_table
+from repro.core.config import GraphZeppelinConfig
+from repro.core.graph_zeppelin import GraphZeppelin
+
+
+def test_fig12c_query_time_table(benchmark, kron13, kron15):
+    def run():
+        return (
+            cc_query_time_comparison(kron13, baseline_batch_size=2000, seed=3),
+            cc_query_time_comparison(kron15, baseline_batch_size=2000, seed=3),
+        )
+
+    rows_small, rows_large = benchmark.pedantic(run, rounds=1, iterations=1)
+    for row in rows_small:
+        row["dataset"] = "kron13"
+    for row in rows_large:
+        row["dataset"] = "kron15"
+    rows = rows_small + rows_large
+    print_table(
+        render_table(
+            rows,
+            columns=["dataset", "system", "query_seconds", "components"],
+            title="Figure 12c: connected-components time after ingestion",
+        )
+    )
+
+    # Every system agrees on the number of components per dataset.
+    for dataset_rows in (rows_small, rows_large):
+        assert len({row["components"] for row in dataset_rows}) == 1
+    # Queries complete in a bounded, positive amount of time.
+    assert all(row["query_seconds"] >= 0 for row in rows)
+
+
+def test_fig12c_graphzeppelin_query_kernel(benchmark, kron13):
+    """pytest-benchmark timing of a single sketch-Boruvka query."""
+    engine = GraphZeppelin(kron13.num_nodes, config=GraphZeppelinConfig(seed=4))
+    for update in kron13.stream:
+        engine.edge_update(update.u, update.v)
+    engine.flush()
+    benchmark(engine.list_spanning_forest)

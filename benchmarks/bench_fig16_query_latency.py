@@ -1,0 +1,46 @@
+"""Figure 16: query latency while the stream is still being ingested.
+
+The paper issues a connectivity query every 10% of the way through the
+kron17 stream, in RAM (16a) and with a 12 GiB RAM limit (16b).  Early
+in the stream the graph is sparse and Aspen/Terrace answer faster; as
+the graph densifies their query time grows with the edge count while
+GraphZeppelin's stays flat (it depends only on V), so GraphZeppelin
+wins from ~70% onward and by 5x+ when both systems page from SSD.
+
+Assertions here check the flat-vs-growing shape: GraphZeppelin's query
+time at the end of the stream is close to its time early on, while the
+Aspen-like baseline's grows with density.
+"""
+
+from conftest import print_table
+
+from repro.analysis.experiments import query_latency_over_stream
+from repro.analysis.tables import render_table
+
+
+def test_fig16_query_latency_over_stream(benchmark, kron15):
+    rows = benchmark.pedantic(
+        query_latency_over_stream,
+        kwargs=dict(
+            dataset=kron15,
+            num_checkpoints=10,
+            gutter_fraction=0.1,
+            baseline_batch_size=2000,
+            seed=9,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(render_table(rows, title="Figure 16a: query latency over the stream (in RAM)"))
+
+    assert len(rows) >= 8
+    gz_first, gz_last = rows[0]["graphzeppelin_query_seconds"], rows[-1][
+        "graphzeppelin_query_seconds"
+    ]
+    aspen_first, aspen_last = rows[0]["aspen_query_seconds"], rows[-1]["aspen_query_seconds"]
+
+    # GraphZeppelin's query cost is roughly flat across the stream
+    # (within a small constant factor), because it depends only on V.
+    assert gz_last <= 3 * max(gz_first, 1e-4)
+    # The adjacency-based baseline's query grows as the graph densifies.
+    assert aspen_last >= aspen_first

@@ -1,0 +1,49 @@
+"""Table (Figure) 10: dimensions of the datasets used in the evaluation.
+
+Regenerates every dataset of the paper's Table 10 at the benchmark's
+scale reduction and prints the generated dimensions next to the paper's
+full-scale numbers.  The assertions check the structural properties the
+rest of the evaluation relies on: kron graphs are dense (about half of
+all possible edges), the real-world stand-ins are sparse, and every
+stream is a valid dynamic graph stream slightly longer than its final
+edge count (because of the insert+delete churn).
+"""
+
+from conftest import BENCH_SCALE_REDUCTION, print_table
+
+from repro.analysis.experiments import dataset_dimension_table
+from repro.analysis.tables import render_table
+from repro.streaming.validation import validate_stream
+
+DATASETS = ["kron13", "kron15", "p2p-gnutella", "rec-amazon", "google-plus", "web-uk"]
+
+
+def test_tab10_dataset_dimensions(benchmark):
+    rows, datasets = benchmark(
+        dataset_dimension_table,
+        DATASETS,
+        scale_reduction=BENCH_SCALE_REDUCTION + 2,
+        seed=7,
+    )
+    print_table(
+        render_table(
+            rows,
+            title=(
+                "Table 10: dataset dimensions "
+                f"(scale reduction 2^{BENCH_SCALE_REDUCTION + 2} vs the paper)"
+            ),
+        )
+    )
+
+    by_name = {row["dataset"]: row for row in rows}
+    # Kron graphs are dense; stand-ins for the real-world graphs are sparse.
+    assert by_name["kron13"]["density"] > 0.3
+    assert by_name["kron15"]["density"] > 0.3
+    assert by_name["p2p-gnutella"]["density"] < 0.1
+    assert by_name["rec-amazon"]["density"] < 0.1
+    # Stream updates >= final edges (insertions plus churn), as in the paper.
+    for row in rows:
+        assert row["stream_updates"] >= row["edges"]
+    # Every generated stream is a legal dynamic graph stream.
+    for dataset in datasets.values():
+        assert validate_stream(dataset.stream).valid

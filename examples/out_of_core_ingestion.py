@@ -1,0 +1,95 @@
+"""Out-of-core ingestion: processing a stream whose sketches exceed RAM.
+
+GraphZeppelin's selling point over in-RAM systems is that it keeps a
+high ingestion rate even when its data structures live on SSD.  This
+example runs the same dynamic stream through three configurations:
+
+* everything in RAM (no budget),
+* leaf-only gutters with a RAM budget (sketches page to the simulated
+  SSD),
+* the full gutter tree with the same budget,
+
+and reports wall time, modelled I/O time, I/O counts and cache hit
+rates from the hybrid-memory substrate, plus an unbuffered run showing
+why batching matters once sketches live on disk.
+
+Run with:  python examples/out_of_core_ingestion.py
+"""
+
+import time
+
+from repro import BufferingMode, GraphZeppelin, GraphZeppelinConfig
+from repro.analysis.tables import format_bytes, format_rate, render_table
+from repro.generators.datasets import load_dataset
+
+
+def run_configuration(name, dataset, config):
+    engine = GraphZeppelin(dataset.num_nodes, config=config)
+    start = time.perf_counter()
+    for update in dataset.stream:
+        engine.edge_update(update.u, update.v)
+    engine.flush()
+    wall = time.perf_counter() - start
+
+    stats = engine.io_stats
+    modelled = stats.modelled_seconds if stats else 0.0
+    total = wall + modelled
+    return {
+        "configuration": name,
+        "wall_s": f"{wall:.2f}",
+        "modelled_io_s": f"{modelled:.2f}",
+        "rate": format_rate(len(dataset.stream) / total),
+        "block_ios": stats.total_ios if stats else 0,
+        "cache_hit_rate": f"{stats.cache_hit_rate:.2f}" if stats else "-",
+        "components": engine.list_spanning_forest().num_components,
+    }
+
+
+def main() -> None:
+    # Note: the unbuffered configuration at the end is deliberately slow
+    # (that is the point of the comparison), so the dataset is kept small.
+    dataset = load_dataset("kron15", scale_reduction=8, seed=11)
+    print(f"Dataset {dataset.name}: {dataset.num_nodes} nodes, "
+          f"{dataset.num_edges} edges, {len(dataset.stream)} stream updates")
+
+    probe = GraphZeppelin(dataset.num_nodes, config=GraphZeppelinConfig(seed=1))
+    sketch_bytes = probe.sketch_bytes()
+    budget = sketch_bytes // 8
+    print(f"Sketch footprint {format_bytes(sketch_bytes)}; "
+          f"RAM budget for the out-of-core runs: {format_bytes(budget)}\n")
+
+    rows = [
+        run_configuration(
+            "in RAM (leaf gutters)",
+            dataset,
+            GraphZeppelinConfig(seed=1),
+        ),
+        run_configuration(
+            "SSD, leaf gutters",
+            dataset,
+            GraphZeppelinConfig.out_of_core(ram_budget_bytes=budget, seed=1),
+        ),
+        run_configuration(
+            "SSD, gutter tree",
+            dataset,
+            GraphZeppelinConfig.out_of_core(
+                ram_budget_bytes=budget, use_gutter_tree=True, seed=1
+            ),
+        ),
+        run_configuration(
+            "SSD, no buffering (worst case)",
+            dataset,
+            GraphZeppelinConfig(
+                buffering=BufferingMode.NONE, ram_budget_bytes=budget, seed=1
+            ),
+        ),
+    ]
+    print(render_table(rows, title="Out-of-core ingestion comparison"))
+    print("\nAll configurations report the same number of components; only the")
+    print("I/O profile changes.  Buffered configurations amortise each node-")
+    print("sketch read over a whole batch of updates, which is why the")
+    print("unbuffered run pays orders of magnitude more block I/Os.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: streaming connected components with GraphZeppelin.
+
+This example walks through the core public API on a tiny social-style
+graph: create an engine, stream in edge insertions and deletions, and
+query the spanning forest / connected components at any point.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import GraphZeppelin, GraphZeppelinConfig
+
+
+def main() -> None:
+    # A GraphZeppelin instance is created for a fixed node universe.  An
+    # upper bound is fine -- unused node ids just keep empty sketches.
+    num_people = 16
+    engine = GraphZeppelin(
+        num_people,
+        config=GraphZeppelinConfig(
+            seed=42,              # makes the whole run reproducible
+            validate_stream=True,  # reject illegal updates (handy while learning)
+        ),
+    )
+
+    # --- a friendship graph evolves -----------------------------------
+    print("Inserting friendships...")
+    for u, v in [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (8, 9)]:
+        engine.insert(u, v)
+
+    forest = engine.list_spanning_forest()
+    print(f"  spanning forest edges : {list(forest)}")
+    print(f"  number of components  : {forest.num_components}")
+    print(f"  0 and 3 connected?    : {forest.connected(0, 3)}")
+    print(f"  0 and 5 connected?    : {forest.connected(0, 5)}")
+
+    # --- edges can also be deleted (fully dynamic streams) ------------
+    print("\nPerson 2 unfriends person 3, and 5 unfriends 6...")
+    engine.delete(2, 3)
+    engine.delete(5, 6)
+
+    components = engine.connected_components()
+    print(f"  components now        : {sorted(map(sorted, components))}")
+
+    # --- queries do not consume the sketches --------------------------
+    print("\nBridging the two largest groups with edge (2, 4)...")
+    engine.insert(2, 4)
+    print(f"  0 and 5 connected?    : {engine.is_connected(0, 5)}")
+
+    # --- accounting ----------------------------------------------------
+    print("\nSpace accounting:")
+    print(f"  bytes per node sketch : {engine.node_sketch_bytes}")
+    print(f"  total sketch bytes    : {engine.sketch_bytes()}")
+    print(f"  stream updates seen   : {engine.updates_processed}")
+
+
+if __name__ == "__main__":
+    main()

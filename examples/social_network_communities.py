@@ -1,0 +1,92 @@
+"""Tracking communities in an evolving social network.
+
+One of the paper's motivating applications is following the connected
+components ("communities") of a social network as users add and remove
+friendships over time.  This example simulates such a feed:
+
+* the network starts as several disjoint communities,
+* a stream of friend/unfriend events arrives (including bridge edges
+  that temporarily merge communities and are later removed),
+* after every burst of events the application asks GraphZeppelin for
+  the current community structure and reports merges and splits.
+
+It also shows the l0-sketch layer directly: the same CubeSketch that
+powers the engine can be queried for a single cut, which is how the
+"find me one link leaving this community" primitive works.
+
+Run with:  python examples/social_network_communities.py
+"""
+
+import numpy as np
+
+from repro import GraphZeppelin, GraphZeppelinConfig
+from repro.core.edge_encoding import EdgeEncoder
+from repro.core.node_sketch import merged_round_sketch
+from repro.generators.random_graphs import preferential_attachment_graph
+
+
+def build_initial_communities(rng, num_communities=4, people_per_community=12):
+    """Disjoint preferential-attachment communities over a shared id space."""
+    edges = []
+    for community in range(num_communities):
+        offset = community * people_per_community
+        _, local_edges = preferential_attachment_graph(
+            people_per_community, edges_per_node=2, seed=int(rng.integers(1 << 30))
+        )
+        edges.extend((u + offset, v + offset) for u, v in local_edges)
+    return num_communities * people_per_community, edges
+
+
+def describe(components):
+    sizes = sorted((len(c) for c in components), reverse=True)
+    return f"{len(components)} communities, sizes {sizes}"
+
+
+def main() -> None:
+    rng = np.random.default_rng(2024)
+    num_people, friendships = build_initial_communities(rng)
+
+    engine = GraphZeppelin(num_people, config=GraphZeppelinConfig(seed=7))
+    for u, v in friendships:
+        engine.insert(u, v)
+    print("Initial network:", describe(engine.connected_components()))
+
+    # --- burst 1: two communities get bridged --------------------------
+    bridges = [(5, 17), (20, 40)]
+    for u, v in bridges:
+        engine.insert(u, v)
+    print("After bridging   :", describe(engine.connected_components()))
+
+    # --- burst 2: churn -- some friendships dissolve --------------------
+    engine.delete(5, 17)          # the first bridge breaks again
+    removed = friendships[::9]    # a few within-community friendships vanish
+    for u, v in removed:
+        engine.delete(u, v)
+    print("After churn      :", describe(engine.connected_components()))
+
+    # --- burst 3: a new community forms around a viral account ----------
+    hub = 3
+    for follower in range(36, 48):
+        if follower != hub:
+            engine.insert(hub, follower)
+    print("After viral burst:", describe(engine.connected_components()))
+
+    # --- peeking under the hood: sampling one cut directly --------------
+    # "Find me one friendship that leaves community of person 0."
+    forest = engine.list_spanning_forest()
+    community = sorted(forest.component_of(0))
+    sketches = [engine.node_sketch(person) for person in community]
+    cut_sketch = merged_round_sketch(sketches, round_index=0)
+    sample = cut_sketch.query()
+    encoder = EdgeEncoder(num_people)
+    if sample.is_good:
+        print(f"\nA friendship leaving person 0's community: {encoder.decode(sample.index)}")
+    elif sample.is_zero:
+        print("\nPerson 0's community has no outgoing friendships (it is a full component).")
+    else:
+        print("\nThe cut sample failed for this sketch (probability <= 1%); "
+              "the engine would retry with the next round's sketch.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro: a from-scratch reproduction of GraphZeppelin (SIGMOD 2022).
+
+GraphZeppelin computes the connected components of a dynamic graph
+stream (edge insertions *and* deletions) using linear sketches whose
+total size is asymptotically smaller than the graph itself.  The
+package provides:
+
+* the :class:`~repro.core.graph_zeppelin.GraphZeppelin` engine and its
+  :class:`~repro.sketch.cubesketch.CubeSketch` l0-sampler,
+* the general-purpose l0-sampler and the StreamingCC baseline the paper
+  compares against,
+* stream generators (Graph500 Kronecker and friends), the hybrid
+  RAM+disk substrate, buffering structures, and simplified Aspen-like /
+  Terrace-like comparators used by the evaluation harness.
+
+Quickstart::
+
+    from repro import GraphZeppelin
+
+    gz = GraphZeppelin(num_nodes=8)
+    gz.insert(0, 1)
+    gz.insert(1, 2)
+    gz.insert(4, 5)
+    gz.delete(1, 2)
+    forest = gz.list_spanning_forest()
+    print(forest.components())
+"""
+
+from repro.core.config import BufferingMode, GraphZeppelinConfig
+from repro.core.graph_zeppelin import GraphZeppelin
+from repro.core.spanning_forest import SpanningForest
+from repro.core.streaming_cc import StreamingCC
+from repro.sketch.cubesketch import CubeSketch
+from repro.sketch.standard_l0 import StandardL0Sketch
+from repro.types import Edge, EdgeUpdate, UpdateType
+from repro.version import __version__
+
+__all__ = [
+    "BufferingMode",
+    "CubeSketch",
+    "Edge",
+    "EdgeUpdate",
+    "GraphZeppelin",
+    "GraphZeppelinConfig",
+    "SpanningForest",
+    "StandardL0Sketch",
+    "StreamingCC",
+    "UpdateType",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Further graph-analytics algorithms built on the connectivity sketches.
+
+Section 3.1 of the paper notes that CubeSketch "may be useful for other
+sketching algorithms for problems such as edge- or vertex-connectivity,
+testing bipartiteness, and finding minimum spanning trees and densest
+subgraphs", all of which reduce to (repeated) cut sampling in the AGM
+framework.  This package implements the reductions that need nothing
+beyond the connectivity primitive this library already provides:
+
+* :mod:`repro.algorithms.bipartiteness` -- single-pass bipartiteness
+  testing via the doubled-graph reduction,
+* :mod:`repro.algorithms.edge_connectivity` -- k-edge-connectivity
+  certificates from k iterated sketch spanning forests, plus bridge
+  finding and min-cut lower bounds derived from the certificate.
+
+These are extensions beyond the paper's evaluation; they are exercised
+by the test suite and the examples but have no corresponding benchmark
+figure.
+"""
+
+from repro.algorithms.bipartiteness import BipartitenessSketch, is_bipartite
+from repro.algorithms.edge_connectivity import (
+    ConnectivityCertificate,
+    EdgeConnectivitySketch,
+    find_bridges,
+)
+
+__all__ = [
+    "BipartitenessSketch",
+    "ConnectivityCertificate",
+    "EdgeConnectivitySketch",
+    "find_bridges",
+    "is_bipartite",
+]

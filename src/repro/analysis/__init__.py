@@ -1,0 +1,22 @@
+"""Evaluation harness: experiment drivers, result tables and reports.
+
+Every figure and table of the paper's evaluation maps to one driver
+function in :mod:`repro.analysis.experiments` (or
+:mod:`repro.analysis.reliability` / :mod:`repro.analysis.repository_survey`),
+and to one benchmark file under ``benchmarks/`` that calls the driver
+and prints the resulting table.  The drivers return plain dataclasses /
+dicts so they are equally usable from tests, benchmarks and notebooks.
+"""
+
+from repro.analysis.tables import format_bytes, format_rate, render_table
+from repro.analysis.reliability import ReliabilityResult, run_reliability_trials
+from repro.analysis.repository_survey import survey_repository_graphs
+
+__all__ = [
+    "ReliabilityResult",
+    "format_bytes",
+    "format_rate",
+    "render_table",
+    "run_reliability_trials",
+    "survey_repository_graphs",
+]

@@ -1,0 +1,57 @@
+"""Small helpers for rendering result tables in benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte count (KiB / MiB / GiB), two significant decimals."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024 or unit == "TiB":
+            return f"{value:.2f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{value:.2f} TiB"
+
+
+def format_rate(updates_per_second: float) -> str:
+    """Human-readable update rate (k/M updates per second)."""
+    value = float(updates_per_second)
+    if value >= 1e6:
+        return f"{value / 1e6:.2f} M/s"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f} k/s"
+    return f"{value:.1f} /s"
+
+
+def render_table(
+    rows: Sequence[Dict],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows as a fixed-width text table.
+
+    Column order follows ``columns`` when given, otherwise the key order
+    of the first row.  Values are converted with ``str``; callers format
+    numbers before passing them in.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    keys = list(columns) if columns else list(rows[0].keys())
+    widths = {key: len(str(key)) for key in keys}
+    for row in rows:
+        for key in keys:
+            widths[key] = max(widths[key], len(str(row.get(key, ""))))
+
+    def format_row(values: List[str]) -> str:
+        return "  ".join(value.ljust(widths[key]) for key, value in zip(keys, values))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row([str(key) for key in keys]))
+    lines.append(format_row(["-" * widths[key] for key in keys]))
+    for row in rows:
+        lines.append(format_row([str(row.get(key, "")) for key in keys]))
+    return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""An exact adjacency-matrix graph: the ground truth for correctness.
+
+Section 6.3 of the paper checks GraphZeppelin's answers against an
+in-memory adjacency matrix stored as a bit vector, running Kruskal's
+algorithm for the reference spanning forest.  This class is that
+reference implementation: a packed bit matrix plus exact connectivity
+via union-find (Kruskal) or BFS.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+import numpy as np
+
+from repro.core.dsu import DisjointSetUnion
+from repro.core.spanning_forest import SpanningForest
+from repro.exceptions import ConfigurationError, InvalidStreamError
+from repro.types import Edge, EdgeUpdate, UpdateType, canonical_edge
+
+
+class AdjacencyMatrixGraph:
+    """A dynamic graph stored as a packed boolean adjacency matrix."""
+
+    def __init__(self, num_nodes: int, strict: bool = True) -> None:
+        if num_nodes < 1:
+            raise ConfigurationError("num_nodes must be at least 1")
+        self.num_nodes = int(num_nodes)
+        self.strict = bool(strict)
+        # Upper-triangular packed bit matrix: bit (u, v) for u < v only.
+        self._bits = np.zeros((num_nodes, (num_nodes + 7) // 8), dtype=np.uint8)
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, u: int, v: int) -> None:
+        u, v = canonical_edge(u, v)
+        self._check_node(v)
+        if self.has_edge(u, v):
+            if self.strict:
+                raise InvalidStreamError(f"edge ({u}, {v}) inserted while present")
+            return
+        self._set_bit(u, v, True)
+        self._num_edges += 1
+
+    def delete(self, u: int, v: int) -> None:
+        u, v = canonical_edge(u, v)
+        self._check_node(v)
+        if not self.has_edge(u, v):
+            if self.strict:
+                raise InvalidStreamError(f"edge ({u}, {v}) deleted while absent")
+            return
+        self._set_bit(u, v, False)
+        self._num_edges -= 1
+
+    def edge_update(self, u: int, v: int) -> None:
+        """Toggle an edge (the non-validating ingestion path)."""
+        u, v = canonical_edge(u, v)
+        self._check_node(v)
+        if self.has_edge(u, v):
+            self._set_bit(u, v, False)
+            self._num_edges -= 1
+        else:
+            self._set_bit(u, v, True)
+            self._num_edges += 1
+
+    def apply_update(self, update: EdgeUpdate) -> None:
+        if update.kind is UpdateType.INSERT:
+            self.insert(update.u, update.v)
+        else:
+            self.delete(update.u, update.v)
+
+    def ingest(self, updates: Iterable[EdgeUpdate]) -> int:
+        count = 0
+        for update in updates:
+            self.apply_update(update)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has_edge(self, u: int, v: int) -> bool:
+        u, v = canonical_edge(u, v)
+        if v >= self.num_nodes:
+            return False
+        return bool((self._bits[u, v // 8] >> (v % 8)) & 1)
+
+    def edges(self) -> List[Edge]:
+        """All current edges in canonical order."""
+        result: List[Edge] = []
+        for u in range(self.num_nodes):
+            row = np.unpackbits(self._bits[u], bitorder="little")[: self.num_nodes]
+            for v in np.nonzero(row)[0]:
+                if v > u:
+                    result.append((u, int(v)))
+        return result
+
+    def neighbors(self, node: int) -> List[int]:
+        """Neighbors of ``node`` (both orientations of the bit matrix)."""
+        self._check_node(node)
+        row = np.unpackbits(self._bits[node], bitorder="little")[: self.num_nodes]
+        higher = [int(v) for v in np.nonzero(row)[0] if v > node]
+        lower = [
+            u
+            for u in range(node)
+            if (self._bits[u, node // 8] >> (node % 8)) & 1
+        ]
+        return lower + higher
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def spanning_forest(self) -> SpanningForest:
+        """Exact spanning forest via Kruskal (scan edges, union-find)."""
+        dsu = DisjointSetUnion(self.num_nodes)
+        forest_edges: List[Edge] = []
+        for u, v in self.edges():
+            if dsu.union(u, v):
+                forest_edges.append((u, v))
+        return SpanningForest.from_edges(self.num_nodes, forest_edges, complete=True)
+
+    def list_spanning_forest(self) -> SpanningForest:
+        """Alias matching the GraphZeppelin API."""
+        return self.spanning_forest()
+
+    def connected_components(self) -> List[Set[int]]:
+        return self.spanning_forest().components()
+
+    def num_connected_components(self) -> int:
+        return self.spanning_forest().num_components
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Bit-matrix size: one bit per (ordered) node pair."""
+        return self._bits.size
+
+    def __repr__(self) -> str:
+        return (
+            f"AdjacencyMatrixGraph(num_nodes={self.num_nodes}, edges={self._num_edges})"
+        )
+
+    # ------------------------------------------------------------------
+    def _set_bit(self, u: int, v: int, value: bool) -> None:
+        mask = np.uint8(1 << (v % 8))
+        if value:
+            self._bits[u, v // 8] |= mask
+        else:
+            self._bits[u, v // 8] &= np.uint8(~mask & 0xFF)
+
+    def _check_node(self, node: int) -> None:
+        if node >= self.num_nodes:
+            raise ValueError(f"node {node} outside [0, {self.num_nodes})")

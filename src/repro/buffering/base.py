@@ -1,0 +1,86 @@
+"""Common types and interface for the buffering layer."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+#: Bytes one buffered update occupies: two 32-bit node ids, matching the
+#: "2B to encode an edge" style accounting the paper uses for buffers.
+BYTES_PER_BUFFERED_UPDATE = 8
+
+
+@dataclass(slots=True)
+class Batch:
+    """A batch of buffered updates bound for a single graph node.
+
+    ``node`` is the node whose sketch the batch must be applied to, and
+    ``neighbors`` lists the other endpoint of each buffered edge update
+    (duplicates are legal: an edge inserted and later deleted appears
+    twice and cancels inside the Z_2 sketch).
+    """
+
+    node: int
+    neighbors: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.neighbors)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.neighbors)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.neighbors) * BYTES_PER_BUFFERED_UPDATE
+
+
+class BufferingSystem(abc.ABC):
+    """Interface shared by the leaf-only gutters and the gutter tree."""
+
+    @abc.abstractmethod
+    def insert(self, u: int, v: int) -> List[Batch]:
+        """Buffer the update ``{u, v}`` for node ``u``.
+
+        Returns the (possibly empty) list of batches that became full as
+        a result and must now be handed to a Graph Worker.  The caller
+        is responsible for also inserting the mirrored update
+        ``(v, u)`` -- ``edge_update`` in the engine does both.
+        """
+
+    @abc.abstractmethod
+    def flush_all(self) -> List[Batch]:
+        """Empty every buffer, returning all remaining non-empty batches."""
+
+    @abc.abstractmethod
+    def pending_updates(self) -> int:
+        """Number of updates currently sitting in buffers."""
+
+    @property
+    @abc.abstractmethod
+    def capacity_per_node(self) -> int:
+        """Updates a single node's gutter holds before it is emitted."""
+
+    def insert_edge(self, u: int, v: int) -> List[Batch]:
+        """Buffer both directions of an edge update (the public entry point)."""
+        batches = self.insert(u, v)
+        batches.extend(self.insert(v, u))
+        return batches
+
+
+def gutter_capacity_updates(
+    node_sketch_bytes: int,
+    fraction: float,
+    minimum: int = 1,
+) -> int:
+    """Capacity (in updates) of a gutter sized as a fraction of a node sketch.
+
+    The paper sizes leaf gutters as a constant factor ``f`` of the node
+    sketch size (Section 6.5, Figure 15); this helper converts that
+    fraction into a whole number of buffered updates.
+    """
+    if node_sketch_bytes <= 0:
+        raise ValueError("node_sketch_bytes must be positive")
+    if fraction <= 0:
+        raise ValueError("fraction must be positive")
+    return max(minimum, int(fraction * node_sketch_bytes / BYTES_PER_BUFFERED_UPDATE))

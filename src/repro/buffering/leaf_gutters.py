@@ -1,0 +1,118 @@
+"""Leaf-only gutters: one update buffer per graph node.
+
+This is the buffering structure GraphZeppelin uses when RAM is
+plentiful (``M > V * B``): a gutter per node, sized as a fraction ``f``
+of the node-sketch size, filled directly by ``buffer_insert`` and
+emitted as a batch the moment it fills (Section 5.1).  When the node
+sketches themselves live on the simulated disk, emitting larger batches
+amortises the cost of paging a node sketch in and out, which is the
+trade-off Figure 15 sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.buffering.base import (
+    Batch,
+    BufferingSystem,
+    gutter_capacity_updates,
+)
+from repro.exceptions import ConfigurationError
+from repro.memory.hybrid import HybridMemory
+
+
+class LeafGutters(BufferingSystem):
+    """Per-node update gutters kept in RAM.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of graph nodes (gutters are created lazily, so sparse use
+        of the id space costs nothing).
+    node_sketch_bytes:
+        Size of one node sketch; together with ``fraction`` it fixes the
+        gutter capacity.  The paper's default is half a node sketch.
+    fraction:
+        Gutter size as a fraction of the node-sketch size.
+    capacity_updates:
+        Explicit per-gutter capacity in updates, overriding
+        ``node_sketch_bytes``/``fraction`` (used by the buffer-size
+        sweep benchmark, where capacity 1 means "no buffering").
+    memory:
+        Optional hybrid memory; when provided, each emitted batch
+        charges a sequential read of its own bytes, modelling gutters
+        that have been swapped to SSD.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        node_sketch_bytes: int = 0,
+        fraction: float = 0.5,
+        capacity_updates: Optional[int] = None,
+        memory: Optional[HybridMemory] = None,
+    ) -> None:
+        if num_nodes < 1:
+            raise ConfigurationError("num_nodes must be at least 1")
+        if capacity_updates is not None:
+            if capacity_updates < 1:
+                raise ConfigurationError("capacity_updates must be at least 1")
+            self._capacity = int(capacity_updates)
+        else:
+            if node_sketch_bytes <= 0:
+                raise ConfigurationError(
+                    "node_sketch_bytes must be positive when capacity_updates is not given"
+                )
+            self._capacity = gutter_capacity_updates(node_sketch_bytes, fraction)
+        self.num_nodes = int(num_nodes)
+        self.memory = memory
+        self._gutters: Dict[int, List[int]] = {}
+        self._pending = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity_per_node(self) -> int:
+        return self._capacity
+
+    def insert(self, u: int, v: int) -> List[Batch]:
+        self._check_node(u)
+        self._check_node(v)
+        gutter = self._gutters.setdefault(u, [])
+        gutter.append(v)
+        self._pending += 1
+        if len(gutter) >= self._capacity:
+            return [self._emit(u)]
+        return []
+
+    def flush_all(self) -> List[Batch]:
+        batches = [self._emit(node) for node in sorted(self._gutters) if self._gutters[node]]
+        return [batch for batch in batches if len(batch) > 0]
+
+    def pending_updates(self) -> int:
+        return self._pending
+
+    def pending_for(self, node: int) -> int:
+        """Updates currently buffered for one node (for tests/inspection)."""
+        return len(self._gutters.get(node, []))
+
+    # ------------------------------------------------------------------
+    def _emit(self, node: int) -> Batch:
+        neighbors = self._gutters.pop(node, [])
+        self._pending -= len(neighbors)
+        batch = Batch(node=node, neighbors=neighbors)
+        if self.memory is not None and not self.memory.is_unbounded:
+            # Gutters that overflowed RAM live on disk; emitting the batch
+            # reads it back sequentially.
+            self.memory.charge_read(batch.size_bytes, sequential=True)
+        return batch
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside [0, {self.num_nodes})")
+
+    def __repr__(self) -> str:
+        return (
+            f"LeafGutters(num_nodes={self.num_nodes}, capacity={self._capacity}, "
+            f"pending={self._pending})"
+        )

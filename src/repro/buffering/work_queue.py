@@ -1,0 +1,89 @@
+"""The bounded producer/consumer queue between buffering and Graph Workers."""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterator, List, Optional
+
+from repro.buffering.base import Batch
+
+
+class WorkQueue:
+    """A bounded, thread-safe queue of update batches.
+
+    The paper sizes the queue at ``8 g`` batches for ``g`` Graph Workers
+    so neither the buffering thread nor the workers stall for long while
+    keeping memory bounded.  The queue is also usable single-threaded
+    (the default engine configuration): producers call :meth:`put`,
+    and the engine drains it synchronously with :meth:`drain`.
+    """
+
+    DEFAULT_BATCHES_PER_WORKER = 8
+
+    def __init__(self, num_workers: int = 1, capacity: Optional[int] = None) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        self.num_workers = num_workers
+        self.capacity = (
+            capacity
+            if capacity is not None
+            else self.DEFAULT_BATCHES_PER_WORKER * num_workers
+        )
+        self._queue: "queue.Queue[Batch]" = queue.Queue(maxsize=self.capacity)
+        self._lock = threading.Lock()
+        self._batches_enqueued = 0
+        self._updates_enqueued = 0
+        self._high_watermark = 0
+
+    # ------------------------------------------------------------------
+    def put(self, batch: Batch, block: bool = True, timeout: Optional[float] = None) -> None:
+        """Enqueue a batch (blocking while the queue is full, as in the paper)."""
+        self._queue.put(batch, block=block, timeout=timeout)
+        with self._lock:
+            self._batches_enqueued += 1
+            self._updates_enqueued += len(batch)
+            self._high_watermark = max(self._high_watermark, self._queue.qsize())
+
+    def put_all(self, batches: List[Batch]) -> None:
+        for batch in batches:
+            self.put(batch)
+
+    def get(self, block: bool = True, timeout: Optional[float] = None) -> Batch:
+        """Dequeue one batch; raises ``queue.Empty`` when non-blocking and empty."""
+        return self._queue.get(block=block, timeout=timeout)
+
+    def get_nowait(self) -> Optional[Batch]:
+        try:
+            return self._queue.get_nowait()
+        except queue.Empty:
+            return None
+
+    def drain(self) -> Iterator[Batch]:
+        """Yield batches until the queue is empty (single-threaded path)."""
+        while True:
+            batch = self.get_nowait()
+            if batch is None:
+                return
+            yield batch
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._queue.qsize()
+
+    @property
+    def is_empty(self) -> bool:
+        return self._queue.empty()
+
+    @property
+    def batches_enqueued(self) -> int:
+        return self._batches_enqueued
+
+    @property
+    def updates_enqueued(self) -> int:
+        return self._updates_enqueued
+
+    @property
+    def high_watermark(self) -> int:
+        """Largest queue depth observed (for tuning the capacity)."""
+        return self._high_watermark

@@ -1,0 +1,147 @@
+"""Sketch-based Boruvka: recover a spanning forest from cut samplers.
+
+The driver is written against a tiny abstraction -- a callable that,
+given a Boruvka round and the member nodes of a component, returns an
+l0 sample of the component's cut vector -- so the same algorithm runs
+on top of GraphZeppelin's CubeSketches, the StreamingCC baseline's
+general-purpose sketches, and the exact (adjacency matrix) oracle used
+in tests.
+
+Each round queries every active component once, using that round's
+independent sketches; sampled edges that join two distinct components
+are added to the forest and the components merged.  The loop ends when
+no component yields a new edge (all remaining cuts are empty) or when
+the provisioned number of rounds is exhausted, in which case the result
+is flagged incomplete (the paper's asymptotically-small failure case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Set
+
+from repro.core.dsu import DisjointSetUnion
+from repro.core.edge_encoding import EdgeEncoder
+from repro.core.spanning_forest import SpanningForest
+from repro.exceptions import ConnectivityError
+from repro.sketch.sketch_base import SampleResult
+from repro.types import Edge
+
+#: Signature of the per-component cut sampler: (round, member nodes) -> sample.
+CutSampler = Callable[[int, Sequence[int]], SampleResult]
+
+
+@dataclass
+class BoruvkaStats:
+    """Bookkeeping produced by one run of the sketch Boruvka algorithm."""
+
+    rounds_used: int = 0
+    component_queries: int = 0
+    good_samples: int = 0
+    zero_samples: int = 0
+    failed_samples: int = 0
+    invalid_samples: int = 0
+    merges: int = 0
+    per_round_merges: List[int] = field(default_factory=list)
+
+
+def sketch_spanning_forest(
+    num_nodes: int,
+    num_rounds: int,
+    encoder: EdgeEncoder,
+    cut_sampler: CutSampler,
+    strict: bool = False,
+) -> tuple[SpanningForest, BoruvkaStats]:
+    """Run Boruvka's algorithm over sketched cut samplers.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes in the graph.
+    num_rounds:
+        Number of independent sketch rounds available.
+    encoder:
+        The edge-slot encoder shared by the sketches; used to decode and
+        validate sampled indices.
+    cut_sampler:
+        ``cut_sampler(round_index, members)`` must return a
+        :class:`SampleResult` for the cut between ``members`` and the
+        rest of the graph, computed from the round's sketches.
+    strict:
+        When true, exhausting the rounds while merges were still
+        happening raises :class:`ConnectivityError`; otherwise the
+        partial forest is returned with ``complete=False``.
+    """
+    dsu = DisjointSetUnion(num_nodes)
+    members: Dict[int, List[int]] = {node: [node] for node in range(num_nodes)}
+    # Components whose cut has been observed empty: they can never merge
+    # again and are skipped in later rounds.
+    settled: Set[int] = set()
+    forest_edges: List[Edge] = []
+    stats = BoruvkaStats()
+
+    found_edge = True
+    round_index = 0
+    while found_edge and dsu.num_components > 1:
+        if round_index >= num_rounds:
+            if strict:
+                raise ConnectivityError(
+                    f"Boruvka did not converge within {num_rounds} rounds "
+                    f"({dsu.num_components} components remain)"
+                )
+            forest = SpanningForest.from_edges(num_nodes, forest_edges, complete=False)
+            return forest, stats
+
+        found_edge = False
+        stats.rounds_used = round_index + 1
+        sampled_edges: List[Edge] = []
+        failures_this_round = 0
+
+        for root in list(members.keys()):
+            if root in settled:
+                continue
+            stats.component_queries += 1
+            result = cut_sampler(round_index, members[root])
+            if result.is_zero:
+                stats.zero_samples += 1
+                settled.add(root)
+                continue
+            if result.is_fail:
+                stats.failed_samples += 1
+                failures_this_round += 1
+                continue
+            stats.good_samples += 1
+            assert result.index is not None
+            if not encoder.is_valid_index(result.index):
+                # A corrupted bucket slipped past its checksum; ignore it.
+                stats.invalid_samples += 1
+                continue
+            sampled_edges.append(encoder.decode(result.index))
+
+        merges_this_round = 0
+        for u, v in sampled_edges:
+            root_u, root_v = dsu.find(u), dsu.find(v)
+            if root_u == root_v:
+                continue
+            dsu.union(u, v)
+            # Union by size keeps one of the two old roots as the new root.
+            new_root = dsu.find(u)
+            old_root = root_v if new_root == root_u else root_u
+            members[new_root] = members[new_root] + members.pop(old_root)
+            settled.discard(new_root)
+            settled.discard(old_root)
+            forest_edges.append((u, v) if u < v else (v, u))
+            merges_this_round += 1
+            found_edge = True
+
+        stats.merges += merges_this_round
+        stats.per_round_merges.append(merges_this_round)
+        # A failed sample says nothing about the cut being empty; as long as
+        # unused rounds (with fresh, independent sketches) remain, retry the
+        # unresolved components there instead of declaring convergence.
+        if failures_this_round and not found_edge:
+            found_edge = True
+        round_index += 1
+
+    forest = SpanningForest.from_edges(num_nodes, forest_edges, complete=True)
+    return forest, stats

@@ -1,0 +1,93 @@
+"""Configuration for a GraphZeppelin instance."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+
+
+class BufferingMode(enum.Enum):
+    """Which buffering structure the engine uses for stream ingestion."""
+
+    #: Apply every update to the node sketches immediately (no buffering).
+    NONE = "none"
+    #: One gutter per node, kept in RAM (paper's default when M > V*B).
+    LEAF_GUTTERS = "leaf_gutters"
+    #: Full gutter tree, for when even the gutters do not fit in RAM.
+    GUTTER_TREE = "gutter_tree"
+
+
+@dataclass
+class GraphZeppelinConfig:
+    """Tunable parameters of the GraphZeppelin engine.
+
+    Attributes
+    ----------
+    delta:
+        Per-CubeSketch failure probability (paper default 1/100).
+    buffering:
+        Buffering structure used during ingestion.
+    gutter_fraction:
+        Leaf gutter capacity as a fraction of the node-sketch size
+        (Figure 15 sweeps this value; the paper default is 0.5).
+    ram_budget_bytes:
+        RAM available for node sketches.  ``None`` keeps everything in
+        RAM; a finite budget routes sketches through the hybrid memory
+        substrate so the run pays modelled SSD I/O.
+    num_workers:
+        Graph Workers used by the parallel ingestion path (the
+        single-threaded engine ignores this except for work-queue sizing).
+    validate_stream:
+        When true, the engine tracks the exact current edge set and
+        rejects illegal updates (inserting a present edge / deleting an
+        absent one).  Costs O(E) memory, so it is off by default and
+        meant for tests and small streams.
+    strict_queries:
+        When true, a connectivity query that exhausts its Boruvka rounds
+        raises :class:`~repro.exceptions.ConnectivityError`; otherwise
+        the partial forest is returned with ``complete=False``.
+    seed:
+        Root seed from which every hash function is derived.
+    """
+
+    delta: float = 0.01
+    buffering: BufferingMode = BufferingMode.LEAF_GUTTERS
+    gutter_fraction: float = 0.5
+    ram_budget_bytes: Optional[int] = None
+    num_workers: int = 1
+    validate_stream: bool = False
+    strict_queries: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.delta < 1:
+            raise ConfigurationError("delta must be in (0, 1)")
+        if self.gutter_fraction <= 0:
+            raise ConfigurationError("gutter_fraction must be positive")
+        if self.num_workers < 1:
+            raise ConfigurationError("num_workers must be at least 1")
+        if self.ram_budget_bytes is not None and self.ram_budget_bytes < 0:
+            raise ConfigurationError("ram_budget_bytes must be non-negative or None")
+        if isinstance(self.buffering, str):
+            self.buffering = BufferingMode(self.buffering)
+
+    @classmethod
+    def in_memory(cls, **overrides) -> "GraphZeppelinConfig":
+        """Everything-in-RAM configuration (the Figure 13 setting)."""
+        return cls(**overrides)
+
+    @classmethod
+    def out_of_core(
+        cls, ram_budget_bytes: int, use_gutter_tree: bool = False, **overrides
+    ) -> "GraphZeppelinConfig":
+        """A configuration with a RAM budget, spilling sketches to SSD."""
+        buffering = BufferingMode.GUTTER_TREE if use_gutter_tree else BufferingMode.LEAF_GUTTERS
+        return cls(ram_budget_bytes=ram_budget_bytes, buffering=buffering, **overrides)
+
+    @classmethod
+    def unbuffered(cls, **overrides) -> "GraphZeppelinConfig":
+        """No buffering at all (the f = "1 update" point of Figure 15)."""
+        return cls(buffering=BufferingMode.NONE, **overrides)

@@ -1,0 +1,299 @@
+"""The GraphZeppelin engine: streaming connected components via CubeSketch.
+
+This is the system of Section 5 of the paper.  Stream updates enter
+through :meth:`GraphZeppelin.edge_update` (or the ``insert`` /
+``delete`` convenience wrappers), are collected per destination node by
+the configured buffering structure, and are folded into the node
+sketches in batches.  A connectivity query flushes the buffers and runs
+the sketch-based Boruvka algorithm, returning a
+:class:`~repro.core.spanning_forest.SpanningForest`.
+
+The engine can run fully in RAM (the default) or with a RAM budget, in
+which case node sketches are stored through the hybrid-memory substrate
+and every access pays modelled SSD I/O -- the configuration used by the
+out-of-core experiments (Figures 12, 15, 16b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.buffering.base import Batch, BufferingSystem
+from repro.buffering.gutter_tree import GutterTree
+from repro.buffering.leaf_gutters import LeafGutters
+from repro.core.boruvka import BoruvkaStats, sketch_spanning_forest
+from repro.core.config import BufferingMode, GraphZeppelinConfig
+from repro.core.edge_encoding import EdgeEncoder
+from repro.core.node_sketch import NodeSketch, merged_round_sketch, num_boruvka_rounds
+from repro.core.spanning_forest import SpanningForest
+from repro.exceptions import ConfigurationError, InvalidStreamError
+from repro.memory.hybrid import HybridMemory, SketchStore
+from repro.memory.metrics import IOStats
+from repro.sketch.sketch_base import SampleResult
+from repro.types import Edge, EdgeUpdate, UpdateType, canonical_edge
+
+
+class GraphZeppelin:
+    """Streaming connected-components sketch over a fixed node universe.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes ``V``.  Like the paper, an upper bound is fine:
+        unused node ids simply keep empty sketches.
+    config:
+        Engine configuration; see
+        :class:`~repro.core.config.GraphZeppelinConfig`.
+    memory:
+        Optionally inject a pre-built hybrid memory (tests and the I/O
+        benchmarks share one across components); by default one is
+        created according to ``config.ram_budget_bytes``.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        config: Optional[GraphZeppelinConfig] = None,
+        memory: Optional[HybridMemory] = None,
+    ) -> None:
+        if num_nodes < 2:
+            raise ConfigurationError("GraphZeppelin needs at least two nodes")
+        self.num_nodes = int(num_nodes)
+        self.config = config or GraphZeppelinConfig()
+        self.encoder = EdgeEncoder(self.num_nodes)
+        self.num_rounds = num_boruvka_rounds(self.num_nodes)
+
+        if memory is not None:
+            self.memory: Optional[HybridMemory] = memory
+        elif self.config.ram_budget_bytes is not None:
+            self.memory = HybridMemory(ram_bytes=self.config.ram_budget_bytes)
+        else:
+            self.memory = None
+
+        self._store: SketchStore[NodeSketch] = SketchStore(
+            serialize=lambda sketch: sketch.to_bytes(),
+            deserialize=lambda payload: NodeSketch.from_bytes(
+                payload, self.encoder, self.config.seed, delta=self.config.delta
+            ),
+            memory=self.memory,
+        )
+        for node in range(self.num_nodes):
+            self._store.put(node, self._new_node_sketch(node))
+
+        self._node_sketch_bytes = self._store.get(0).size_bytes()
+        self._buffering = self._build_buffering()
+        self._updates_processed = 0
+        self._batches_applied = 0
+        self._current_edges: Optional[Set[Edge]] = (
+            set() if self.config.validate_stream else None
+        )
+        self._last_query_stats: Optional[BoruvkaStats] = None
+
+    # ------------------------------------------------------------------
+    # stream ingestion (user API)
+    # ------------------------------------------------------------------
+    def edge_update(self, u: int, v: int) -> None:
+        """Process one stream update toggling edge ``{u, v}``.
+
+        Over Z_2 an insertion and a deletion are the same toggle, so a
+        single entry point suffices; :meth:`insert` and :meth:`delete`
+        exist for callers that want the stream-validity checking.
+        """
+        edge = canonical_edge(u, v)
+        self._ingest(edge)
+
+    def insert(self, u: int, v: int) -> None:
+        """Process an edge insertion (validated when configured)."""
+        edge = canonical_edge(u, v)
+        if self._current_edges is not None:
+            if edge in self._current_edges:
+                raise InvalidStreamError(f"edge {edge} inserted while already present")
+            self._current_edges.add(edge)
+        self._ingest(edge, validated=True)
+
+    def delete(self, u: int, v: int) -> None:
+        """Process an edge deletion (validated when configured)."""
+        edge = canonical_edge(u, v)
+        if self._current_edges is not None:
+            if edge not in self._current_edges:
+                raise InvalidStreamError(f"edge {edge} deleted while absent")
+            self._current_edges.remove(edge)
+        self._ingest(edge, validated=True)
+
+    def apply_update(self, update: EdgeUpdate) -> None:
+        """Process an :class:`~repro.types.EdgeUpdate`."""
+        if update.kind is UpdateType.INSERT:
+            self.insert(update.u, update.v)
+        else:
+            self.delete(update.u, update.v)
+
+    def ingest(self, updates: Iterable[EdgeUpdate]) -> int:
+        """Process a whole stream of updates; returns how many were applied."""
+        count = 0
+        for update in updates:
+            self.apply_update(update)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # queries (user API)
+    # ------------------------------------------------------------------
+    def list_spanning_forest(self) -> SpanningForest:
+        """Flush all buffers and return a spanning forest of the stream.
+
+        Matches ``list_spanning_forest()`` in Figure 9: remaining
+        buffered updates are applied first, then Boruvka runs over the
+        node sketches.  The node sketches are not consumed -- the stream
+        can continue after the query.
+        """
+        self.flush()
+        forest, stats = sketch_spanning_forest(
+            num_nodes=self.num_nodes,
+            num_rounds=self.num_rounds,
+            encoder=self.encoder,
+            cut_sampler=self._component_cut_sample,
+            strict=self.config.strict_queries,
+        )
+        self._last_query_stats = stats
+        return forest
+
+    def spanning_forest(self) -> SpanningForest:
+        """Alias of :meth:`list_spanning_forest`."""
+        return self.list_spanning_forest()
+
+    def connected_components(self) -> List[Set[int]]:
+        """The node partition implied by the spanning forest."""
+        return self.list_spanning_forest().components()
+
+    def num_connected_components(self) -> int:
+        return self.list_spanning_forest().num_components
+
+    def is_connected(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` are currently in the same component."""
+        return self.list_spanning_forest().connected(u, v)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Apply every buffered update to the node sketches."""
+        if self._buffering is None:
+            return
+        for batch in self._buffering.flush_all():
+            self._apply_batch(batch)
+
+    def node_sketch(self, node: int) -> NodeSketch:
+        """The current sketch of one node (a copy-safe reference)."""
+        return self._store.get(node)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def updates_processed(self) -> int:
+        return self._updates_processed
+
+    @property
+    def batches_applied(self) -> int:
+        return self._batches_applied
+
+    @property
+    def node_sketch_bytes(self) -> int:
+        """Bytes of a single node sketch."""
+        return self._node_sketch_bytes
+
+    def sketch_bytes(self) -> int:
+        """Bytes of all node sketches (the dominant term of Figure 11)."""
+        return self._node_sketch_bytes * self.num_nodes
+
+    def buffer_bytes(self) -> int:
+        """Bytes currently pinned by the buffering structure."""
+        if self._buffering is None:
+            return 0
+        return self._buffering.pending_updates() * 8
+
+    def total_bytes(self) -> int:
+        """Total space accounting used in the space-comparison figures."""
+        return self.sketch_bytes() + self.buffer_bytes()
+
+    @property
+    def io_stats(self) -> Optional[IOStats]:
+        """I/O counters of the hybrid memory (``None`` when fully in RAM)."""
+        return self.memory.stats if self.memory is not None else None
+
+    @property
+    def last_query_stats(self) -> Optional[BoruvkaStats]:
+        """Diagnostics of the most recent connectivity query."""
+        return self._last_query_stats
+
+    @property
+    def buffering(self) -> Optional[BufferingSystem]:
+        return self._buffering
+
+    def __repr__(self) -> str:
+        mode = self.config.buffering.value
+        return (
+            f"GraphZeppelin(num_nodes={self.num_nodes}, rounds={self.num_rounds}, "
+            f"buffering={mode}, updates={self._updates_processed})"
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _new_node_sketch(self, node: int) -> NodeSketch:
+        return NodeSketch(
+            node,
+            self.encoder,
+            graph_seed=self.config.seed,
+            delta=self.config.delta,
+            num_rounds=self.num_rounds,
+        )
+
+    def _build_buffering(self) -> Optional[BufferingSystem]:
+        mode = self.config.buffering
+        if mode is BufferingMode.NONE:
+            return None
+        if mode is BufferingMode.LEAF_GUTTERS:
+            return LeafGutters(
+                num_nodes=self.num_nodes,
+                node_sketch_bytes=self._node_sketch_bytes,
+                fraction=self.config.gutter_fraction,
+                memory=self.memory,
+            )
+        if mode is BufferingMode.GUTTER_TREE:
+            return GutterTree(
+                num_nodes=self.num_nodes,
+                node_sketch_bytes=self._node_sketch_bytes,
+                memory=self.memory,
+            )
+        raise ConfigurationError(f"unknown buffering mode {mode!r}")
+
+    def _ingest(self, edge: Edge, validated: bool = False) -> None:
+        u, v = edge
+        self._updates_processed += 1
+        if self._buffering is None:
+            self._apply_batch(Batch(node=u, neighbors=[v]))
+            self._apply_batch(Batch(node=v, neighbors=[u]))
+            return
+        for batch in self._buffering.insert_edge(u, v):
+            self._apply_batch(batch)
+
+    def _apply_batch(self, batch: Batch) -> None:
+        if len(batch) == 0:
+            return
+        sketch = self._store.get(batch.node)
+        sketch.apply_batch(batch.neighbors)
+        self._store.put(batch.node, sketch)
+        self._batches_applied += 1
+
+    def _component_cut_sample(
+        self, round_index: int, members: Sequence[int]
+    ) -> SampleResult:
+        """Cut sampler handed to the Boruvka driver.
+
+        XOR-merges the round-``round_index`` sketches of the component's
+        member nodes (without mutating them) and queries the result.
+        """
+        sketches = [self._store.get(node) for node in members]
+        merged = merged_round_sketch(sketches, round_index)
+        return merged.query()

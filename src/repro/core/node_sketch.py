@@ -1,0 +1,213 @@
+"""Node sketches: one bundle of CubeSketches per graph node.
+
+Each node ``u`` keeps ``ceil(log2 V)`` independent CubeSketches of its
+characteristic vector, one for every potential round of Boruvka's
+algorithm (the per-round independence is what makes the adaptive
+merging sound -- footnote 1 of the paper).  All nodes share the same
+hash functions *per round*, which is what makes node sketches of
+different nodes addable: XOR-ing the round-``r`` sketches of ``u`` and
+``v`` yields the round-``r`` sketch of the symmetric difference of
+their edge sets, i.e. the edges crossing the cut ``{u, v}`` vs the rest
+of the graph.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.edge_encoding import EdgeEncoder
+from repro.exceptions import ConfigurationError, IncompatibleSketchError
+from repro.hashing.prng import derive_seed
+from repro.sketch.cubesketch import CubeSketch
+from repro.sketch.serialization import cubesketch_from_bytes, cubesketch_to_bytes
+from repro.sketch.sketch_base import SampleResult
+
+#: Label used when deriving the per-round sketch seeds from the graph seed.
+_ROUND_SEED_LABEL = 0x524F554E  # "ROUN"
+
+
+def num_boruvka_rounds(num_nodes: int) -> int:
+    """Number of sketch rounds a graph on ``num_nodes`` nodes needs."""
+    if num_nodes < 2:
+        raise ConfigurationError("a graph needs at least two nodes")
+    return max(1, math.ceil(math.log2(num_nodes)))
+
+
+def round_seed(graph_seed: int, round_index: int) -> int:
+    """The shared hash seed of every node's round-``round_index`` sketch."""
+    return derive_seed(graph_seed, _ROUND_SEED_LABEL, round_index)
+
+
+class NodeSketch:
+    """The sketch bundle of a single graph node (a "supernode").
+
+    Parameters
+    ----------
+    node:
+        The node id this sketch belongs to (kept for bookkeeping; the
+        sketch contents do not depend on it).
+    encoder:
+        The shared edge-slot encoder of the graph.
+    graph_seed:
+        Root seed of the owning GraphZeppelin instance.
+    delta:
+        Per-round sketch failure probability.
+    num_rounds:
+        Number of Boruvka rounds to provision (defaults to
+        ``ceil(log2 V)``).
+    """
+
+    def __init__(
+        self,
+        node: int,
+        encoder: EdgeEncoder,
+        graph_seed: int = 0,
+        delta: float = 0.01,
+        num_rounds: int | None = None,
+    ) -> None:
+        self.node = int(node)
+        self.encoder = encoder
+        self.graph_seed = int(graph_seed)
+        self.delta = float(delta)
+        self.num_rounds = (
+            int(num_rounds) if num_rounds is not None else num_boruvka_rounds(encoder.num_nodes)
+        )
+        self.sketches: List[CubeSketch] = [
+            CubeSketch(
+                encoder.vector_length,
+                delta=delta,
+                seed=round_seed(self.graph_seed, round_index),
+            )
+            for round_index in range(self.num_rounds)
+        ]
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def apply_edge(self, other_endpoint: int) -> None:
+        """Toggle the edge ``{self.node, other_endpoint}`` in every round."""
+        index = self.encoder.encode(self.node, other_endpoint)
+        for sketch in self.sketches:
+            sketch.update(index)
+
+    def apply_batch(self, neighbors: Iterable[int]) -> None:
+        """Toggle a batch of edges ``{self.node, w}`` in every round.
+
+        This is ``update_sketch_batch`` from Figure 8: the batch is
+        encoded once and then folded into each round's CubeSketch with
+        the vectorised batch update.
+        """
+        indices = self.encoder.encode_batch(self.node, neighbors)
+        if indices.size == 0:
+            return
+        for sketch in self.sketches:
+            sketch.update_batch(indices)
+
+    # ------------------------------------------------------------------
+    # queries and merging
+    # ------------------------------------------------------------------
+    def query_round(self, round_index: int) -> SampleResult:
+        """Query the sketch reserved for Boruvka round ``round_index``."""
+        return self.sketches[round_index].query()
+
+    def round_sketch(self, round_index: int) -> CubeSketch:
+        return self.sketches[round_index]
+
+    def merge(self, other: "NodeSketch") -> None:
+        """Fold another node's sketches into this one (supernode merge)."""
+        if not self.is_compatible(other):
+            raise IncompatibleSketchError(
+                "node sketches from different graphs/seeds cannot be merged"
+            )
+        for mine, theirs in zip(self.sketches, other.sketches):
+            mine.merge(theirs)
+
+    def is_compatible(self, other: "NodeSketch") -> bool:
+        return (
+            isinstance(other, NodeSketch)
+            and other.encoder.num_nodes == self.encoder.num_nodes
+            and other.num_rounds == self.num_rounds
+            and other.graph_seed == self.graph_seed
+        )
+
+    def copy(self) -> "NodeSketch":
+        clone = NodeSketch.__new__(NodeSketch)
+        clone.node = self.node
+        clone.encoder = self.encoder
+        clone.graph_seed = self.graph_seed
+        clone.delta = self.delta
+        clone.num_rounds = self.num_rounds
+        clone.sketches = [sketch.copy() for sketch in self.sketches]
+        return clone
+
+    # ------------------------------------------------------------------
+    # accounting and serialisation
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Total payload bytes across all rounds (paper's accounting)."""
+        return sum(sketch.size_bytes() for sketch in self.sketches)
+
+    def is_empty(self) -> bool:
+        return all(sketch.is_empty() for sketch in self.sketches)
+
+    def to_bytes(self) -> bytes:
+        """Serialise all rounds into one blob (node-group disk layout)."""
+        parts = [len(self.sketches).to_bytes(4, "little"), self.node.to_bytes(8, "little")]
+        for sketch in self.sketches:
+            payload = cubesketch_to_bytes(sketch)
+            parts.append(len(payload).to_bytes(4, "little"))
+            parts.append(payload)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(
+        cls,
+        payload: bytes,
+        encoder: EdgeEncoder,
+        graph_seed: int,
+        delta: float = 0.01,
+    ) -> "NodeSketch":
+        """Reconstruct a node sketch serialised with :meth:`to_bytes`."""
+        num_rounds = int.from_bytes(payload[0:4], "little")
+        node = int.from_bytes(payload[4:12], "little")
+        offset = 12
+        sketches = []
+        for _ in range(num_rounds):
+            length = int.from_bytes(payload[offset : offset + 4], "little")
+            offset += 4
+            sketches.append(cubesketch_from_bytes(payload[offset : offset + length], delta=delta))
+            offset += length
+        instance = cls.__new__(cls)
+        instance.node = node
+        instance.encoder = encoder
+        instance.graph_seed = graph_seed
+        instance.delta = delta
+        instance.num_rounds = num_rounds
+        instance.sketches = sketches
+        return instance
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeSketch(node={self.node}, rounds={self.num_rounds}, "
+            f"bytes={self.size_bytes()})"
+        )
+
+
+def merged_round_sketch(
+    node_sketches: Sequence[NodeSketch], round_index: int
+) -> CubeSketch:
+    """The XOR of the round-``round_index`` sketches of several nodes.
+
+    Used by the Boruvka driver to build a component's cut sketch without
+    mutating the per-node sketches (so the stream can continue after a
+    query).
+    """
+    if not node_sketches:
+        raise ValueError("merged_round_sketch requires at least one node sketch")
+    total = node_sketches[0].round_sketch(round_index).copy()
+    for node_sketch in node_sketches[1:]:
+        total.merge(node_sketch.round_sketch(round_index))
+    return total

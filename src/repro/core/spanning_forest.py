@@ -1,0 +1,100 @@
+"""The result type returned by connectivity queries.
+
+Problem 1 of the paper asks for an insert-only edge stream defining a
+spanning forest of the streamed graph; :class:`SpanningForest` is that
+edge set plus convenience views (component partition, connectivity
+predicate) derived from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Sequence, Set, Tuple
+
+from repro.core.dsu import DisjointSetUnion
+from repro.types import Edge
+
+
+@dataclass(frozen=True)
+class SpanningForest:
+    """A spanning forest of a graph over ``num_nodes`` nodes.
+
+    Attributes
+    ----------
+    num_nodes:
+        Number of nodes in the underlying graph.
+    edges:
+        The forest edges (canonical orientation, no duplicates).
+    complete:
+        ``False`` when the sketch algorithm exhausted its Boruvka rounds
+        before merging stopped (probability polynomially small); in that
+        case the forest may be missing edges and the component partition
+        is an over-refinement of the true one.
+    """
+
+    num_nodes: int
+    edges: Tuple[Edge, ...]
+    complete: bool = True
+    _dsu: DisjointSetUnion = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        dsu = DisjointSetUnion(self.num_nodes)
+        for u, v in self.edges:
+            dsu.union(u, v)
+        object.__setattr__(self, "_dsu", dsu)
+        if len(self.edges) != self.num_nodes - dsu.num_components:
+            raise ValueError(
+                "edge set contains a cycle or duplicate edges: "
+                f"{len(self.edges)} edges for {self.num_nodes - dsu.num_components} merges"
+            )
+
+    @classmethod
+    def from_edges(
+        cls, num_nodes: int, edges: Sequence[Edge], complete: bool = True
+    ) -> "SpanningForest":
+        """Build a forest, deduplicating and canonicalising edge tuples."""
+        canonical = []
+        seen = set()
+        for u, v in edges:
+            edge = (u, v) if u < v else (v, u)
+            if edge not in seen:
+                seen.add(edge)
+                canonical.append(edge)
+        return cls(num_nodes=num_nodes, edges=tuple(canonical), complete=complete)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_components(self) -> int:
+        return self._dsu.num_components
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def connected(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` are in the same component of the forest."""
+        return self._dsu.connected(u, v)
+
+    def components(self) -> List[Set[int]]:
+        """The node partition as a list of sets (sorted by minimum node)."""
+        return self._dsu.components()
+
+    def component_of(self, node: int) -> FrozenSet[int]:
+        """The component containing ``node``."""
+        root = self._dsu.find(node)
+        return frozenset(
+            other for other in range(self.num_nodes) if self._dsu.find(other) == root
+        )
+
+    def component_labels(self) -> List[int]:
+        return self._dsu.component_labels()
+
+    def partition_signature(self) -> FrozenSet[FrozenSet[int]]:
+        """A hashable form of the partition, convenient for comparisons."""
+        return frozenset(frozenset(component) for component in self.components())
+
+    def __iter__(self):
+        return iter(self.edges)
+
+    def __len__(self) -> int:
+        return len(self.edges)

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class.  Sketch-specific failures carry
+enough context (which sketch, which bucket configuration) to debug the
+probabilistic data structures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A component was constructed with invalid or inconsistent parameters."""
+
+
+class SketchError(ReproError):
+    """Base class for sketch-related errors."""
+
+
+class SketchFailureError(SketchError):
+    """A sketch query failed to recover a sample.
+
+    l0-samplers are probabilistic; with probability at most ``delta`` a
+    query on a non-zero vector returns no sample.  The connectivity
+    algorithm normally tolerates individual failures, but raises this
+    error if the overall computation cannot complete.
+    """
+
+
+class IncompatibleSketchError(SketchError, ValueError):
+    """Two sketches with different shapes or seeds were combined.
+
+    Linearity (``S(x) + S(y) = S(x + y)``) only holds for sketches built
+    with identical hash functions and dimensions.
+    """
+
+
+class StreamFormatError(ReproError, ValueError):
+    """A stream file or update sequence is malformed."""
+
+
+class InvalidStreamError(ReproError, ValueError):
+    """A stream violated the dynamic-graph-stream rules.
+
+    The semi-streaming model only allows inserting an edge that is absent
+    and deleting an edge that is present (Section 2.1 of the paper).
+    """
+
+
+class StorageError(ReproError):
+    """The simulated external-memory substrate was used incorrectly."""
+
+
+class ConnectivityError(ReproError):
+    """The connectivity computation could not produce an answer."""
+
+
+class GraphGenerationError(ReproError, ValueError):
+    """A graph or stream generator was asked for an impossible output."""

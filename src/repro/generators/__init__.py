@@ -1,0 +1,38 @@
+"""Graph and workload generators.
+
+The paper's evaluation uses two families of inputs: dense synthetic
+graphs from the Graph500 Kronecker generator (kron13 - kron18) and a
+handful of sparse real-world graphs from SNAP / NetworkRepository.
+This package regenerates both families -- the Kronecker graphs with the
+same R-MAT specification (at configurable, laptop-friendly scales) and
+the real-world graphs as synthetic stand-ins with matching size and
+degree skew (see DESIGN.md for the substitution rationale).
+"""
+
+from repro.generators.erdos_renyi import erdos_renyi_gnm, erdos_renyi_gnp
+from repro.generators.kronecker import KroneckerParameters, kronecker_graph
+from repro.generators.random_graphs import (
+    chung_lu_graph,
+    preferential_attachment_graph,
+    random_spanning_tree,
+)
+from repro.generators.datasets import (
+    Dataset,
+    DATASET_SPECS,
+    available_datasets,
+    load_dataset,
+)
+
+__all__ = [
+    "DATASET_SPECS",
+    "Dataset",
+    "KroneckerParameters",
+    "available_datasets",
+    "chung_lu_graph",
+    "erdos_renyi_gnm",
+    "erdos_renyi_gnp",
+    "kronecker_graph",
+    "load_dataset",
+    "preferential_attachment_graph",
+    "random_spanning_tree",
+]

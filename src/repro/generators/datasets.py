@@ -1,0 +1,186 @@
+"""The dataset registry: Table 10 workloads at reproducible scales.
+
+Each entry mirrors one row of Figure 10 in the paper.  The Kronecker
+entries use the Graph500 generator at a configurable scale factor
+(paper scale minus ``scale_reduction``), because the full kron17/kron18
+streams contain billions of updates -- far beyond what a pure-Python
+single-machine run can ingest in reasonable time.  The real-world
+datasets are replaced by synthetic graphs with the same shape (node
+count, edge count, heavy-tailed degrees), scaled by the same factor.
+
+The registry produces both the static graph and the insert/delete
+stream obtained through the paper's conversion procedure
+(:func:`repro.streaming.generator.graph_to_stream`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.exceptions import GraphGenerationError
+from repro.generators.erdos_renyi import erdos_renyi_gnm
+from repro.generators.kronecker import KroneckerParameters, kronecker_graph
+from repro.generators.random_graphs import chung_lu_graph, preferential_attachment_graph
+from repro.streaming.generator import StreamConversionSettings, graph_to_stream
+from repro.streaming.stream import GraphStream
+from repro.types import Edge
+
+#: Default number of scale steps to shrink the paper's kron graphs by.
+DEFAULT_SCALE_REDUCTION = 6
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one dataset in the registry."""
+
+    name: str
+    #: 'kronecker' or 'real-world-standin'.
+    family: str
+    #: Node count in the paper (for the EXPERIMENTS.md comparison).
+    paper_nodes: int
+    #: Edge count in the paper.
+    paper_edges: int
+    #: Stream length in the paper.
+    paper_stream_updates: int
+    #: Short description used in tables.
+    description: str = ""
+
+
+@dataclass
+class Dataset:
+    """A generated dataset: the static graph plus its update stream."""
+
+    spec: DatasetSpec
+    num_nodes: int
+    edges: List[Edge]
+    stream: GraphStream
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def num_stream_updates(self) -> int:
+        return len(self.stream)
+
+    def density(self) -> float:
+        """Fraction of all possible edges present in the final graph."""
+        slots = self.num_nodes * (self.num_nodes - 1) / 2
+        return self.num_edges / slots if slots else 0.0
+
+
+DATASET_SPECS: Dict[str, DatasetSpec] = {
+    "kron13": DatasetSpec(
+        "kron13", "kronecker", 2**13, int(1.7e7), int(1.8e7), "Graph500 scale-13 dense graph"
+    ),
+    "kron15": DatasetSpec(
+        "kron15", "kronecker", 2**15, int(2.7e8), int(2.8e8), "Graph500 scale-15 dense graph"
+    ),
+    "kron16": DatasetSpec(
+        "kron16", "kronecker", 2**16, int(1.1e9), int(1.1e9), "Graph500 scale-16 dense graph"
+    ),
+    "kron17": DatasetSpec(
+        "kron17", "kronecker", 2**17, int(4.3e9), int(4.5e9), "Graph500 scale-17 dense graph"
+    ),
+    "kron18": DatasetSpec(
+        "kron18", "kronecker", 2**18, int(1.7e10), int(1.8e10), "Graph500 scale-18 dense graph"
+    ),
+    "p2p-gnutella": DatasetSpec(
+        "p2p-gnutella", "real-world-standin", 63_000, 150_000, 290_000,
+        "Gnutella peer-to-peer network stand-in",
+    ),
+    "rec-amazon": DatasetSpec(
+        "rec-amazon", "real-world-standin", 92_000, 130_000, 250_000,
+        "Amazon co-purchase graph stand-in",
+    ),
+    "google-plus": DatasetSpec(
+        "google-plus", "real-world-standin", 110_000, 14_000_000, 27_000_000,
+        "Google Plus social network stand-in",
+    ),
+    "web-uk": DatasetSpec(
+        "web-uk", "real-world-standin", 130_000, 12_000_000, 23_000_000,
+        "UK web graph stand-in",
+    ),
+}
+
+
+def available_datasets() -> List[str]:
+    """Names accepted by :func:`load_dataset`."""
+    return sorted(DATASET_SPECS)
+
+
+def load_dataset(
+    name: str,
+    scale_reduction: int = DEFAULT_SCALE_REDUCTION,
+    seed: int = 0,
+    stream_settings: StreamConversionSettings | None = None,
+) -> Dataset:
+    """Generate a dataset (graph + stream) from the registry.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_datasets`.
+    scale_reduction:
+        How many powers of two to shrink the dataset by relative to the
+        paper (both node and edge counts); 0 reproduces the paper's
+        sizes, the default of 6 shrinks kron13 from 8192 to 128 nodes.
+    seed:
+        Seed for both graph generation and stream conversion.
+    stream_settings:
+        Overrides for the graph-to-stream conversion.
+    """
+    if name not in DATASET_SPECS:
+        raise GraphGenerationError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        )
+    if scale_reduction < 0:
+        raise GraphGenerationError("scale_reduction must be non-negative")
+    spec = DATASET_SPECS[name]
+    settings = stream_settings or StreamConversionSettings(
+        seed=seed, disconnect_nodes=min(8, max(2, spec.paper_nodes >> (scale_reduction + 4)))
+    )
+
+    if spec.family == "kronecker":
+        scale = int(math.log2(spec.paper_nodes)) - scale_reduction
+        if scale < 3:
+            raise GraphGenerationError(
+                f"scale_reduction={scale_reduction} shrinks {name} below 8 nodes"
+            )
+        params = KroneckerParameters(scale=scale, edge_fraction=0.5, seed=seed)
+        num_nodes, edges = kronecker_graph(params)
+    else:
+        shrink = 1 << scale_reduction
+        num_nodes = max(64, spec.paper_nodes // shrink)
+        num_edges = max(num_nodes, spec.paper_edges // shrink)
+        num_nodes, edges = _real_world_standin(name, num_nodes, num_edges, seed)
+
+    stream = graph_to_stream(num_nodes, edges, settings=settings, name=name)
+    return Dataset(spec=spec, num_nodes=num_nodes, edges=edges, stream=stream)
+
+
+def _real_world_standin(
+    name: str, num_nodes: int, num_edges: int, seed: int
+) -> Tuple[int, List[Edge]]:
+    """Pick a generator whose structure matches the named dataset."""
+    generators: Dict[str, Callable[[], Tuple[int, List[Edge]]]] = {
+        # Peer-to-peer: near-uniform sparse random graph.
+        "p2p-gnutella": lambda: erdos_renyi_gnm(num_nodes, num_edges, seed=seed),
+        # Co-purchase graph: sparse, low average degree, mild skew.
+        "rec-amazon": lambda: preferential_attachment_graph(
+            num_nodes, edges_per_node=max(1, num_edges // max(num_nodes, 1)), seed=seed
+        ),
+        # Social network: heavy-tailed degrees, denser.
+        "google-plus": lambda: chung_lu_graph(num_nodes, num_edges, exponent=2.2, seed=seed),
+        # Web graph: heavy-tailed, denser still.
+        "web-uk": lambda: chung_lu_graph(num_nodes, num_edges, exponent=2.0, seed=seed),
+    }
+    if name not in generators:
+        raise GraphGenerationError(f"no stand-in generator registered for {name!r}")
+    return generators[name]()

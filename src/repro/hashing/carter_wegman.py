@@ -1,0 +1,90 @@
+"""Carter--Wegman 2-wise independent hash family modulo ``2^61 - 1``.
+
+The analysis of both l0-samplers (Lemma 1 / Lemma 2 in the paper, after
+Cormode & Firmani) assumes hash functions drawn from a 2-wise
+independent family.  The classical construction is
+
+    h(x) = ((a * x + b) mod p) mod m,     a in [1, p), b in [0, p)
+
+with ``p`` prime and larger than the key universe.  We use the Mersenne
+prime ``p = 2^61 - 1`` which admits fast modular reduction and covers
+every vector index that arises for graphs with up to ~1.5 billion nodes;
+larger universes transparently fall back to Python integers.
+
+The general-purpose l0-sampler baseline uses this family directly, and
+the test-suite uses it to check pairwise-independence properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+MERSENNE_PRIME_61 = (1 << 61) - 1
+
+
+def _mod_mersenne61(value: int) -> int:
+    """Reduce a non-negative integer modulo ``2^61 - 1`` without division."""
+    p = MERSENNE_PRIME_61
+    while value > p:
+        value = (value & p) + (value >> 61)
+    if value == p:
+        return 0
+    return value
+
+
+@dataclass(frozen=True)
+class CarterWegmanHash:
+    """A single member ``h(x) = ((a x + b) mod p) mod m`` of the CW family.
+
+    Parameters
+    ----------
+    a, b:
+        Coefficients; ``a`` must be in ``[1, p)`` and ``b`` in ``[0, p)``.
+    output_range:
+        ``m``, the size of the output range.  ``0`` means "no final
+        reduction": the raw value modulo ``p`` is returned.
+    """
+
+    a: int
+    b: int
+    output_range: int = 0
+
+    def __post_init__(self) -> None:
+        p = MERSENNE_PRIME_61
+        if not 1 <= self.a < p:
+            raise ValueError(f"coefficient a={self.a} outside [1, p)")
+        if not 0 <= self.b < p:
+            raise ValueError(f"coefficient b={self.b} outside [0, p)")
+        if self.output_range < 0:
+            raise ValueError("output_range must be non-negative")
+
+    @classmethod
+    def random(cls, rng: np.random.Generator, output_range: int = 0) -> "CarterWegmanHash":
+        """Draw a uniformly random member of the family."""
+        p = MERSENNE_PRIME_61
+        a = int(rng.integers(1, p))
+        b = int(rng.integers(0, p))
+        return cls(a=a, b=b, output_range=output_range)
+
+    def __call__(self, key: int) -> int:
+        if key < 0:
+            raise ValueError("keys must be non-negative")
+        value = _mod_mersenne61(self.a * key + self.b)
+        if self.output_range:
+            return value % self.output_range
+        return value
+
+    def hash_array(self, keys: np.ndarray) -> np.ndarray:
+        """Hash an array of keys.
+
+        Keys must fit in 64 bits.  The multiplication is carried out with
+        Python integers via ``object`` dtype to avoid overflow; this path
+        exists for completeness and testing -- the performance-critical
+        sketch code uses :mod:`repro.hashing.mixers` instead.
+        """
+        out = np.empty(len(keys), dtype=np.uint64)
+        for i, key in enumerate(keys):
+            out[i] = self(int(key))
+        return out

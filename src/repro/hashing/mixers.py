@@ -1,0 +1,137 @@
+"""Vectorised 64-bit mixing hashes for the batched sketch-update path.
+
+The CubeSketch update loop hashes every vector index once per column:
+with millions of stream updates, scalar Python hashing would dominate
+runtime.  These functions implement well-known 64-bit finalisers
+(splitmix64 and the xxHash64 avalanche) both for scalars and for numpy
+``uint64`` arrays, so a whole batch of updates is hashed with a handful
+of vectorised instructions.
+
+A seeded hash is obtained by mixing the seed into the key before the
+finaliser; distinct seeds produce effectively independent functions,
+which stands in for the 2-wise-independent family the analysis assumes
+(the same substitution the paper's implementation makes by using
+xxHash).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+MASK64 = 0xFFFFFFFFFFFFFFFF
+
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+_SPLITMIX_MUL1 = 0xBF58476D1CE4E5B9
+_SPLITMIX_MUL2 = 0x94D049BB133111EB
+
+_XX_PRIME_2 = 0xC2B2AE3D27D4EB4F
+_XX_PRIME_3 = 0x165667B19E3779F9
+
+
+def splitmix64(value: int) -> int:
+    """The splitmix64 finaliser for a scalar 64-bit integer."""
+    value = (value + _SPLITMIX_GAMMA) & MASK64
+    value ^= value >> 30
+    value = (value * _SPLITMIX_MUL1) & MASK64
+    value ^= value >> 27
+    value = (value * _SPLITMIX_MUL2) & MASK64
+    value ^= value >> 31
+    return value
+
+
+def xxhash_avalanche(value: int) -> int:
+    """The xxHash64 avalanche finaliser for a scalar 64-bit integer."""
+    value &= MASK64
+    value ^= value >> 33
+    value = (value * _XX_PRIME_2) & MASK64
+    value ^= value >> 29
+    value = (value * _XX_PRIME_3) & MASK64
+    value ^= value >> 32
+    return value
+
+
+def seeded_hash64(value: int, seed: int) -> int:
+    """Hash a scalar integer under a given seed.
+
+    The seed is itself diffused through splitmix64 before being combined
+    with the key so that nearby seeds (0, 1, 2, ...) give unrelated
+    functions.
+    """
+    mixed_seed = splitmix64(seed & MASK64)
+    return xxhash_avalanche(splitmix64((value ^ mixed_seed) & MASK64))
+
+
+def splitmix64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 over a ``uint64`` array (returns a new array)."""
+    v = values.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        v += np.uint64(_SPLITMIX_GAMMA)
+        v ^= v >> np.uint64(30)
+        v *= np.uint64(_SPLITMIX_MUL1)
+        v ^= v >> np.uint64(27)
+        v *= np.uint64(_SPLITMIX_MUL2)
+        v ^= v >> np.uint64(31)
+    return v
+
+
+def xxhash_avalanche_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised xxHash64 avalanche over a ``uint64`` array."""
+    v = values.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        v ^= v >> np.uint64(33)
+        v *= np.uint64(_XX_PRIME_2)
+        v ^= v >> np.uint64(29)
+        v *= np.uint64(_XX_PRIME_3)
+        v ^= v >> np.uint64(32)
+    return v
+
+
+def seeded_hash64_array(values: np.ndarray, seed: int) -> np.ndarray:
+    """Vectorised seeded hash matching :func:`seeded_hash64` elementwise."""
+    mixed_seed = np.uint64(splitmix64(seed & MASK64))
+    v = values.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        v ^= mixed_seed
+    return xxhash_avalanche_array(splitmix64_array(v))
+
+
+def hash_to_depth(hashes: np.ndarray, max_depth: int) -> np.ndarray:
+    """Map hash values to geometric bucket depths.
+
+    A vector index belongs to bucket row ``r`` when the low ``r`` bits of
+    its membership hash are all zero (``hash == 0 (mod 2^r)``), matching
+    line 3 of the paper's update pseudocode.  The returned *depth* is the
+    number of rows the index belongs to, i.e. ``1 + (number of trailing
+    zero bits)``, clamped to ``max_depth``.  Row 0 receives every index.
+
+    Parameters
+    ----------
+    hashes:
+        ``uint64`` array of membership hash values.
+    max_depth:
+        Total number of bucket rows (``ceil(log2(n)) + 1``).
+    """
+    if max_depth < 1:
+        raise ValueError("max_depth must be at least 1")
+    h = hashes.astype(np.uint64, copy=False)
+    depths = np.ones(h.shape, dtype=np.int64)
+    # Count trailing zeros by repeatedly testing low bits; max_depth is
+    # O(log n) (< 64 for any realistic vector) so this loop is short and
+    # each iteration is a fully vectorised mask operation.
+    remaining = h.copy()
+    alive = np.ones(h.shape, dtype=bool)
+    for _ in range(max_depth - 1):
+        alive &= (remaining & np.uint64(1)) == 0
+        if not alive.any():
+            break
+        depths[alive] += 1
+        remaining >>= np.uint64(1)
+    return depths
+
+
+def trailing_zeros64(value: int) -> int:
+    """Number of trailing zero bits of a 64-bit value (64 for zero)."""
+    value &= MASK64
+    if value == 0:
+        return 64
+    return (value & -value).bit_length() - 1

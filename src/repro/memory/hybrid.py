@@ -1,0 +1,222 @@
+"""RAM budget + block device glued into one hybrid memory.
+
+:class:`HybridMemory` is the substrate the rest of the system stores
+its large objects through.  Payloads are kept in a byte-budgeted LRU
+cache (the RAM tier); when the cache overflows, payloads spill to the
+simulated :class:`~repro.memory.block_device.BlockDevice` and later
+reads charge block I/Os and modelled latency.  With an unlimited RAM
+budget the device is never touched, which is the "everything fits in
+RAM" configuration of the experiments.
+
+:class:`SketchStore` layers object (de)serialisation on top, so the
+connectivity engine can address node sketches by node id without caring
+where they currently live.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Hashable, Iterator, Optional, Tuple, TypeVar
+
+from repro.exceptions import StorageError
+from repro.memory.block_device import DEFAULT_BLOCK_SIZE, BlockDevice, DeviceProfile
+from repro.memory.cache import LRUCache
+from repro.memory.metrics import IOStats
+
+T = TypeVar("T")
+
+
+class HybridMemory:
+    """A keyed byte store with a RAM budget backed by a simulated disk.
+
+    Parameters
+    ----------
+    ram_bytes:
+        RAM budget for cached payloads.  ``None`` means unlimited (pure
+        in-RAM operation, no device traffic ever).
+    block_size:
+        Device block size ``B``.
+    profile:
+        Latency model of the backing device.
+    """
+
+    def __init__(
+        self,
+        ram_bytes: Optional[int] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        profile: Optional[DeviceProfile] = None,
+    ) -> None:
+        if ram_bytes is not None and ram_bytes < 0:
+            raise StorageError("ram_bytes must be non-negative or None")
+        self.ram_bytes = ram_bytes
+        self.stats = IOStats()
+        self.device = BlockDevice(block_size=block_size, profile=profile, stats=self.stats)
+        capacity = ram_bytes if ram_bytes is not None else (1 << 62)
+        self._cache = LRUCache(capacity, stats=self.stats, on_evict=self._write_back)
+        self._dirty: set = set()
+        self._allocations: Dict[Hashable, Tuple[int, int, int]] = {}
+        self._next_block = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_unbounded(self) -> bool:
+        """True when no RAM limit is in force (nothing ever spills)."""
+        return self.ram_bytes is None
+
+    @property
+    def block_size(self) -> int:
+        return self.device.block_size
+
+    def store(self, key: Hashable, payload: bytes) -> None:
+        """Store (or replace) the payload for ``key``."""
+        self._dirty.add(key)
+        self._cache.put(key, payload)
+
+    def load(self, key: Hashable) -> bytes:
+        """Load the payload for ``key``, reading from disk on a cache miss."""
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if key not in self._allocations:
+            raise KeyError(key)
+        start, num_blocks, length = self._allocations[key]
+        payload = self.device.read_blob(start, num_blocks)[:length]
+        self._cache.put(key, payload)
+        return payload
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._cache or key in self._allocations
+
+    def keys(self) -> Iterator[Hashable]:
+        seen = set()
+        for key, _ in self._cache.items():
+            seen.add(key)
+            yield key
+        for key in self._allocations:
+            if key not in seen:
+                yield key
+
+    def flush(self) -> None:
+        """Write every dirty cached payload back to the device."""
+        for key, payload in self._cache.items():
+            if key in self._dirty:
+                self._persist(key, payload)
+
+    # ------------------------------------------------------------------
+    # explicit accounting hooks for components (e.g. the gutter tree)
+    # that model their disk traffic without storing through this object
+    # ------------------------------------------------------------------
+    def charge_write(self, nbytes: int, sequential: bool = True) -> None:
+        """Charge the cost of writing ``nbytes`` without storing them."""
+        self._charge(nbytes, is_write=True, sequential=sequential)
+
+    def charge_read(self, nbytes: int, sequential: bool = True) -> None:
+        """Charge the cost of reading ``nbytes`` without loading them."""
+        self._charge(nbytes, is_write=False, sequential=sequential)
+
+    def _charge(self, nbytes: int, is_write: bool, sequential: bool) -> None:
+        if nbytes <= 0:
+            return
+        num_blocks = -(-nbytes // self.block_size)
+        profile = self.device.profile
+        if sequential:
+            self.stats.sequential_accesses += num_blocks
+            self.stats.modelled_seconds += num_blocks * profile.sequential_seconds_per_block
+        else:
+            self.stats.random_accesses += num_blocks
+            self.stats.modelled_seconds += num_blocks * profile.random_seconds_per_block
+        if is_write:
+            self.stats.block_writes += num_blocks
+            self.stats.bytes_written += nbytes
+        else:
+            self.stats.block_reads += num_blocks
+            self.stats.bytes_read += nbytes
+
+    # ------------------------------------------------------------------
+    def _write_back(self, key: Hashable, payload: bytes) -> None:
+        if key in self._dirty:
+            self._persist(key, payload)
+
+    def _persist(self, key: Hashable, payload: bytes) -> None:
+        num_blocks = max(1, -(-len(payload) // self.block_size))
+        allocation = self._allocations.get(key)
+        if allocation is None or allocation[1] < num_blocks:
+            start = self._next_block
+            self._next_block += num_blocks
+        else:
+            start = allocation[0]
+        self.device.write_blob(start, payload)
+        self._allocations[key] = (start, num_blocks, len(payload))
+        self._dirty.discard(key)
+
+    @property
+    def cached_bytes(self) -> int:
+        return self._cache.bytes_used
+
+    @property
+    def device_bytes(self) -> int:
+        return self.device.bytes_in_use
+
+    def __repr__(self) -> str:
+        limit = "unbounded" if self.is_unbounded else f"{self.ram_bytes}B"
+        return f"HybridMemory(ram={limit}, block_size={self.block_size})"
+
+
+class SketchStore(Generic[T]):
+    """Keyed store of (de)serialisable objects on top of a HybridMemory.
+
+    The connectivity engine keeps one entry per graph node.  In the
+    unbounded-RAM configuration objects are kept live in a dict and the
+    hybrid memory is bypassed entirely; with a RAM budget, objects are
+    serialised into the hybrid memory so that access patterns incur the
+    same I/O a real out-of-core run would.
+    """
+
+    def __init__(
+        self,
+        serialize: Callable[[T], bytes],
+        deserialize: Callable[[bytes], T],
+        memory: Optional[HybridMemory] = None,
+    ) -> None:
+        self._serialize = serialize
+        self._deserialize = deserialize
+        self.memory = memory
+        self._live: Dict[Hashable, T] = {}
+
+    @property
+    def uses_external_memory(self) -> bool:
+        return self.memory is not None and not self.memory.is_unbounded
+
+    def put(self, key: Hashable, obj: T) -> None:
+        if self.uses_external_memory:
+            assert self.memory is not None
+            self.memory.store(key, self._serialize(obj))
+        else:
+            self._live[key] = obj
+
+    def get(self, key: Hashable) -> T:
+        if self.uses_external_memory:
+            assert self.memory is not None
+            return self._deserialize(self.memory.load(key))
+        return self._live[key]
+
+    def __contains__(self, key: Hashable) -> bool:
+        if self.uses_external_memory:
+            assert self.memory is not None
+            return key in self.memory
+        return key in self._live
+
+    def keys(self) -> Iterator[Hashable]:
+        if self.uses_external_memory:
+            assert self.memory is not None
+            yield from self.memory.keys()
+        else:
+            yield from self._live.keys()
+
+    def flush(self) -> None:
+        if self.uses_external_memory:
+            assert self.memory is not None
+            self.memory.flush()
+
+    @property
+    def stats(self) -> Optional[IOStats]:
+        return self.memory.stats if self.memory is not None else None

@@ -1,0 +1,79 @@
+"""I/O statistics shared by the external-memory components."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Counters for block-device traffic plus a modelled elapsed time.
+
+    ``modelled_seconds`` accumulates the latency model of the device
+    that owns these counters; it is the number every "on-SSD" figure in
+    the benchmark harness reports, so results do not depend on the host
+    machine's actual storage.
+    """
+
+    block_reads: int = 0
+    block_writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    sequential_accesses: int = 0
+    random_accesses: int = 0
+    modelled_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def total_ios(self) -> int:
+        return self.block_reads + self.block_writes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def merged_with(self, other: "IOStats") -> "IOStats":
+        """A new IOStats summing this one and ``other``."""
+        return IOStats(
+            block_reads=self.block_reads + other.block_reads,
+            block_writes=self.block_writes + other.block_writes,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+            sequential_accesses=self.sequential_accesses + other.sequential_accesses,
+            random_accesses=self.random_accesses + other.random_accesses,
+            modelled_seconds=self.modelled_seconds + other.modelled_seconds,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+        )
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        self.block_reads = 0
+        self.block_writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.sequential_accesses = 0
+        self.random_accesses = 0
+        self.modelled_seconds = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, convenient for result tables."""
+        return {
+            "block_reads": self.block_reads,
+            "block_writes": self.block_writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "sequential_accesses": self.sequential_accesses,
+            "random_accesses": self.random_accesses,
+            "modelled_seconds": self.modelled_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }

@@ -1,0 +1,24 @@
+"""Parallel stream ingestion: Graph Workers and the thread-scaling model.
+
+GraphZeppelin's ingestion parallelises at two levels (Section 5.1):
+*batch-level* parallelism (each batch is bound for a single node
+sketch, so different batches can be applied concurrently) and
+*sketch-level* parallelism (the ``log V`` CubeSketches inside one node
+sketch are independent).
+
+Python threads cannot exhibit the paper's 26x speedup because of the
+global interpreter lock, so this package provides both:
+
+* :class:`repro.parallel.graph_workers.GraphWorkerPool` -- a real
+  thread pool applying batches concurrently (numpy kernels release the
+  GIL for part of the work, so a modest real speedup is measurable),
+* :class:`repro.parallel.cost_model.ThreadScalingModel` -- a calibrated
+  work-span/contention model that reproduces the *shape* of Figure 14
+  (near-linear scaling that flattens as the memory bandwidth and
+  work-queue contention limits are approached).
+"""
+
+from repro.parallel.cost_model import ThreadScalingModel
+from repro.parallel.graph_workers import GraphWorkerPool, ParallelIngestor
+
+__all__ = ["GraphWorkerPool", "ParallelIngestor", "ThreadScalingModel"]

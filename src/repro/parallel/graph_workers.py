@@ -1,0 +1,167 @@
+"""Graph Workers: a thread pool that applies update batches to node sketches.
+
+The pool mirrors the paper's ingestion pipeline: a producer (the
+buffering system) pushes :class:`~repro.buffering.base.Batch` objects
+into the bounded work queue, and ``num_workers`` threads pop batches
+and apply them.  Batches bound for the same node are serialised with a
+per-node lock, exactly like the paper's critical section around the
+node-sketch merge; batches for different nodes proceed concurrently.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.buffering.base import Batch
+from repro.buffering.work_queue import WorkQueue
+from repro.core.graph_zeppelin import GraphZeppelin
+
+#: Signature of the function a worker applies to each batch.
+BatchApplier = Callable[[Batch], None]
+
+
+class GraphWorkerPool:
+    """A pool of worker threads consuming batches from a work queue."""
+
+    _SHUTDOWN_TIMEOUT_SECONDS = 0.05
+
+    def __init__(
+        self,
+        apply_batch: BatchApplier,
+        num_workers: int = 4,
+        work_queue: Optional[WorkQueue] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        self.num_workers = num_workers
+        self.apply_batch = apply_batch
+        self.work_queue = (
+            work_queue if work_queue is not None else WorkQueue(num_workers=num_workers)
+        )
+        self._node_locks: Dict[int, threading.Lock] = {}
+        self._node_locks_guard = threading.Lock()
+        self._stop = threading.Event()
+        self._threads = []
+        self._batches_processed = 0
+        self._updates_processed = 0
+        self._counter_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the worker threads (idempotent)."""
+        if self._threads:
+            return
+        self._stop.clear()
+        for worker_id in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"graph-worker-{worker_id}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def submit(self, batch: Batch) -> None:
+        """Enqueue one batch for processing."""
+        self.work_queue.put(batch)
+
+    def submit_all(self, batches: Iterable[Batch]) -> None:
+        for batch in batches:
+            self.submit(batch)
+
+    def join(self) -> None:
+        """Wait until every submitted batch has been processed, then stop."""
+        while not self.work_queue.is_empty:
+            self._stop.wait(self._SHUTDOWN_TIMEOUT_SECONDS)
+        self._stop.set()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+
+    # ------------------------------------------------------------------
+    @property
+    def batches_processed(self) -> int:
+        return self._batches_processed
+
+    @property
+    def updates_processed(self) -> int:
+        return self._updates_processed
+
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                batch = self.work_queue.get(block=True, timeout=self._SHUTDOWN_TIMEOUT_SECONDS)
+            except queue.Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            lock = self._lock_for(batch.node)
+            with lock:
+                self.apply_batch(batch)
+            with self._counter_lock:
+                self._batches_processed += 1
+                self._updates_processed += len(batch)
+
+    def _lock_for(self, node: int) -> threading.Lock:
+        with self._node_locks_guard:
+            lock = self._node_locks.get(node)
+            if lock is None:
+                lock = threading.Lock()
+                self._node_locks[node] = lock
+            return lock
+
+
+class ParallelIngestor:
+    """Drives a GraphZeppelin instance with a Graph Worker pool.
+
+    The single-threaded engine applies batches inline as the buffering
+    layer emits them; this wrapper reroutes emitted batches through a
+    :class:`GraphWorkerPool` instead, so multiple node sketches are
+    updated concurrently.  Use it as a context manager::
+
+        with ParallelIngestor(gz, num_workers=8) as ingestor:
+            for update in stream:
+                ingestor.edge_update(update.u, update.v)
+        forest = gz.list_spanning_forest()
+    """
+
+    def __init__(self, engine: GraphZeppelin, num_workers: int = 4) -> None:
+        self.engine = engine
+        self.pool = GraphWorkerPool(
+            apply_batch=engine._apply_batch, num_workers=num_workers
+        )
+
+    def __enter__(self) -> "ParallelIngestor":
+        self.pool.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish()
+
+    # ------------------------------------------------------------------
+    def edge_update(self, u: int, v: int) -> None:
+        """Buffer one update, dispatching any emitted batches to workers."""
+        buffering = self.engine.buffering
+        self.engine._updates_processed += 1
+        if buffering is None:
+            self.pool.submit(Batch(node=u, neighbors=[v]))
+            self.pool.submit(Batch(node=v, neighbors=[u]))
+            return
+        for batch in buffering.insert_edge(u, v):
+            self.pool.submit(batch)
+
+    def ingest(self, updates: Iterable) -> int:
+        count = 0
+        for update in updates:
+            self.edge_update(update.u, update.v)
+            count += 1
+        return count
+
+    def finish(self) -> None:
+        """Flush remaining buffered updates through the pool and stop it."""
+        buffering = self.engine.buffering
+        if buffering is not None:
+            for batch in buffering.flush_all():
+                self.pool.submit(batch)
+        self.pool.join()

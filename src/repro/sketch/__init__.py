@@ -1,0 +1,43 @@
+"""l0-sampling sketches.
+
+Two samplers are provided:
+
+* :class:`repro.sketch.cubesketch.CubeSketch` -- the paper's
+  contribution: an l0-sampler specialised to vectors over the integers
+  mod 2 whose buckets hold a single XOR accumulator and a small XOR
+  checksum.  Updates are a few XORs; there is no modular arithmetic.
+* :class:`repro.sketch.standard_l0.StandardL0Sketch` -- the
+  general-purpose sampler (after Cormode & Firmani) whose buckets hold
+  three wide integers and whose checksum requires modular
+  exponentiation.  It is the baseline the paper compares against in
+  Figures 4 and 5.
+
+Both implement the :class:`repro.sketch.sketch_base.L0Sampler` interface
+(update / merge / query / size accounting) so the connectivity layer and
+the benchmark harness can swap between them.
+"""
+
+from repro.sketch.bucket import CubeBucket, StandardBucket
+from repro.sketch.cubesketch import CubeSketch
+from repro.sketch.sketch_base import L0Sampler, SampleOutcome, SampleResult
+from repro.sketch.sizes import (
+    cubesketch_num_buckets,
+    cubesketch_size_bytes,
+    standard_l0_num_buckets,
+    standard_l0_size_bytes,
+)
+from repro.sketch.standard_l0 import StandardL0Sketch
+
+__all__ = [
+    "CubeBucket",
+    "CubeSketch",
+    "L0Sampler",
+    "SampleOutcome",
+    "SampleResult",
+    "StandardBucket",
+    "StandardL0Sketch",
+    "cubesketch_num_buckets",
+    "cubesketch_size_bytes",
+    "standard_l0_num_buckets",
+    "standard_l0_size_bytes",
+]

@@ -1,0 +1,55 @@
+"""Bucket value objects for the two l0-samplers.
+
+The performance-critical sketches store their buckets in flat numpy
+arrays; these dataclasses are the *logical* view of a single bucket,
+used by queries, tests, and debugging output.  They mirror the paper's
+notation:
+
+* a CubeSketch bucket holds ``alpha`` (XOR of inserted indices) and
+  ``gamma`` (XOR of their checksums) -- Figure 6,
+* a standard-l0 bucket holds ``a`` (sum of ``index * delta``), ``b``
+  (sum of ``delta``) and ``c`` (sum of ``delta * r^index mod p``) --
+  Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CubeBucket:
+    """Logical contents of one CubeSketch bucket."""
+
+    alpha: int
+    gamma: int
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no update has touched the bucket (or all cancelled)."""
+        return self.alpha == 0 and self.gamma == 0
+
+    def toggled(self, index: int, checksum: int) -> "CubeBucket":
+        """The bucket after XOR-ing in one update (pure helper for tests)."""
+        return CubeBucket(self.alpha ^ index, self.gamma ^ checksum)
+
+
+@dataclass(frozen=True, slots=True)
+class StandardBucket:
+    """Logical contents of one general-purpose l0-sampler bucket."""
+
+    a: int
+    b: int
+    c: int
+
+    @property
+    def is_empty(self) -> bool:
+        return self.a == 0 and self.b == 0 and self.c == 0
+
+    def applied(self, index: int, delta: int, checksum_term: int, prime: int) -> "StandardBucket":
+        """The bucket after applying one update (pure helper for tests)."""
+        return StandardBucket(
+            a=self.a + index * delta,
+            b=self.b + delta,
+            c=(self.c + delta * checksum_term) % prime,
+        )

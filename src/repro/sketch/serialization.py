@@ -1,0 +1,83 @@
+"""Serialisation of sketches to and from bytes.
+
+GraphZeppelin stores node sketches contiguously on disk so a node
+group's sketches can be fetched with a few sequential block reads
+(Section 4.1).  The external-memory substrate in :mod:`repro.memory`
+works on byte blobs, so sketches need a compact, deterministic binary
+form.  The format is:
+
+``header (5 x uint64 little-endian): magic, vector_length, rows, cols, seed``
+followed by the raw ``alpha`` array (uint64) and ``gamma`` array
+(uint64), both in C order.
+
+Only :class:`~repro.sketch.cubesketch.CubeSketch` round-trips through
+this format; the general-purpose sampler holds unbounded Python
+integers and exists only as an in-memory baseline.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.exceptions import StreamFormatError
+from repro.sketch.cubesketch import CubeSketch
+
+#: Magic number identifying a serialised CubeSketch ("CUBE" + version 1).
+CUBESKETCH_MAGIC = 0x43554245_00000001
+
+_HEADER_STRUCT = struct.Struct("<5Q")
+
+
+def cubesketch_to_bytes(sketch: CubeSketch) -> bytes:
+    """Serialise a CubeSketch to a compact byte string."""
+    alpha, gamma = sketch.raw_arrays()
+    header = _HEADER_STRUCT.pack(
+        CUBESKETCH_MAGIC,
+        sketch.vector_length,
+        sketch.num_rows,
+        sketch.num_columns,
+        sketch.seed,
+    )
+    return header + alpha.tobytes(order="C") + gamma.astype(np.uint64).tobytes(order="C")
+
+
+def cubesketch_from_bytes(payload: bytes, delta: float = 0.01) -> CubeSketch:
+    """Reconstruct a CubeSketch previously produced by
+    :func:`cubesketch_to_bytes`.
+
+    The failure probability ``delta`` is not stored (it is implied by the
+    column count); passing it restores the original attribute for
+    display purposes only.
+    """
+    if len(payload) < _HEADER_STRUCT.size:
+        raise StreamFormatError("payload too short to contain a sketch header")
+    magic, vector_length, rows, cols, seed = _HEADER_STRUCT.unpack_from(payload)
+    if magic != CUBESKETCH_MAGIC:
+        raise StreamFormatError(f"bad sketch magic {magic:#x}")
+
+    expected = _HEADER_STRUCT.size + 2 * rows * cols * 8
+    if len(payload) != expected:
+        raise StreamFormatError(
+            f"payload length {len(payload)} does not match expected {expected}"
+        )
+
+    body = np.frombuffer(payload, dtype=np.uint64, offset=_HEADER_STRUCT.size)
+    alpha = body[: rows * cols].reshape(rows, cols)
+    gamma = body[rows * cols :].reshape(rows, cols)
+
+    sketch = CubeSketch(
+        int(vector_length),
+        delta=delta,
+        seed=int(seed),
+        num_rows=int(rows),
+        num_columns=int(cols),
+    )
+    sketch.load_raw_arrays(alpha, gamma)
+    return sketch
+
+
+def serialized_size_bytes(sketch: CubeSketch) -> int:
+    """Exact byte length :func:`cubesketch_to_bytes` will produce."""
+    return _HEADER_STRUCT.size + 2 * sketch.num_rows * sketch.num_columns * 8

@@ -1,0 +1,36 @@
+"""Dynamic graph streams: types, conversion, validation and file I/O.
+
+A dynamic graph stream is a sequence of edge insertions and deletions
+that defines a graph (Section 2.1 of the paper).  This package provides
+
+* :class:`repro.streaming.stream.GraphStream` -- an in-memory stream
+  with its metadata (node count, final edge set size),
+* :func:`repro.streaming.generator.graph_to_stream` -- the paper's
+  procedure for turning a static graph into a randomised
+  insert/delete stream (Section 6.1, guarantees i-iv),
+* :class:`repro.streaming.validation.StreamValidator` -- checks that a
+  stream respects the model's legality rules,
+* :mod:`repro.streaming.io` -- text and binary stream file formats.
+"""
+
+from repro.streaming.generator import StreamConversionSettings, graph_to_stream
+from repro.streaming.stream import GraphStream
+from repro.streaming.validation import StreamValidator, validate_stream
+from repro.streaming.io import (
+    read_stream_binary,
+    read_stream_text,
+    write_stream_binary,
+    write_stream_text,
+)
+
+__all__ = [
+    "GraphStream",
+    "StreamConversionSettings",
+    "StreamValidator",
+    "graph_to_stream",
+    "read_stream_binary",
+    "read_stream_text",
+    "validate_stream",
+    "write_stream_binary",
+    "write_stream_text",
+]

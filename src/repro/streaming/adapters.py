@@ -1,0 +1,114 @@
+"""Adapters between this library's graphs/streams and common ecosystems.
+
+A downstream user rarely starts from an edge list: graphs usually live
+in networkx objects, scipy sparse matrices, or plain files.  These
+helpers convert in both directions without making the core library
+depend on those packages (imports happen lazily inside the functions).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.spanning_forest import SpanningForest
+from repro.exceptions import GraphGenerationError
+from repro.streaming.generator import StreamConversionSettings, graph_to_stream
+from repro.streaming.stream import GraphStream
+from repro.types import Edge, canonical_edge
+
+
+def edges_from_networkx(graph) -> Tuple[int, List[Edge], dict]:
+    """Extract ``(num_nodes, edges, node_to_id)`` from a networkx graph.
+
+    Node labels may be arbitrary hashables; they are mapped to dense
+    integer ids in sorted-by-insertion order.  Self loops are dropped
+    (the streaming model only covers simple graphs) and parallel edges
+    collapse.
+    """
+    nodes = list(graph.nodes())
+    node_to_id = {node: position for position, node in enumerate(nodes)}
+    edges = []
+    seen = set()
+    for u, v in graph.edges():
+        if u == v:
+            continue
+        edge = canonical_edge(node_to_id[u], node_to_id[v])
+        if edge not in seen:
+            seen.add(edge)
+            edges.append(edge)
+    return len(nodes), edges, node_to_id
+
+
+def stream_from_networkx(
+    graph,
+    settings: Optional[StreamConversionSettings] = None,
+    name: str = "networkx-stream",
+) -> GraphStream:
+    """Convert a networkx graph into a dynamic insert/delete stream."""
+    num_nodes, edges, _ = edges_from_networkx(graph)
+    if num_nodes < 2:
+        raise GraphGenerationError("a stream needs a graph with at least two nodes")
+    return graph_to_stream(num_nodes, edges, settings=settings, name=name)
+
+
+def forest_to_networkx(forest: SpanningForest):
+    """Convert a :class:`SpanningForest` into a networkx graph."""
+    import networkx as nx
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(forest.num_nodes))
+    graph.add_edges_from(forest.edges)
+    return graph
+
+
+def edges_from_scipy_sparse(matrix) -> Tuple[int, List[Edge]]:
+    """Extract ``(num_nodes, edges)`` from a (square) scipy sparse matrix.
+
+    Any nonzero entry ``(i, j)`` with ``i != j`` contributes the
+    undirected edge ``{i, j}``; the matrix does not need to be symmetric.
+    """
+    coo = matrix.tocoo()
+    if coo.shape[0] != coo.shape[1]:
+        raise GraphGenerationError("adjacency matrix must be square")
+    num_nodes = int(coo.shape[0])
+    seen = set()
+    edges: List[Edge] = []
+    for i, j, value in zip(coo.row.tolist(), coo.col.tolist(), coo.data.tolist()):
+        if i == j or value == 0:
+            continue
+        edge = canonical_edge(int(i), int(j))
+        if edge not in seen:
+            seen.add(edge)
+            edges.append(edge)
+    return num_nodes, edges
+
+
+def stream_from_scipy_sparse(
+    matrix,
+    settings: Optional[StreamConversionSettings] = None,
+    name: str = "scipy-stream",
+) -> GraphStream:
+    """Convert a scipy sparse adjacency matrix into a dynamic stream."""
+    num_nodes, edges = edges_from_scipy_sparse(matrix)
+    if num_nodes < 2:
+        raise GraphGenerationError("a stream needs a graph with at least two nodes")
+    return graph_to_stream(num_nodes, edges, settings=settings, name=name)
+
+
+def stream_from_edge_list(
+    num_nodes: int,
+    pairs: Iterable[Tuple[int, int]],
+    settings: Optional[StreamConversionSettings] = None,
+    name: str = "edge-list-stream",
+) -> GraphStream:
+    """Convert a plain iterable of endpoint pairs into a dynamic stream."""
+    edges = []
+    seen = set()
+    for u, v in pairs:
+        if u == v:
+            continue
+        edge = canonical_edge(u, v)
+        if edge not in seen:
+            seen.add(edge)
+            edges.append(edge)
+    return graph_to_stream(num_nodes, edges, settings=settings, name=name)

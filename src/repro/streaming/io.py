@@ -1,0 +1,109 @@
+"""Stream file formats.
+
+Two interchangeable on-disk representations are provided:
+
+* a human-readable text format, one update per line::
+
+      # nodes=1024
+      i 0 17
+      d 0 17
+
+* a compact binary format: a 16-byte header (magic, node count, update
+  count) followed by one ``int64`` triple ``(kind, u, v)`` per update,
+  written with numpy so multi-gigabyte streams load quickly.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import StreamFormatError
+from repro.streaming.stream import GraphStream
+from repro.types import EdgeUpdate, UpdateType
+
+PathLike = Union[str, Path]
+
+_BINARY_MAGIC = 0x475A5354  # "GZST"
+_HEADER = struct.Struct("<IIQ")
+
+
+# ----------------------------------------------------------------------
+# text format
+# ----------------------------------------------------------------------
+def write_stream_text(stream: GraphStream, path: PathLike) -> None:
+    """Write a stream in the one-update-per-line text format."""
+    path = Path(path)
+    with path.open("w", encoding="ascii") as handle:
+        handle.write(f"# nodes={stream.num_nodes}\n")
+        for update in stream:
+            tag = "i" if update.is_insert else "d"
+            handle.write(f"{tag} {update.u} {update.v}\n")
+
+
+def read_stream_text(path: PathLike, name: str | None = None) -> GraphStream:
+    """Read a stream previously written by :func:`write_stream_text`."""
+    path = Path(path)
+    num_nodes = None
+    updates = []
+    with path.open("r", encoding="ascii") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if "nodes=" in line:
+                    num_nodes = int(line.split("nodes=")[1])
+                continue
+            parts = line.split()
+            if len(parts) != 3 or parts[0] not in ("i", "d"):
+                raise StreamFormatError(f"{path}:{line_number}: malformed line {line!r}")
+            kind = UpdateType.INSERT if parts[0] == "i" else UpdateType.DELETE
+            updates.append(EdgeUpdate(int(parts[1]), int(parts[2]), kind))
+    if num_nodes is None:
+        raise StreamFormatError(f"{path}: missing '# nodes=<V>' header")
+    return GraphStream(num_nodes=num_nodes, updates=updates, name=name or path.stem)
+
+
+# ----------------------------------------------------------------------
+# binary format
+# ----------------------------------------------------------------------
+def write_stream_binary(stream: GraphStream, path: PathLike) -> None:
+    """Write a stream in the compact binary format."""
+    path = Path(path)
+    array = np.empty((len(stream), 3), dtype=np.int64)
+    for position, update in enumerate(stream):
+        array[position, 0] = 1 if update.is_insert else -1
+        array[position, 1] = update.u
+        array[position, 2] = update.v
+    with path.open("wb") as handle:
+        handle.write(_HEADER.pack(_BINARY_MAGIC, stream.num_nodes, len(stream)))
+        handle.write(array.tobytes(order="C"))
+
+
+def read_stream_binary(path: PathLike, name: str | None = None) -> GraphStream:
+    """Read a stream previously written by :func:`write_stream_binary`."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        header = handle.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise StreamFormatError(f"{path}: truncated header")
+        magic, num_nodes, num_updates = _HEADER.unpack(header)
+        if magic != _BINARY_MAGIC:
+            raise StreamFormatError(f"{path}: bad magic {magic:#x}")
+        payload = handle.read(num_updates * 3 * 8)
+    if len(payload) != num_updates * 3 * 8:
+        raise StreamFormatError(f"{path}: truncated update payload")
+    array = np.frombuffer(payload, dtype=np.int64).reshape(num_updates, 3)
+    updates = [
+        EdgeUpdate(
+            int(row[1]),
+            int(row[2]),
+            UpdateType.INSERT if row[0] == 1 else UpdateType.DELETE,
+        )
+        for row in array
+    ]
+    return GraphStream(num_nodes=int(num_nodes), updates=updates, name=name or path.stem)

@@ -1,0 +1,103 @@
+"""The in-memory dynamic graph stream object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.types import Edge, EdgeUpdate, UpdateType
+
+
+@dataclass
+class GraphStream:
+    """A finite stream of edge updates over ``num_nodes`` nodes.
+
+    The stream is materialised as a list of
+    :class:`~repro.types.EdgeUpdate`; iterating the object yields the
+    updates in order.  ``final_edges()`` replays the stream to recover
+    the edge set it defines (the set E_i after the last update), which
+    tests and the reliability experiment use as ground truth.
+    """
+
+    num_nodes: int
+    updates: List[EdgeUpdate] = field(default_factory=list)
+    name: str = "stream"
+
+    def __iter__(self) -> Iterator[EdgeUpdate]:
+        return iter(self.updates)
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    @property
+    def num_updates(self) -> int:
+        return len(self.updates)
+
+    def append(self, update: EdgeUpdate) -> None:
+        self.updates.append(update)
+
+    def extend(self, updates: Sequence[EdgeUpdate]) -> None:
+        self.updates.extend(updates)
+
+    # ------------------------------------------------------------------
+    def final_edges(self) -> Set[Edge]:
+        """The edge set defined by the whole stream."""
+        edges: Set[Edge] = set()
+        for update in self.updates:
+            if update.is_insert:
+                edges.add(update.edge)
+            else:
+                edges.discard(update.edge)
+        return edges
+
+    def edges_at(self, position: int) -> Set[Edge]:
+        """The edge set defined by the stream prefix of length ``position``."""
+        edges: Set[Edge] = set()
+        for update in self.updates[:position]:
+            if update.is_insert:
+                edges.add(update.edge)
+            else:
+                edges.discard(update.edge)
+        return edges
+
+    def prefix(self, position: int, name: Optional[str] = None) -> "GraphStream":
+        """A new stream consisting of the first ``position`` updates."""
+        return GraphStream(
+            num_nodes=self.num_nodes,
+            updates=list(self.updates[:position]),
+            name=name or f"{self.name}[:{position}]",
+        )
+
+    def counts(self) -> Tuple[int, int]:
+        """``(num_insertions, num_deletions)`` in the stream."""
+        inserts = sum(1 for update in self.updates if update.is_insert)
+        return inserts, len(self.updates) - inserts
+
+    def checkpoints(self, every_fraction: float = 0.1) -> List[int]:
+        """Stream positions at every ``every_fraction`` of its length.
+
+        The query-latency experiment (Figure 16) issues a connectivity
+        query at each of these positions.
+        """
+        if not 0 < every_fraction <= 1:
+            raise ValueError("every_fraction must be in (0, 1]")
+        step = max(1, int(len(self.updates) * every_fraction))
+        positions = list(range(step, len(self.updates) + 1, step))
+        if positions and positions[-1] != len(self.updates):
+            positions.append(len(self.updates))
+        return positions
+
+    @classmethod
+    def from_edges(
+        cls, num_nodes: int, edges: Sequence[Edge], name: str = "insert-only"
+    ) -> "GraphStream":
+        """An insert-only stream that simply inserts each edge once."""
+        updates = [EdgeUpdate(u, v, UpdateType.INSERT) for u, v in edges]
+        return cls(num_nodes=num_nodes, updates=updates, name=name)
+
+    def __repr__(self) -> str:
+        inserts, deletes = self.counts()
+        return (
+            f"GraphStream(name={self.name!r}, num_nodes={self.num_nodes}, "
+            f"updates={len(self.updates)} [{inserts} ins / {deletes} del])"
+        )

@@ -1,0 +1,97 @@
+"""Checking that a stream obeys the dynamic-graph-stream rules.
+
+The model (Section 2.1) only allows inserting an edge that is currently
+absent and deleting an edge that is currently present.  The validator
+replays a stream, tracking the live edge set, and reports the first
+violation (or validates the paper's stronger conversion guarantees when
+asked).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set
+
+from repro.exceptions import InvalidStreamError
+from repro.streaming.stream import GraphStream
+from repro.types import Edge, EdgeUpdate
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating a stream."""
+
+    valid: bool
+    num_updates: int
+    num_insertions: int
+    num_deletions: int
+    final_edge_count: int
+    first_violation: Optional[str] = None
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+class StreamValidator:
+    """Incremental validity checker for dynamic graph streams."""
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        self._edges: Set[Edge] = set()
+        self._insertions = 0
+        self._deletions = 0
+        self._violations: List[str] = []
+
+    def observe(self, update: EdgeUpdate) -> None:
+        """Feed one update; records (but does not raise on) violations."""
+        if update.u >= self.num_nodes or update.v >= self.num_nodes:
+            self._violations.append(
+                f"update {update} references a node outside [0, {self.num_nodes})"
+            )
+            return
+        if update.is_insert:
+            if update.edge in self._edges:
+                self._violations.append(f"edge {update.edge} inserted while present")
+            else:
+                self._edges.add(update.edge)
+            self._insertions += 1
+        else:
+            if update.edge not in self._edges:
+                self._violations.append(f"edge {update.edge} deleted while absent")
+            else:
+                self._edges.remove(update.edge)
+            self._deletions += 1
+
+    @property
+    def current_edges(self) -> Set[Edge]:
+        return set(self._edges)
+
+    @property
+    def violations(self) -> List[str]:
+        return list(self._violations)
+
+    def report(self) -> ValidationReport:
+        return ValidationReport(
+            valid=not self._violations,
+            num_updates=self._insertions + self._deletions,
+            num_insertions=self._insertions,
+            num_deletions=self._deletions,
+            final_edge_count=len(self._edges),
+            first_violation=self._violations[0] if self._violations else None,
+        )
+
+
+def validate_stream(stream: GraphStream, raise_on_error: bool = False) -> ValidationReport:
+    """Validate a whole stream; optionally raise on the first violation."""
+    validator = StreamValidator(stream.num_nodes)
+    for update in stream:
+        validator.observe(update)
+    report = validator.report()
+    if raise_on_error and not report.valid:
+        raise InvalidStreamError(report.first_violation or "invalid stream")
+    return report
+
+
+def assert_final_graph(stream: GraphStream, expected_edges: Iterable[Edge]) -> bool:
+    """Whether the stream's final edge set equals ``expected_edges``."""
+    return stream.final_edges() == set(expected_edges)

@@ -1,0 +1,9 @@
+"""Version information for the ``repro`` package."""
+
+__version__ = "1.0.0"
+
+#: Version of the GraphZeppelin paper this package reproduces.
+PAPER = (
+    "GraphZeppelin: Storage-Friendly Sketching for Connected Components "
+    "on Dynamic Graph Streams (SIGMOD 2022)"
+)

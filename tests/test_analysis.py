@@ -1,0 +1,179 @@
+"""Tests for the evaluation harness: tables, experiment drivers, surveys."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    buffer_size_sweep,
+    cc_query_time_comparison,
+    dataset_dimension_table,
+    ingestion_rate_comparison,
+    measure_l0_update_rates,
+    query_latency_over_stream,
+    sketch_size_table,
+    space_usage_comparison,
+    thread_scaling_experiment,
+)
+from repro.analysis.reliability import run_reliability_trials
+from repro.analysis.repository_survey import (
+    SURVEY_RAM_BUDGET_BYTES,
+    survey_repository_graphs,
+)
+from repro.analysis.tables import format_bytes, format_rate, render_table
+from repro.generators.datasets import load_dataset
+from repro.generators.erdos_renyi import erdos_renyi_gnm
+from repro.streaming.generator import StreamConversionSettings, graph_to_stream
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    """kron13 shrunk far down so harness tests stay quick."""
+    return load_dataset("kron13", scale_reduction=8, seed=5)
+
+
+# ----------------------------------------------------------------------
+# table rendering helpers
+# ----------------------------------------------------------------------
+def test_format_bytes():
+    assert format_bytes(512) == "512 B"
+    assert format_bytes(2048) == "2.00 KiB"
+    assert format_bytes(3 * 1024**3) == "3.00 GiB"
+
+
+def test_format_rate():
+    assert format_rate(500) == "500.0 /s"
+    assert format_rate(2500) == "2.5 k/s"
+    assert format_rate(3.2e6) == "3.20 M/s"
+
+
+def test_render_table_alignment_and_title():
+    rows = [{"a": 1, "bbb": "x"}, {"a": 22, "bbb": "yy"}]
+    text = render_table(rows, title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "a" in lines[1] and "bbb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_render_table_empty():
+    assert "(no rows)" in render_table([])
+
+
+# ----------------------------------------------------------------------
+# figure 4 / 5 drivers
+# ----------------------------------------------------------------------
+def test_l0_update_rate_rows_show_cubesketch_advantage():
+    rows = measure_l0_update_rates([10**4], cubesketch_updates=2000, standard_updates=50)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["cubesketch_rate"] > row["standard_l0_rate"]
+    assert row["speedup"] > 1
+
+
+def test_sketch_size_rows_match_paper_shape():
+    rows = sketch_size_table([10**3, 10**10])
+    assert rows[0]["size_reduction"] < rows[1]["size_reduction"]
+    assert rows[1]["size_reduction"] > 3
+
+
+# ----------------------------------------------------------------------
+# dataset table / space usage
+# ----------------------------------------------------------------------
+def test_dataset_dimension_table_rows():
+    rows, datasets = dataset_dimension_table(["kron13"], scale_reduction=8, seed=1)
+    assert rows[0]["dataset"] == "kron13"
+    assert rows[0]["nodes"] == 32
+    assert "kron13" in datasets
+
+
+def test_space_usage_comparison_tables(tiny_dataset):
+    result = space_usage_comparison(["kron17", "kron18"], {"kron13": tiny_dataset})
+    paper = {row["dataset"]: row for row in result["paper_scale"]}
+    assert paper["kron17"]["gz_vs_aspen"] < 1
+    assert len(result["measured"]) == 1
+    measured = result["measured"][0]
+    assert measured["graphzeppelin_bytes"] > 0
+    assert measured["aspen_bytes"] > 0
+
+
+# ----------------------------------------------------------------------
+# ingestion / query drivers
+# ----------------------------------------------------------------------
+def test_ingestion_rate_comparison_rows(tiny_dataset):
+    rows = ingestion_rate_comparison(tiny_dataset, baseline_batch_size=200)
+    systems = {row["system"] for row in rows}
+    assert "aspen-like" in systems
+    assert "graphzeppelin (leaf-only)" in systems
+    assert all(row["ingestion_rate"] > 0 for row in rows)
+
+
+def test_ingestion_rate_with_ram_budget_adds_io_time(tiny_dataset):
+    rows = ingestion_rate_comparison(
+        tiny_dataset, ram_budget_bytes=50_000, baseline_batch_size=200,
+        include_terrace=False,
+    )
+    gz_rows = [row for row in rows if row["system"].startswith("graphzeppelin")]
+    assert any(row["modelled_io_seconds"] > 0 for row in gz_rows)
+
+
+def test_cc_query_time_rows(tiny_dataset):
+    rows = cc_query_time_comparison(tiny_dataset, baseline_batch_size=200)
+    assert all(row["query_seconds"] >= 0 for row in rows)
+    assert all(row["components"] >= 1 for row in rows)
+    # All systems computed the same component count on the same stream.
+    assert len({row["components"] for row in rows}) == 1
+
+
+def test_query_latency_over_stream_rows(tiny_dataset):
+    rows = query_latency_over_stream(tiny_dataset, num_checkpoints=4, baseline_batch_size=100)
+    assert 3 <= len(rows) <= 6
+    assert all(row["graphzeppelin_query_seconds"] >= 0 for row in rows)
+    assert rows[-1]["progress"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# thread scaling / buffer sweep
+# ----------------------------------------------------------------------
+def test_thread_scaling_experiment_rows(tiny_dataset):
+    result = thread_scaling_experiment(
+        tiny_dataset, measured_thread_counts=(1, 2), modelled_thread_counts=(1, 8, 46)
+    )
+    assert len(result["measured"]) == 2
+    modelled = {row["threads"]: row for row in result["modelled"]}
+    assert modelled[46]["speedup"] > modelled[8]["speedup"] > 1
+
+
+def test_buffer_size_sweep_rows(tiny_dataset):
+    rows = buffer_size_sweep(tiny_dataset, fractions=(0.0, 0.5))
+    assert rows[0]["gutter_fraction"] == 0.0
+    assert rows[1]["gutter_fraction"] == 0.5
+    assert all(row["ingestion_rate"] > 0 for row in rows)
+
+
+# ----------------------------------------------------------------------
+# reliability / survey
+# ----------------------------------------------------------------------
+def test_reliability_trials_on_small_stream():
+    num_nodes, edges = erdos_renyi_gnm(24, 40, seed=7)
+    stream = graph_to_stream(
+        num_nodes, edges, settings=StreamConversionSettings(seed=8, disconnect_nodes=2)
+    )
+    result = run_reliability_trials(stream, num_checkpoints=3, trials=2, base_seed=1)
+    expected_checks = 2 * len(stream.checkpoints(1 / 3))
+    assert result.checks == expected_checks
+    assert result.failures == 0
+    assert result.all_correct
+    assert result.failure_rate == 0.0
+
+
+def test_repository_survey_shape():
+    summary = survey_repository_graphs(population=300, seed=1)
+    assert summary.total == 300
+    assert summary.fraction_below_budget > 0.9
+    assert summary.max_dense_graph_bytes <= SURVEY_RAM_BUDGET_BYTES
+    rows = summary.rows()
+    assert rows[0]["population"] == 300
+
+
+def test_repository_survey_without_selection_bias_has_large_graphs():
+    summary = survey_repository_graphs(population=200, seed=2, selection_bias=0.0)
+    assert summary.fraction_below_budget < 0.9

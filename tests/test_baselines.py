@@ -1,0 +1,248 @@
+"""Tests for the baseline systems and their space models."""
+
+import pytest
+
+from repro.baselines.adjacency_matrix import AdjacencyMatrixGraph
+from repro.baselines.aspen_like import AspenLike
+from repro.baselines.space_models import (
+    adjacency_list_bytes,
+    adjacency_matrix_bytes,
+    aspen_bytes,
+    graphzeppelin_bytes,
+    space_crossover_table,
+    terrace_bytes,
+)
+from repro.baselines.terrace_like import TerraceLike
+from repro.exceptions import InvalidStreamError
+from repro.generators.erdos_renyi import erdos_renyi_gnm
+from repro.streaming.generator import StreamConversionSettings, graph_to_stream
+
+
+# ----------------------------------------------------------------------
+# AdjacencyMatrixGraph
+# ----------------------------------------------------------------------
+def test_adjacency_matrix_insert_delete_query():
+    graph = AdjacencyMatrixGraph(8)
+    graph.insert(0, 1)
+    graph.insert(1, 2)
+    assert graph.has_edge(1, 0)
+    assert graph.num_edges == 2
+    graph.delete(0, 1)
+    assert not graph.has_edge(0, 1)
+    assert graph.num_edges == 1
+
+
+def test_adjacency_matrix_strict_mode():
+    graph = AdjacencyMatrixGraph(4, strict=True)
+    graph.insert(0, 1)
+    with pytest.raises(InvalidStreamError):
+        graph.insert(0, 1)
+    with pytest.raises(InvalidStreamError):
+        graph.delete(2, 3)
+
+
+def test_adjacency_matrix_non_strict_ignores_redundant_updates():
+    graph = AdjacencyMatrixGraph(4, strict=False)
+    graph.insert(0, 1)
+    graph.insert(0, 1)
+    assert graph.num_edges == 1
+    graph.delete(2, 3)
+    assert graph.num_edges == 1
+
+
+def test_adjacency_matrix_toggle_and_neighbors():
+    graph = AdjacencyMatrixGraph(6)
+    graph.edge_update(2, 4)
+    graph.edge_update(2, 5)
+    assert sorted(graph.neighbors(2)) == [4, 5]
+    assert graph.neighbors(4) == [2]
+    graph.edge_update(2, 4)
+    assert graph.neighbors(4) == []
+
+
+def test_adjacency_matrix_spanning_forest():
+    graph = AdjacencyMatrixGraph(8)
+    for u, v in [(0, 1), (1, 2), (2, 0), (4, 5)]:
+        graph.insert(u, v)
+    forest = graph.spanning_forest()
+    assert forest.num_components == 5
+    assert forest.connected(0, 2)
+    assert forest.connected(4, 5)
+    assert forest.num_edges == 3  # the cycle contributes only 2 tree edges
+
+
+def test_adjacency_matrix_edges_listing_and_size():
+    graph = AdjacencyMatrixGraph(10)
+    graph.insert(3, 7)
+    graph.insert(0, 9)
+    assert sorted(graph.edges()) == [(0, 9), (3, 7)]
+    assert graph.size_bytes() == 10 * 2  # 10 rows of ceil(10/8)=2 bytes
+
+
+def test_adjacency_matrix_bounds():
+    graph = AdjacencyMatrixGraph(4)
+    with pytest.raises(ValueError):
+        graph.insert(0, 4)
+    with pytest.raises(ValueError):
+        graph.insert(2, 2)
+
+
+# ----------------------------------------------------------------------
+# AspenLike
+# ----------------------------------------------------------------------
+def test_aspen_batch_insert_and_delete():
+    aspen = AspenLike(16)
+    applied = aspen.batch_insert([(0, 1), (1, 2), (0, 1)])
+    assert applied == 2
+    assert aspen.num_edges == 2
+    assert aspen.has_edge(1, 0)
+    removed = aspen.batch_delete([(0, 1), (5, 6)])
+    assert removed == 1
+    assert aspen.num_edges == 1
+
+
+def test_aspen_connectivity():
+    aspen = AspenLike(10)
+    aspen.batch_insert([(0, 1), (1, 2), (5, 6)])
+    forest = aspen.spanning_forest()
+    assert forest.connected(0, 2)
+    assert forest.connected(5, 6)
+    assert not forest.connected(0, 5)
+    assert forest.num_components == 10 - 4 + 1
+
+
+def test_aspen_space_grows_with_edges():
+    aspen = AspenLike(100)
+    empty = aspen.size_bytes()
+    aspen.batch_insert([(i, i + 1) for i in range(99)])
+    assert aspen.size_bytes() > empty
+
+
+def test_aspen_out_of_core_charges_io():
+    aspen = AspenLike(64, ram_budget_bytes=100)
+    aspen.batch_insert([(i, (i + 1) % 64) for i in range(63)])
+    aspen.batch_insert([(i, (i + 7) % 64) for i in range(50) if i != (i + 7) % 64])
+    assert aspen.io_stats is not None
+    assert aspen.io_stats.modelled_seconds > 0
+
+
+def test_aspen_in_ram_has_no_io():
+    aspen = AspenLike(64)
+    aspen.batch_insert([(0, 1)])
+    assert aspen.io_stats is None
+
+
+def test_aspen_node_bounds():
+    aspen = AspenLike(4)
+    with pytest.raises(ValueError):
+        aspen.insert(0, 4)
+
+
+# ----------------------------------------------------------------------
+# TerraceLike
+# ----------------------------------------------------------------------
+def test_terrace_insert_delete_and_levels():
+    terrace = TerraceLike(32)
+    # Push one vertex through inline -> overflow -> tree levels.
+    neighbors = [n for n in range(1, 32)]
+    terrace.batch_insert([(0, n) for n in neighbors])
+    assert terrace.degree(0) == 31
+    assert sorted(terrace.neighbors(0)) == neighbors
+    assert terrace.delete(0, 5)
+    assert not terrace.has_edge(0, 5)
+    assert not terrace.delete(0, 5)  # already gone
+
+
+def test_terrace_connectivity():
+    terrace = TerraceLike(10)
+    terrace.batch_insert([(0, 1), (1, 2), (4, 5)])
+    forest = terrace.list_spanning_forest()
+    assert forest.connected(0, 2)
+    assert not forest.connected(0, 4)
+
+
+def test_terrace_space_exceeds_aspen():
+    aspen = AspenLike(256)
+    terrace = TerraceLike(256)
+    edges = [(i, (i + 1) % 256) for i in range(255)]
+    aspen.batch_insert(edges)
+    terrace.batch_insert(edges)
+    assert terrace.size_bytes() > aspen.size_bytes()
+
+
+def test_terrace_out_of_core_charges_io():
+    terrace = TerraceLike(64, ram_budget_bytes=100)
+    terrace.batch_insert([(i, (i + 1) % 64) for i in range(63)])
+    terrace.delete(0, 1)
+    assert terrace.io_stats is not None
+    assert terrace.io_stats.modelled_seconds > 0
+
+
+def test_terrace_duplicate_inserts_ignored():
+    terrace = TerraceLike(8)
+    assert terrace.batch_insert([(0, 1), (0, 1)]) == 1
+    assert terrace.num_edges == 1
+
+
+# ----------------------------------------------------------------------
+# consistency across systems
+# ----------------------------------------------------------------------
+def test_all_baselines_agree_on_random_stream():
+    num_nodes, edges = erdos_renyi_gnm(48, 100, seed=9)
+    stream = graph_to_stream(
+        num_nodes, edges, settings=StreamConversionSettings(seed=10, disconnect_nodes=4)
+    )
+    matrix = AdjacencyMatrixGraph(num_nodes, strict=False)
+    aspen = AspenLike(num_nodes)
+    terrace = TerraceLike(num_nodes)
+    for update in stream:
+        matrix.apply_update(update)
+        if update.is_insert:
+            aspen.batch_insert([update.edge])
+            terrace.batch_insert([update.edge])
+        else:
+            aspen.batch_delete([update.edge])
+            terrace.delete(update.u, update.v)
+    expected = matrix.spanning_forest().partition_signature()
+    assert aspen.spanning_forest().partition_signature() == expected
+    assert terrace.spanning_forest().partition_signature() == expected
+
+
+# ----------------------------------------------------------------------
+# space models
+# ----------------------------------------------------------------------
+def test_space_model_monotonicity():
+    assert aspen_bytes(1000, 10_000) < aspen_bytes(1000, 100_000)
+    assert terrace_bytes(1000, 10_000) > aspen_bytes(1000, 10_000)
+    assert adjacency_list_bytes(1000, 10_000) > 0
+    assert adjacency_matrix_bytes(1000) == 1000 * 125
+
+
+def test_graphzeppelin_space_independent_of_edges():
+    """The sketch size depends only on V (the headline property)."""
+    assert graphzeppelin_bytes(10_000) == graphzeppelin_bytes(10_000)
+    sparse = graphzeppelin_bytes(2**17)
+    assert sparse == graphzeppelin_bytes(2**17)
+
+
+def test_space_crossover_matches_paper_direction():
+    """On large dense graphs GraphZeppelin must undercut Aspen and Terrace.
+
+    Figure 11: GraphZeppelin is smaller than Terrace from kron15 up and
+    smaller than Aspen from kron17 up.
+    """
+    from repro.generators.datasets import DATASET_SPECS
+
+    workloads = [
+        {
+            "name": name,
+            "num_nodes": DATASET_SPECS[name].paper_nodes,
+            "num_edges": DATASET_SPECS[name].paper_edges,
+        }
+        for name in ("kron13", "kron15", "kron16", "kron17", "kron18")
+    ]
+    rows = {row.name: row for row in space_crossover_table(workloads)}
+    assert rows["kron13"].graphzeppelin > rows["kron13"].aspen  # small graphs: GZ larger
+    assert rows["kron15"].graphzeppelin < rows["kron15"].terrace
+    assert rows["kron17"].graphzeppelin < rows["kron17"].aspen
+    assert rows["kron18"].graphzeppelin < rows["kron18"].aspen

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.generators.datasets import available_datasets
+from repro.streaming.io import read_stream_binary, read_stream_text, write_stream_binary
+from repro.streaming.stream import GraphStream
+from repro.types import EdgeUpdate, UpdateType
+
+
+def test_parser_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_version_flag():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+
+
+def test_datasets_command_lists_registry(capsys):
+    assert main(["datasets"]) == 0
+    output = capsys.readouterr().out
+    for name in available_datasets():
+        assert name in output
+
+
+def test_generate_validate_components_roundtrip(tmp_path, capsys):
+    stream_path = tmp_path / "kron13.stream"
+    assert main(
+        ["generate", "kron13", str(stream_path), "--scale-reduction", "8", "--seed", "3"]
+    ) == 0
+    assert stream_path.exists()
+    generated = read_stream_binary(stream_path)
+    assert generated.num_nodes == 32
+
+    assert main(["validate", str(stream_path)]) == 0
+    validate_output = capsys.readouterr().out
+    assert "valid       : True" in validate_output
+
+    assert main(["components", str(stream_path), "--verify", "--seed", "5"]) == 0
+    components_output = capsys.readouterr().out
+    assert "components" in components_output
+    assert "matches exact reference: True" in components_output
+
+
+def test_generate_text_format(tmp_path, capsys):
+    stream_path = tmp_path / "kron13.txt"
+    assert main(
+        [
+            "generate", "kron13", str(stream_path),
+            "--scale-reduction", "8", "--seed", "3", "--text",
+        ]
+    ) == 0
+    stream = read_stream_text(stream_path)
+    assert len(stream) > 0
+    assert main(["validate", str(stream_path), "--text"]) == 0
+
+
+def test_validate_flags_illegal_stream(tmp_path, capsys):
+    bad = GraphStream(
+        num_nodes=4,
+        updates=[EdgeUpdate(0, 1, UpdateType.DELETE)],
+        name="bad",
+    )
+    path = tmp_path / "bad.stream"
+    write_stream_binary(bad, path)
+    assert main(["validate", str(path)]) == 1
+    assert "first violation" in capsys.readouterr().out
+
+
+def test_components_with_ram_budget(tmp_path, capsys):
+    stream_path = tmp_path / "small.stream"
+    main(["generate", "p2p-gnutella", str(stream_path), "--scale-reduction", "9"])
+    capsys.readouterr()
+    assert main(
+        [
+            "components", str(stream_path),
+            "--ram-budget-mib", "0.25",
+            "--buffering", "gutter_tree",
+        ]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "modelled disk I/O" in output
+
+
+def test_unknown_dataset_rejected_by_parser():
+    with pytest.raises(SystemExit):
+        main(["generate", "not-a-dataset", "out.stream"])

@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for the CubeSketch invariants.
+
+These check the three defining properties of an l0-sampler from the
+paper's Definition 1 -- sampleability, linearity and bounded failure --
+over randomly generated update sequences.
+"""
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sketch.cubesketch import CubeSketch
+
+VECTOR_LENGTH = 2048
+
+indices = st.integers(min_value=0, max_value=VECTOR_LENGTH - 1)
+index_lists = st.lists(indices, min_size=0, max_size=200)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _support(updates):
+    """The set of coordinates with odd multiplicity (the Z_2 support)."""
+    counts = Counter(updates)
+    return {index for index, count in counts.items() if count % 2 == 1}
+
+
+@given(updates=index_lists, seed=seeds)
+@settings(max_examples=150, deadline=None)
+def test_sample_is_always_in_support_or_fails(updates, seed):
+    sketch = CubeSketch(VECTOR_LENGTH, seed=seed)
+    for index in updates:
+        sketch.update(index)
+    support = _support(updates)
+    result = sketch.query()
+    if not support:
+        assert result.is_zero
+    elif result.is_good:
+        assert result.index in support
+    # A FAIL on a non-empty support is allowed (probability <= delta);
+    # what is never allowed is returning an index outside the support.
+
+
+@given(updates=index_lists, seed=seeds)
+@settings(max_examples=100, deadline=None)
+def test_update_order_does_not_matter(updates, seed):
+    forward = CubeSketch(VECTOR_LENGTH, seed=seed)
+    backward = CubeSketch(VECTOR_LENGTH, seed=seed)
+    for index in updates:
+        forward.update(index)
+    for index in reversed(updates):
+        backward.update(index)
+    assert forward == backward
+
+
+@given(first=index_lists, second=index_lists, seed=seeds)
+@settings(max_examples=100, deadline=None)
+def test_linearity_merge_equals_concatenation(first, second, seed):
+    """S(x) + S(y) must equal S(x + y) bucket for bucket."""
+    sketch_x = CubeSketch(VECTOR_LENGTH, seed=seed)
+    sketch_y = CubeSketch(VECTOR_LENGTH, seed=seed)
+    sketch_xy = CubeSketch(VECTOR_LENGTH, seed=seed)
+    for index in first:
+        sketch_x.update(index)
+        sketch_xy.update(index)
+    for index in second:
+        sketch_y.update(index)
+        sketch_xy.update(index)
+    sketch_x.merge(sketch_y)
+    assert sketch_x == sketch_xy
+
+
+@given(updates=index_lists, seed=seeds)
+@settings(max_examples=100, deadline=None)
+def test_batch_and_scalar_updates_agree(updates, seed):
+    scalar = CubeSketch(VECTOR_LENGTH, seed=seed)
+    batched = CubeSketch(VECTOR_LENGTH, seed=seed)
+    for index in updates:
+        scalar.update(index)
+    batched.update_batch(np.array(updates, dtype=np.uint64))
+    assert scalar == batched
+
+
+@given(updates=index_lists, seed=seeds)
+@settings(max_examples=100, deadline=None)
+def test_self_inverse_merge_zeroes_the_sketch(updates, seed):
+    """Merging a sketch with an identical copy cancels every bucket."""
+    sketch = CubeSketch(VECTOR_LENGTH, seed=seed)
+    for index in updates:
+        sketch.update(index)
+    clone = sketch.copy()
+    sketch.merge(clone)
+    assert sketch.is_empty()
+    assert sketch.query().is_zero
+
+
+@given(updates=st.lists(indices, min_size=1, max_size=60), seed=seeds)
+@settings(max_examples=150, deadline=None)
+def test_failure_probability_empirically_small(updates, seed):
+    """Non-empty supports should almost always be sampleable.
+
+    Individual examples are allowed to fail (that is the delta), so this
+    property asserts only that a failing sketch still never fabricates
+    an index; the aggregate failure rate is covered by the unit test
+    ``test_failure_rate_is_below_delta``.
+    """
+    sketch = CubeSketch(VECTOR_LENGTH, seed=seed)
+    support = _support(updates)
+    for index in updates:
+        sketch.update(index)
+    result = sketch.query()
+    if support:
+        assert not result.is_zero
+        if result.is_good:
+            assert result.index in support
+    else:
+        assert result.is_zero

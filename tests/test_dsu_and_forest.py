@@ -1,0 +1,131 @@
+"""Tests for the disjoint set union and the SpanningForest result type."""
+
+import pytest
+
+from repro.core.dsu import DisjointSetUnion
+from repro.core.spanning_forest import SpanningForest
+
+
+# ----------------------------------------------------------------------
+# DisjointSetUnion
+# ----------------------------------------------------------------------
+def test_initially_all_singletons():
+    dsu = DisjointSetUnion(5)
+    assert dsu.num_components == 5
+    assert not dsu.connected(0, 1)
+    assert dsu.components() == [{0}, {1}, {2}, {3}, {4}]
+
+
+def test_union_reduces_components():
+    dsu = DisjointSetUnion(5)
+    assert dsu.union(0, 1) is True
+    assert dsu.num_components == 4
+    assert dsu.connected(0, 1)
+
+
+def test_union_of_same_component_is_noop():
+    dsu = DisjointSetUnion(5)
+    dsu.union(0, 1)
+    assert dsu.union(1, 0) is False
+    assert dsu.num_components == 4
+
+
+def test_transitive_connectivity():
+    dsu = DisjointSetUnion(6)
+    dsu.add_edges([(0, 1), (1, 2), (3, 4)])
+    assert dsu.connected(0, 2)
+    assert dsu.connected(3, 4)
+    assert not dsu.connected(0, 3)
+    assert dsu.num_components == 3
+
+
+def test_component_sizes_and_roots():
+    dsu = DisjointSetUnion(6)
+    dsu.add_edges([(0, 1), (1, 2)])
+    assert dsu.component_size(0) == 3
+    assert dsu.component_size(5) == 1
+    assert len(dsu.roots()) == dsu.num_components
+
+
+def test_component_labels_consistency():
+    dsu = DisjointSetUnion(8)
+    dsu.add_edges([(0, 1), (2, 3), (3, 4)])
+    labels = dsu.component_labels()
+    assert labels[0] == labels[1]
+    assert labels[2] == labels[3] == labels[4]
+    assert labels[0] != labels[2]
+    assert labels[5] != labels[0]
+
+
+def test_full_merge_single_component():
+    dsu = DisjointSetUnion(100)
+    for node in range(99):
+        dsu.union(node, node + 1)
+    assert dsu.num_components == 1
+    assert dsu.connected(0, 99)
+
+
+def test_zero_node_dsu():
+    dsu = DisjointSetUnion(0)
+    assert dsu.num_components == 0
+    assert dsu.components() == []
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        DisjointSetUnion(-1)
+
+
+# ----------------------------------------------------------------------
+# SpanningForest
+# ----------------------------------------------------------------------
+def test_forest_components_and_connectivity():
+    forest = SpanningForest.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+    assert forest.num_components == 3
+    assert forest.connected(0, 2)
+    assert not forest.connected(0, 3)
+    assert forest.components() == [{0, 1, 2}, {3, 4}, {5}]
+    assert forest.component_of(4) == frozenset({3, 4})
+
+
+def test_forest_deduplicates_and_canonicalises():
+    forest = SpanningForest.from_edges(4, [(1, 0), (0, 1)])
+    assert forest.num_edges == 1
+    assert forest.edges == ((0, 1),)
+
+
+def test_forest_rejects_cycles():
+    with pytest.raises(ValueError):
+        SpanningForest(num_nodes=3, edges=((0, 1), (1, 2), (0, 2)))
+
+
+def test_forest_partition_signature_equality():
+    a = SpanningForest.from_edges(5, [(0, 1), (2, 3)])
+    b = SpanningForest.from_edges(5, [(1, 0), (3, 2)])
+    assert a.partition_signature() == b.partition_signature()
+    c = SpanningForest.from_edges(5, [(0, 1), (3, 4)])
+    assert a.partition_signature() != c.partition_signature()
+
+
+def test_forest_iteration_and_len():
+    forest = SpanningForest.from_edges(4, [(0, 1), (2, 3)])
+    assert len(forest) == 2
+    assert sorted(forest) == [(0, 1), (2, 3)]
+
+
+def test_forest_component_labels():
+    forest = SpanningForest.from_edges(4, [(0, 1)])
+    labels = forest.component_labels()
+    assert labels[0] == labels[1]
+    assert labels[2] != labels[0]
+
+
+def test_incomplete_flag_preserved():
+    forest = SpanningForest.from_edges(3, [(0, 1)], complete=False)
+    assert not forest.complete
+
+
+def test_empty_forest():
+    forest = SpanningForest.from_edges(3, [])
+    assert forest.num_components == 3
+    assert forest.num_edges == 0

@@ -1,0 +1,195 @@
+"""Tests for the graph generators and the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphGenerationError
+from repro.generators.datasets import DATASET_SPECS, available_datasets, load_dataset
+from repro.generators.erdos_renyi import erdos_renyi_gnm, erdos_renyi_gnp
+from repro.generators.kronecker import KroneckerParameters, kronecker_graph
+from repro.generators.random_graphs import (
+    chung_lu_graph,
+    preferential_attachment_graph,
+    random_spanning_tree,
+)
+from repro.streaming.validation import validate_stream
+
+
+def assert_simple_graph(num_nodes, edges):
+    """No self loops, no duplicates, endpoints in range, canonical order."""
+    seen = set()
+    for u, v in edges:
+        assert 0 <= u < v < num_nodes
+        assert (u, v) not in seen
+        seen.add((u, v))
+
+
+# ----------------------------------------------------------------------
+# Kronecker
+# ----------------------------------------------------------------------
+def test_kronecker_dense_graph_properties():
+    params = KroneckerParameters(scale=6, edge_fraction=0.5, seed=1)
+    num_nodes, edges = kronecker_graph(params)
+    assert num_nodes == 64
+    assert_simple_graph(num_nodes, edges)
+    slots = num_nodes * (num_nodes - 1) // 2
+    # Dense sweep targets ~half of all slots; allow 15% relative slack.
+    assert abs(len(edges) - slots // 2) < 0.15 * slots
+
+
+def test_kronecker_sparse_sampling_path():
+    params = KroneckerParameters(scale=8, edge_fraction=0.02, seed=2)
+    num_nodes, edges = kronecker_graph(params)
+    assert num_nodes == 256
+    assert_simple_graph(num_nodes, edges)
+    assert len(edges) > 0
+
+
+def test_kronecker_degree_skew():
+    """R-MAT initiator concentrates edges on low-id nodes."""
+    params = KroneckerParameters(scale=8, edge_fraction=0.03, seed=3)
+    num_nodes, edges = kronecker_graph(params)
+    degrees = np.zeros(num_nodes)
+    for u, v in edges:
+        degrees[u] += 1
+        degrees[v] += 1
+    low_half = degrees[: num_nodes // 2].sum()
+    assert low_half > 0.55 * degrees.sum()
+
+
+def test_kronecker_deterministic_per_seed():
+    params = KroneckerParameters(scale=5, edge_fraction=0.3, seed=4)
+    assert kronecker_graph(params) == kronecker_graph(params)
+
+
+def test_kronecker_full_density_gives_complete_graph():
+    params = KroneckerParameters(scale=3, edge_fraction=1.0, seed=0)
+    num_nodes, edges = kronecker_graph(params)
+    assert len(edges) == num_nodes * (num_nodes - 1) // 2
+
+
+def test_kronecker_parameter_validation():
+    with pytest.raises(GraphGenerationError):
+        KroneckerParameters(scale=0)
+    with pytest.raises(GraphGenerationError):
+        KroneckerParameters(scale=3, edge_fraction=0)
+    with pytest.raises(GraphGenerationError):
+        KroneckerParameters(scale=3, initiator=(0.5, 0.5, 0.5))
+
+
+# ----------------------------------------------------------------------
+# Erdos-Renyi
+# ----------------------------------------------------------------------
+def test_gnm_exact_edge_count():
+    num_nodes, edges = erdos_renyi_gnm(50, 123, seed=1)
+    assert len(edges) == 123
+    assert_simple_graph(num_nodes, edges)
+
+
+def test_gnm_bounds_checked():
+    with pytest.raises(GraphGenerationError):
+        erdos_renyi_gnm(5, 100)
+    with pytest.raises(GraphGenerationError):
+        erdos_renyi_gnm(0, 0)
+
+
+def test_gnp_probability_extremes():
+    _, none = erdos_renyi_gnp(20, 0.0, seed=1)
+    _, all_edges = erdos_renyi_gnp(20, 1.0, seed=1)
+    assert none == []
+    assert len(all_edges) == 20 * 19 // 2
+
+
+def test_gnp_expected_density():
+    num_nodes, edges = erdos_renyi_gnp(100, 0.2, seed=2)
+    slots = 100 * 99 // 2
+    assert abs(len(edges) / slots - 0.2) < 0.05
+    assert_simple_graph(num_nodes, edges)
+
+
+def test_gnp_invalid_probability():
+    with pytest.raises(GraphGenerationError):
+        erdos_renyi_gnp(10, 1.5)
+
+
+# ----------------------------------------------------------------------
+# skewed generators
+# ----------------------------------------------------------------------
+def test_chung_lu_edge_count_and_skew():
+    num_nodes, edges = chung_lu_graph(200, 600, exponent=2.2, seed=3)
+    assert_simple_graph(num_nodes, edges)
+    assert 400 <= len(edges) <= 600
+    degrees = np.zeros(num_nodes)
+    for u, v in edges:
+        degrees[u] += 1
+        degrees[v] += 1
+    assert degrees.max() >= 4 * max(degrees.mean(), 1)
+
+
+def test_chung_lu_validation():
+    with pytest.raises(GraphGenerationError):
+        chung_lu_graph(1, 5)
+    with pytest.raises(GraphGenerationError):
+        chung_lu_graph(10, 5, exponent=1.0)
+
+
+def test_preferential_attachment_connected():
+    num_nodes, edges = preferential_attachment_graph(100, edges_per_node=2, seed=4)
+    assert_simple_graph(num_nodes, edges)
+    # every node beyond the first attaches to at least one earlier node
+    assert len(edges) >= num_nodes - 1
+
+
+def test_random_spanning_tree_is_a_tree():
+    num_nodes, edges = random_spanning_tree(50, seed=5)
+    assert len(edges) == 49
+    assert_simple_graph(num_nodes, edges)
+    from repro.core.dsu import DisjointSetUnion
+
+    dsu = DisjointSetUnion(num_nodes)
+    dsu.add_edges(edges)
+    assert dsu.num_components == 1
+
+
+# ----------------------------------------------------------------------
+# dataset registry
+# ----------------------------------------------------------------------
+def test_registry_lists_paper_datasets():
+    names = available_datasets()
+    assert "kron13" in names and "kron18" in names
+    assert "p2p-gnutella" in names and "web-uk" in names
+    assert len(names) == len(DATASET_SPECS)
+
+
+def test_load_kron_dataset_scaled_down():
+    dataset = load_dataset("kron13", scale_reduction=7, seed=1)
+    assert dataset.num_nodes == 2**13 >> 7
+    assert dataset.spec.paper_nodes == 2**13
+    assert dataset.num_edges > 0
+    assert validate_stream(dataset.stream).valid
+    assert dataset.density() > 0.3  # dense by construction
+
+
+def test_load_real_world_standin():
+    dataset = load_dataset("p2p-gnutella", scale_reduction=8, seed=2)
+    assert dataset.num_nodes >= 64
+    assert dataset.num_edges > 0
+    assert validate_stream(dataset.stream).valid
+    assert dataset.density() < 0.2  # sparse, like the original
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(GraphGenerationError):
+        load_dataset("kron99")
+
+
+def test_excessive_scale_reduction_rejected():
+    with pytest.raises(GraphGenerationError):
+        load_dataset("kron13", scale_reduction=12)
+
+
+def test_dataset_deterministic_per_seed():
+    a = load_dataset("rec-amazon", scale_reduction=8, seed=3)
+    b = load_dataset("rec-amazon", scale_reduction=8, seed=3)
+    assert a.edges == b.edges
+    assert len(a.stream) == len(b.stream)

@@ -1,0 +1,176 @@
+"""Correctness of GraphZeppelin against the exact adjacency-matrix reference.
+
+These are the library-level version of the paper's Section 6.3
+experiment: ingest the same stream into GraphZeppelin and the exact
+reference, and require identical component partitions.  Several graph
+families and stream shapes are covered; the heavier randomized sweeps
+live in the benchmark harness.
+"""
+
+import pytest
+
+from repro.baselines.adjacency_matrix import AdjacencyMatrixGraph
+from repro.core.config import BufferingMode, GraphZeppelinConfig
+from repro.core.graph_zeppelin import GraphZeppelin
+from repro.core.streaming_cc import StreamingCC
+from repro.generators.erdos_renyi import erdos_renyi_gnm, erdos_renyi_gnp
+from repro.generators.kronecker import KroneckerParameters, kronecker_graph
+from repro.generators.random_graphs import (
+    chung_lu_graph,
+    preferential_attachment_graph,
+    random_spanning_tree,
+)
+from repro.streaming.generator import StreamConversionSettings, graph_to_stream
+
+
+def partitions_match(stream, seed=0, config=None):
+    config = config or GraphZeppelinConfig(seed=seed)
+    gz = GraphZeppelin(stream.num_nodes, config=config)
+    reference = AdjacencyMatrixGraph(stream.num_nodes, strict=False)
+    for update in stream:
+        gz.edge_update(update.u, update.v)
+        reference.edge_update(update.u, update.v)
+    expected = reference.spanning_forest().partition_signature()
+    actual = gz.list_spanning_forest().partition_signature()
+    return expected == actual
+
+
+def make_stream(num_nodes, edges, seed=1, **overrides):
+    settings = StreamConversionSettings(
+        churn_fraction=overrides.pop("churn_fraction", 0.2),
+        disconnect_nodes=overrides.pop("disconnect_nodes", 3),
+        reinsert_fraction=overrides.pop("reinsert_fraction", 0.1),
+        seed=seed,
+    )
+    return graph_to_stream(num_nodes, edges, settings=settings)
+
+
+def test_path_graph_insert_only():
+    num_nodes = 32
+    edges = [(i, i + 1) for i in range(num_nodes - 1)]
+    stream = make_stream(num_nodes, edges, disconnect_nodes=0, churn_fraction=0)
+    assert partitions_match(stream, seed=1)
+
+
+def test_random_tree():
+    num_nodes, edges = random_spanning_tree(48, seed=2)
+    stream = make_stream(num_nodes, edges, seed=3)
+    assert partitions_match(stream, seed=4)
+
+
+def test_sparse_erdos_renyi():
+    num_nodes, edges = erdos_renyi_gnm(60, 90, seed=5)
+    stream = make_stream(num_nodes, edges, seed=6)
+    assert partitions_match(stream, seed=7)
+
+
+def test_dense_erdos_renyi():
+    num_nodes, edges = erdos_renyi_gnp(40, 0.4, seed=8)
+    stream = make_stream(num_nodes, edges, seed=9)
+    assert partitions_match(stream, seed=10)
+
+
+def test_kronecker_dense_graph():
+    num_nodes, edges = kronecker_graph(KroneckerParameters(scale=6, edge_fraction=0.3, seed=11))
+    stream = make_stream(num_nodes, edges, seed=12)
+    assert partitions_match(stream, seed=13)
+
+
+def test_power_law_graph():
+    num_nodes, edges = chung_lu_graph(80, 200, seed=14)
+    stream = make_stream(num_nodes, edges, seed=15)
+    assert partitions_match(stream, seed=16)
+
+
+def test_preferential_attachment_graph():
+    num_nodes, edges = preferential_attachment_graph(64, edges_per_node=3, seed=17)
+    stream = make_stream(num_nodes, edges, seed=18)
+    assert partitions_match(stream, seed=19)
+
+
+def test_heavy_churn_stream():
+    """Streams where most updates are later deleted still end correct."""
+    num_nodes, edges = erdos_renyi_gnm(40, 60, seed=20)
+    stream = make_stream(num_nodes, edges, seed=21, churn_fraction=2.0, reinsert_fraction=0.5)
+    assert partitions_match(stream, seed=22)
+
+
+def test_graph_fully_deleted_mid_stream():
+    gz = GraphZeppelin(16, config=GraphZeppelinConfig(seed=23))
+    reference = AdjacencyMatrixGraph(16, strict=False)
+    edges = [(0, 1), (1, 2), (2, 3), (4, 5)]
+    for u, v in edges:
+        gz.insert(u, v)
+        reference.insert(u, v)
+    for u, v in edges:
+        gz.delete(u, v)
+        reference.delete(u, v)
+    assert (
+        gz.list_spanning_forest().partition_signature()
+        == reference.spanning_forest().partition_signature()
+    )
+    assert gz.list_spanning_forest().num_components == 16
+
+
+def test_correct_across_multiple_seeds():
+    num_nodes, edges = erdos_renyi_gnm(36, 70, seed=30)
+    stream = make_stream(num_nodes, edges, seed=31)
+    for seed in range(5):
+        assert partitions_match(stream, seed=seed)
+
+
+def test_correct_with_unbuffered_mode():
+    num_nodes, edges = erdos_renyi_gnm(32, 64, seed=32)
+    stream = make_stream(num_nodes, edges, seed=33)
+    config = GraphZeppelinConfig(buffering=BufferingMode.NONE, seed=34)
+    assert partitions_match(stream, config=config)
+
+
+def test_correct_with_gutter_tree_mode():
+    num_nodes, edges = erdos_renyi_gnm(32, 64, seed=35)
+    stream = make_stream(num_nodes, edges, seed=36)
+    config = GraphZeppelinConfig(buffering=BufferingMode.GUTTER_TREE, seed=37)
+    assert partitions_match(stream, config=config)
+
+
+def test_correct_with_ram_budget():
+    num_nodes, edges = erdos_renyi_gnm(24, 40, seed=38)
+    stream = make_stream(num_nodes, edges, seed=39)
+    config = GraphZeppelinConfig(ram_budget_bytes=32 * 1024, seed=40)
+    assert partitions_match(stream, config=config)
+
+
+def test_intermediate_queries_are_also_correct():
+    num_nodes, edges = erdos_renyi_gnm(32, 60, seed=41)
+    stream = make_stream(num_nodes, edges, seed=42)
+    gz = GraphZeppelin(num_nodes, config=GraphZeppelinConfig(seed=43))
+    reference = AdjacencyMatrixGraph(num_nodes, strict=False)
+    checkpoints = set(stream.checkpoints(0.25))
+    position = 0
+    for update in stream:
+        gz.edge_update(update.u, update.v)
+        reference.edge_update(update.u, update.v)
+        position += 1
+        if position in checkpoints:
+            assert (
+                gz.list_spanning_forest().partition_signature()
+                == reference.spanning_forest().partition_signature()
+            )
+
+
+def test_streaming_cc_baseline_matches_reference():
+    """The StreamingCC baseline must also compute correct components."""
+    num_nodes, edges = erdos_renyi_gnm(20, 30, seed=44)
+    stream = make_stream(num_nodes, edges, seed=45, churn_fraction=0.1)
+    scc = StreamingCC(num_nodes, seed=46)
+    reference = AdjacencyMatrixGraph(num_nodes, strict=False)
+    for update in stream:
+        if update.is_insert:
+            scc.insert(update.u, update.v)
+        else:
+            scc.delete(update.u, update.v)
+        reference.apply_update(update)
+    assert (
+        scc.list_spanning_forest().partition_signature()
+        == reference.spanning_forest().partition_signature()
+    )

@@ -1,0 +1,102 @@
+"""Tests for the vectorised mixing hashes and depth mapping."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.mixers import (
+    hash_to_depth,
+    seeded_hash64,
+    seeded_hash64_array,
+    splitmix64,
+    splitmix64_array,
+    trailing_zeros64,
+    xxhash_avalanche,
+    xxhash_avalanche_array,
+)
+
+
+def test_splitmix64_known_value():
+    # splitmix64(0) from the reference implementation.
+    assert splitmix64(0) == 0xE220A8397B1DCDAF
+
+
+def test_scalar_and_array_splitmix_agree():
+    values = np.arange(1000, dtype=np.uint64)
+    array_result = splitmix64_array(values)
+    for i in (0, 1, 17, 999):
+        assert int(array_result[i]) == splitmix64(i)
+
+
+def test_scalar_and_array_avalanche_agree():
+    values = np.array([0, 1, 2**40, 2**63, 123456789], dtype=np.uint64)
+    array_result = xxhash_avalanche_array(values)
+    for value, hashed in zip(values.tolist(), array_result.tolist()):
+        assert hashed == xxhash_avalanche(value)
+
+
+def test_seeded_scalar_and_array_agree():
+    values = np.arange(500, dtype=np.uint64)
+    for seed in (0, 1, 0xABCDEF):
+        array_result = seeded_hash64_array(values, seed)
+        for i in (0, 13, 499):
+            assert int(array_result[i]) == seeded_hash64(i, seed)
+
+
+def test_different_seeds_give_different_functions():
+    values = np.arange(256, dtype=np.uint64)
+    a = seeded_hash64_array(values, 1)
+    b = seeded_hash64_array(values, 2)
+    assert (a != b).mean() > 0.99
+
+
+def test_hash_is_deterministic():
+    assert seeded_hash64(42, 7) == seeded_hash64(42, 7)
+
+
+def test_trailing_zeros():
+    assert trailing_zeros64(1) == 0
+    assert trailing_zeros64(2) == 1
+    assert trailing_zeros64(8) == 3
+    assert trailing_zeros64(0) == 64
+    assert trailing_zeros64(0x8000000000000000) == 63
+
+
+def test_hash_to_depth_row_zero_catches_all():
+    hashes = np.array([1, 2, 3, 4, 1024], dtype=np.uint64)
+    depths = hash_to_depth(hashes, max_depth=10)
+    assert (depths >= 1).all()
+
+
+def test_hash_to_depth_matches_trailing_zeros():
+    hashes = np.array([0b1, 0b10, 0b100, 0b1000, 0], dtype=np.uint64)
+    depths = hash_to_depth(hashes, max_depth=6)
+    assert depths.tolist() == [1, 2, 3, 4, 6]  # zero clamps at max_depth
+
+
+def test_hash_to_depth_clamps_at_max():
+    hashes = np.array([0], dtype=np.uint64)
+    assert hash_to_depth(hashes, max_depth=3).tolist() == [3]
+
+
+def test_hash_to_depth_rejects_bad_max():
+    with pytest.raises(ValueError):
+        hash_to_depth(np.array([1], dtype=np.uint64), max_depth=0)
+
+
+def test_depth_distribution_is_geometric():
+    """About half the hashed keys should land at each successive depth."""
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 2**63, size=200_000, dtype=np.uint64)
+    hashes = seeded_hash64_array(keys, seed=5)
+    depths = hash_to_depth(hashes, max_depth=20)
+    frac_depth_ge_2 = (depths >= 2).mean()
+    frac_depth_ge_3 = (depths >= 3).mean()
+    assert 0.45 < frac_depth_ge_2 < 0.55
+    assert 0.20 < frac_depth_ge_3 < 0.30
+
+
+def test_avalanche_bit_flip_changes_half_the_bits():
+    base = seeded_hash64(123456, 9)
+    flipped = seeded_hash64(123457, 9)
+    differing_bits = bin(base ^ flipped).count("1")
+    assert 16 <= differing_bits <= 48

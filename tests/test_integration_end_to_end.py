@@ -1,0 +1,125 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These tests exercise the same paths the examples and benchmarks use:
+dataset generation -> stream conversion -> ingestion (various
+configurations) -> connectivity queries -> comparison against ground
+truth, including the out-of-core configuration and stream files on
+disk.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.adjacency_matrix import AdjacencyMatrixGraph
+from repro.core.config import BufferingMode, GraphZeppelinConfig
+from repro.core.graph_zeppelin import GraphZeppelin
+from repro.generators.datasets import load_dataset
+from repro.generators.erdos_renyi import erdos_renyi_gnm
+from repro.streaming.generator import StreamConversionSettings, graph_to_stream
+from repro.streaming.io import read_stream_binary, write_stream_binary
+from repro.streaming.validation import validate_stream
+
+
+def reference_partition(stream):
+    reference = AdjacencyMatrixGraph(stream.num_nodes, strict=False)
+    for update in stream:
+        reference.apply_update(update)
+    return reference.spanning_forest().partition_signature()
+
+
+def test_dataset_pipeline_end_to_end():
+    dataset = load_dataset("kron13", scale_reduction=8, seed=2)
+    assert validate_stream(dataset.stream).valid
+    engine = GraphZeppelin(dataset.num_nodes, config=GraphZeppelinConfig(seed=3))
+    for update in dataset.stream:
+        engine.edge_update(update.u, update.v)
+    forest = engine.list_spanning_forest()
+    assert forest.partition_signature() == reference_partition(dataset.stream)
+    # The stream disconnects a few nodes, so there are >= 2 components.
+    assert forest.num_components >= 2
+
+
+def test_real_world_standin_pipeline():
+    dataset = load_dataset("rec-amazon", scale_reduction=9, seed=4)
+    engine = GraphZeppelin(dataset.num_nodes, config=GraphZeppelinConfig(seed=5))
+    engine.ingest(dataset.stream)
+    assert (
+        engine.list_spanning_forest().partition_signature()
+        == reference_partition(dataset.stream)
+    )
+
+
+def test_out_of_core_configuration_end_to_end():
+    """A tight RAM budget must change I/O accounting, never answers."""
+    num_nodes, edges = erdos_renyi_gnm(48, 120, seed=6)
+    stream = graph_to_stream(
+        num_nodes, edges, settings=StreamConversionSettings(seed=7, disconnect_nodes=4)
+    )
+    in_ram = GraphZeppelin(num_nodes, config=GraphZeppelinConfig(seed=8))
+    budget = GraphZeppelin(
+        num_nodes,
+        config=GraphZeppelinConfig.out_of_core(
+            ram_budget_bytes=100_000, use_gutter_tree=True, seed=8
+        ),
+    )
+    for update in stream:
+        in_ram.edge_update(update.u, update.v)
+        budget.edge_update(update.u, update.v)
+    assert (
+        in_ram.list_spanning_forest().partition_signature()
+        == budget.list_spanning_forest().partition_signature()
+    )
+    assert budget.io_stats is not None
+    assert budget.io_stats.total_ios > 0
+    assert in_ram.io_stats is None
+
+
+def test_stream_file_roundtrip_preserves_connectivity(tmp_path):
+    dataset = load_dataset("p2p-gnutella", scale_reduction=9, seed=9)
+    path = tmp_path / "stream.bin"
+    write_stream_binary(dataset.stream, path)
+    restored = read_stream_binary(path)
+    engine = GraphZeppelin(restored.num_nodes, config=GraphZeppelinConfig(seed=10))
+    engine.ingest(restored)
+    assert (
+        engine.list_spanning_forest().partition_signature()
+        == reference_partition(dataset.stream)
+    )
+
+
+def test_repeated_queries_are_stable():
+    num_nodes, edges = erdos_renyi_gnm(32, 64, seed=11)
+    stream = graph_to_stream(
+        num_nodes, edges, settings=StreamConversionSettings(seed=12, disconnect_nodes=0)
+    )
+    engine = GraphZeppelin(num_nodes, config=GraphZeppelinConfig(seed=13))
+    engine.ingest(stream)
+    first = engine.list_spanning_forest().partition_signature()
+    second = engine.list_spanning_forest().partition_signature()
+    assert first == second
+
+
+@given(
+    num_nodes=st.integers(min_value=4, max_value=24),
+    edge_count=st.integers(min_value=0, max_value=60),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_random_streams_match_reference(num_nodes, edge_count, seed):
+    """Property: for random graphs and random stream orders, GraphZeppelin's
+    component partition equals the exact reference partition."""
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    _, edges = erdos_renyi_gnm(num_nodes, min(edge_count, max_edges), seed=seed)
+    stream = graph_to_stream(
+        num_nodes,
+        edges,
+        settings=StreamConversionSettings(
+            seed=seed, churn_fraction=0.3, disconnect_nodes=1, reinsert_fraction=0.2
+        ),
+    )
+    engine = GraphZeppelin(num_nodes, config=GraphZeppelinConfig(seed=seed))
+    engine.ingest(stream)
+    assert (
+        engine.list_spanning_forest().partition_signature()
+        == reference_partition(stream)
+    )

@@ -1,0 +1,230 @@
+"""Tests for the hybrid-memory substrate (block device, cache, store)."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.memory.block_device import DEFAULT_BLOCK_SIZE, BlockDevice, DeviceProfile
+from repro.memory.cache import LRUCache
+from repro.memory.hybrid import HybridMemory, SketchStore
+from repro.memory.metrics import IOStats
+
+
+# ----------------------------------------------------------------------
+# IOStats
+# ----------------------------------------------------------------------
+def test_iostats_accumulation_and_reset():
+    stats = IOStats(block_reads=2, block_writes=3, bytes_read=10, bytes_written=20)
+    assert stats.total_ios == 5
+    assert stats.total_bytes == 30
+    merged = stats.merged_with(IOStats(block_reads=1))
+    assert merged.block_reads == 3
+    stats.reset()
+    assert stats.total_ios == 0
+    assert stats.cache_hit_rate == 0.0
+
+
+def test_iostats_snapshot_keys():
+    snap = IOStats().snapshot()
+    assert "block_reads" in snap and "modelled_seconds" in snap
+
+
+# ----------------------------------------------------------------------
+# BlockDevice
+# ----------------------------------------------------------------------
+def test_block_roundtrip_and_counters():
+    device = BlockDevice(block_size=64)
+    device.write_block(0, b"hello")
+    assert device.read_block(0) == b"hello"
+    assert device.stats.block_writes == 1
+    assert device.stats.block_reads == 1
+    assert device.stats.bytes_written == 5
+
+
+def test_block_size_enforced():
+    device = BlockDevice(block_size=4)
+    with pytest.raises(StorageError):
+        device.write_block(0, b"too large")
+
+
+def test_reading_unwritten_block_fails():
+    device = BlockDevice()
+    with pytest.raises(StorageError):
+        device.read_block(7)
+
+
+def test_sequential_vs_random_accounting():
+    device = BlockDevice(block_size=16)
+    device.write_block(0, b"a")
+    device.write_block(1, b"b")   # sequential
+    device.write_block(10, b"c")  # random
+    assert device.stats.sequential_accesses == 1
+    assert device.stats.random_accesses == 2
+    assert device.stats.modelled_seconds > 0
+
+
+def test_blob_roundtrip_spans_blocks():
+    device = BlockDevice(block_size=8)
+    payload = bytes(range(30))
+    blocks = device.write_blob(5, payload)
+    assert blocks == 4
+    assert device.read_blob(5, blocks)[: len(payload)] == payload
+
+
+def test_delete_block_is_free():
+    device = BlockDevice(block_size=8)
+    device.write_block(0, b"x")
+    ios_before = device.stats.total_ios
+    device.delete_block(0)
+    assert not device.has_block(0)
+    assert device.stats.total_ios == ios_before
+
+
+def test_device_profiles_ordering():
+    assert DeviceProfile.nvme().random_seconds_per_block < DeviceProfile().random_seconds_per_block
+    assert DeviceProfile.spinning_disk().random_seconds_per_block > DeviceProfile().random_seconds_per_block
+
+
+def test_invalid_block_size_rejected():
+    with pytest.raises(StorageError):
+        BlockDevice(block_size=0)
+
+
+# ----------------------------------------------------------------------
+# LRUCache
+# ----------------------------------------------------------------------
+def test_cache_hit_and_miss_counters():
+    cache = LRUCache(100)
+    assert cache.get("a") is None
+    cache.put("a", b"123")
+    assert cache.get("a") == b"123"
+    assert cache.stats.cache_hits == 1
+    assert cache.stats.cache_misses == 1
+
+
+def test_cache_evicts_lru_when_over_budget():
+    evicted = []
+    cache = LRUCache(10, on_evict=lambda key, payload: evicted.append(key))
+    cache.put("a", b"12345")
+    cache.put("b", b"12345")
+    cache.get("a")            # refresh "a"; "b" becomes LRU
+    cache.put("c", b"12345")  # evicts "b"
+    assert "b" in evicted
+    assert "a" in cache and "c" in cache
+
+
+def test_cache_rejects_oversized_items_via_callback():
+    evicted = []
+    cache = LRUCache(4, on_evict=lambda key, payload: evicted.append(key))
+    cache.put("big", b"123456789")
+    assert "big" not in cache
+    assert evicted == ["big"]
+
+
+def test_cache_flush_evicts_everything():
+    evicted = []
+    cache = LRUCache(100, on_evict=lambda key, payload: evicted.append(key))
+    cache.put("a", b"1")
+    cache.put("b", b"2")
+    cache.flush()
+    assert len(cache) == 0
+    assert set(evicted) == {"a", "b"}
+
+
+def test_cache_pop_does_not_invoke_callback():
+    evicted = []
+    cache = LRUCache(100, on_evict=lambda key, payload: evicted.append(key))
+    cache.put("a", b"1")
+    assert cache.pop("a") == b"1"
+    assert evicted == []
+
+
+def test_zero_capacity_cache_never_stores():
+    cache = LRUCache(0)
+    cache.put("a", b"")
+    assert cache.get("a") in (None, b"")
+
+
+# ----------------------------------------------------------------------
+# HybridMemory
+# ----------------------------------------------------------------------
+def test_unbounded_memory_never_touches_device():
+    memory = HybridMemory(ram_bytes=None)
+    memory.store("k", b"payload")
+    assert memory.load("k") == b"payload"
+    assert memory.is_unbounded
+    assert memory.stats.block_reads == 0
+    assert memory.stats.block_writes == 0
+
+
+def test_bounded_memory_spills_and_reloads():
+    memory = HybridMemory(ram_bytes=16, block_size=32)
+    memory.store("a", b"A" * 16)
+    memory.store("b", b"B" * 16)  # evicts "a" to the device
+    assert memory.load("a") == b"A" * 16
+    assert memory.stats.block_writes >= 1
+    assert memory.stats.block_reads >= 1
+
+
+def test_missing_key_raises():
+    memory = HybridMemory(ram_bytes=None)
+    with pytest.raises(KeyError):
+        memory.load("missing")
+    assert "missing" not in memory
+
+
+def test_flush_persists_dirty_entries():
+    memory = HybridMemory(ram_bytes=1024, block_size=32)
+    memory.store("a", b"abc")
+    memory.flush()
+    assert memory.device_bytes > 0
+
+
+def test_store_overwrite_returns_latest():
+    memory = HybridMemory(ram_bytes=8, block_size=16)
+    memory.store("a", b"v1v1v1v1")
+    memory.store("b", b"v2v2v2v2")
+    memory.store("a", b"v3v3v3v3")
+    assert memory.load("a") == b"v3v3v3v3"
+
+
+def test_charge_helpers_accumulate_modelled_time():
+    memory = HybridMemory(ram_bytes=0, block_size=1024)
+    before = memory.stats.modelled_seconds
+    memory.charge_read(4096, sequential=False)
+    memory.charge_write(4096, sequential=True)
+    assert memory.stats.modelled_seconds > before
+    assert memory.stats.block_reads == 4
+    assert memory.stats.block_writes == 4
+    memory.charge_read(0)
+    assert memory.stats.block_reads == 4
+
+
+def test_keys_lists_cached_and_spilled():
+    memory = HybridMemory(ram_bytes=8, block_size=16)
+    memory.store("a", b"12345678")
+    memory.store("b", b"12345678")
+    assert set(memory.keys()) == {"a", "b"}
+
+
+# ----------------------------------------------------------------------
+# SketchStore
+# ----------------------------------------------------------------------
+def test_sketch_store_in_ram_mode_keeps_objects_live():
+    store = SketchStore(serialize=str.encode, deserialize=bytes.decode)
+    store.put(1, "hello")
+    assert store.get(1) == "hello"
+    assert 1 in store and 2 not in store
+    assert list(store.keys()) == [1]
+    assert store.stats is None
+
+
+def test_sketch_store_external_mode_roundtrips_through_bytes():
+    memory = HybridMemory(ram_bytes=4, block_size=16)
+    store = SketchStore(serialize=str.encode, deserialize=bytes.decode, memory=memory)
+    assert store.uses_external_memory
+    store.put("x", "alpha")
+    store.put("y", "beta")
+    assert store.get("x") == "alpha"
+    assert store.get("y") == "beta"
+    assert memory.stats.total_ios > 0
+    store.flush()

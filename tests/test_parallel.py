@@ -1,0 +1,144 @@
+"""Tests for the Graph Worker pool and the thread-scaling cost model."""
+
+import pytest
+
+from repro.baselines.adjacency_matrix import AdjacencyMatrixGraph
+from repro.buffering.base import Batch
+from repro.buffering.work_queue import WorkQueue
+from repro.core.config import BufferingMode, GraphZeppelinConfig
+from repro.core.graph_zeppelin import GraphZeppelin
+from repro.generators.erdos_renyi import erdos_renyi_gnm
+from repro.parallel.cost_model import ThreadScalingModel
+from repro.parallel.graph_workers import GraphWorkerPool, ParallelIngestor
+from repro.streaming.generator import StreamConversionSettings, graph_to_stream
+
+
+# ----------------------------------------------------------------------
+# GraphWorkerPool
+# ----------------------------------------------------------------------
+def test_pool_processes_all_batches():
+    processed = []
+    pool = GraphWorkerPool(apply_batch=lambda batch: processed.append(batch.node), num_workers=3)
+    pool.start()
+    pool.submit_all([Batch(node=i, neighbors=[i + 1]) for i in range(20)])
+    pool.join()
+    assert sorted(processed) == list(range(20))
+    assert pool.batches_processed == 20
+    assert pool.updates_processed == 20
+
+
+def test_pool_serialises_same_node_batches():
+    """Batches for one node must not interleave (per-node critical section)."""
+    log = []
+
+    def apply(batch):
+        log.append(("start", batch.node))
+        log.append(("end", batch.node))
+
+    pool = GraphWorkerPool(apply_batch=apply, num_workers=4)
+    pool.start()
+    pool.submit_all([Batch(node=7, neighbors=[i]) for i in range(50)])
+    pool.join()
+    # Every start for node 7 must be immediately followed by its end.
+    for position in range(0, len(log), 2):
+        assert log[position][0] == "start"
+        assert log[position + 1][0] == "end"
+
+
+def test_pool_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        GraphWorkerPool(apply_batch=lambda b: None, num_workers=0)
+
+
+def test_pool_uses_shared_work_queue():
+    queue = WorkQueue(num_workers=2)
+    pool = GraphWorkerPool(apply_batch=lambda b: None, num_workers=2, work_queue=queue)
+    pool.start()
+    pool.submit(Batch(node=1, neighbors=[2]))
+    pool.join()
+    assert queue.batches_enqueued == 1
+
+
+# ----------------------------------------------------------------------
+# ParallelIngestor
+# ----------------------------------------------------------------------
+def test_parallel_ingestion_matches_reference():
+    num_nodes, edges = erdos_renyi_gnm(40, 80, seed=1)
+    stream = graph_to_stream(
+        num_nodes, edges, settings=StreamConversionSettings(seed=2, disconnect_nodes=3)
+    )
+    engine = GraphZeppelin(num_nodes, config=GraphZeppelinConfig(seed=3))
+    reference = AdjacencyMatrixGraph(num_nodes, strict=False)
+    with ParallelIngestor(engine, num_workers=4) as ingestor:
+        for update in stream:
+            ingestor.edge_update(update.u, update.v)
+            reference.edge_update(update.u, update.v)
+    assert (
+        engine.list_spanning_forest().partition_signature()
+        == reference.spanning_forest().partition_signature()
+    )
+    assert engine.updates_processed == len(stream)
+
+
+def test_parallel_ingestion_unbuffered_mode():
+    engine = GraphZeppelin(
+        16, config=GraphZeppelinConfig(buffering=BufferingMode.NONE, seed=4)
+    )
+    with ParallelIngestor(engine, num_workers=2) as ingestor:
+        ingestor.edge_update(0, 1)
+        ingestor.edge_update(1, 2)
+    forest = engine.list_spanning_forest()
+    assert forest.connected(0, 2)
+
+
+def test_parallel_ingest_helper_counts():
+    num_nodes, edges = erdos_renyi_gnm(16, 20, seed=5)
+    stream = graph_to_stream(
+        num_nodes, edges, settings=StreamConversionSettings(seed=6, disconnect_nodes=0)
+    )
+    engine = GraphZeppelin(num_nodes, config=GraphZeppelinConfig(seed=7))
+    with ParallelIngestor(engine, num_workers=2) as ingestor:
+        count = ingestor.ingest(stream)
+    assert count == len(stream)
+
+
+# ----------------------------------------------------------------------
+# ThreadScalingModel
+# ----------------------------------------------------------------------
+def test_model_speedup_is_monotone_then_saturates():
+    model = ThreadScalingModel.paper_like(single_thread_rate=100_000)
+    speedups = [model.speedup(t) for t in (1, 2, 4, 8, 16, 24, 46)]
+    assert speedups[0] == pytest.approx(1.0, abs=0.05)
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))
+    # diminishing returns: the last doubling gains less than the first
+    assert speedups[1] / speedups[0] > speedups[-1] / speedups[-2]
+
+
+def test_model_matches_paper_scale_at_46_threads():
+    """The paper reports ~26x at 46 threads; the calibrated model should land nearby."""
+    model = ThreadScalingModel.paper_like(single_thread_rate=160_000)
+    assert 20 <= model.speedup(46) <= 32
+
+
+def test_model_rate_scales_with_single_thread_rate():
+    slow = ThreadScalingModel.paper_like(1000)
+    fast = ThreadScalingModel.paper_like(2000)
+    assert fast.ingestion_rate(8) == pytest.approx(2 * slow.ingestion_rate(8))
+
+
+def test_model_hyperthread_discount():
+    model = ThreadScalingModel(single_thread_rate=1000, physical_cores=4, hyperthread_yield=0.3)
+    assert model.effective_workers(4) == 4
+    assert model.effective_workers(8) == pytest.approx(4 + 4 * 0.3)
+
+
+def test_model_curve_rows():
+    model = ThreadScalingModel.paper_like(1000)
+    rows = model.curve([1, 2, 4])
+    assert [row["threads"] for row in rows] == [1, 2, 4]
+    assert all("ingestion_rate" in row and "speedup" in row for row in rows)
+
+
+def test_model_rejects_zero_threads():
+    with pytest.raises(ValueError):
+        ThreadScalingModel.paper_like(1000).speedup(0)

@@ -1,0 +1,96 @@
+"""Tests for the networkx / scipy / edge-list stream adapters."""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.config import GraphZeppelinConfig
+from repro.core.graph_zeppelin import GraphZeppelin
+from repro.exceptions import GraphGenerationError
+from repro.streaming.adapters import (
+    edges_from_networkx,
+    edges_from_scipy_sparse,
+    forest_to_networkx,
+    stream_from_edge_list,
+    stream_from_networkx,
+    stream_from_scipy_sparse,
+)
+from repro.streaming.generator import StreamConversionSettings
+from repro.streaming.validation import validate_stream
+
+
+def no_disconnect():
+    return StreamConversionSettings(disconnect_nodes=0, seed=1)
+
+
+def test_edges_from_networkx_maps_arbitrary_labels():
+    graph = nx.Graph()
+    graph.add_edges_from([("a", "b"), ("b", "c"), ("a", "a")])  # self loop dropped
+    num_nodes, edges, mapping = edges_from_networkx(graph)
+    assert num_nodes == 3
+    assert len(edges) == 2
+    assert set(mapping.keys()) == {"a", "b", "c"}
+
+
+def test_stream_from_networkx_preserves_components():
+    graph = nx.karate_club_graph()
+    stream = stream_from_networkx(graph, settings=no_disconnect())
+    assert validate_stream(stream).valid
+    engine = GraphZeppelin(stream.num_nodes, config=GraphZeppelinConfig(seed=2))
+    engine.ingest(stream)
+    assert engine.num_connected_components() == nx.number_connected_components(graph)
+
+
+def test_forest_to_networkx_roundtrip():
+    graph = nx.path_graph(10)
+    stream = stream_from_networkx(graph, settings=no_disconnect())
+    engine = GraphZeppelin(stream.num_nodes, config=GraphZeppelinConfig(seed=3))
+    engine.ingest(stream)
+    forest_graph = forest_to_networkx(engine.list_spanning_forest())
+    assert nx.number_connected_components(forest_graph) == 1
+    assert forest_graph.number_of_edges() == 9
+
+
+def test_stream_from_networkx_rejects_tiny_graph():
+    graph = nx.Graph()
+    graph.add_node("only")
+    with pytest.raises(GraphGenerationError):
+        stream_from_networkx(graph)
+
+
+def test_edges_from_scipy_sparse_symmetrises():
+    matrix = sp.lil_matrix((4, 4))
+    matrix[0, 1] = 1
+    matrix[1, 0] = 1   # duplicate orientation collapses
+    matrix[2, 3] = 5
+    matrix[3, 3] = 7   # self loop ignored
+    num_nodes, edges = edges_from_scipy_sparse(matrix.tocsr())
+    assert num_nodes == 4
+    assert sorted(edges) == [(0, 1), (2, 3)]
+
+
+def test_stream_from_scipy_sparse_components():
+    rng = np.random.default_rng(4)
+    adjacency = (rng.random((12, 12)) < 0.2).astype(int)
+    adjacency = np.triu(adjacency, 1)
+    matrix = sp.csr_matrix(adjacency)
+    stream = stream_from_scipy_sparse(matrix, settings=no_disconnect())
+    assert validate_stream(stream).valid
+    reference = nx.Graph(sp.csr_matrix(adjacency + adjacency.T))
+    reference.add_nodes_from(range(12))
+    engine = GraphZeppelin(12, config=GraphZeppelinConfig(seed=5))
+    engine.ingest(stream)
+    assert engine.num_connected_components() == nx.number_connected_components(reference)
+
+
+def test_scipy_adapter_rejects_non_square():
+    with pytest.raises(GraphGenerationError):
+        edges_from_scipy_sparse(sp.csr_matrix(np.ones((2, 3))))
+
+
+def test_stream_from_edge_list_dedupes():
+    stream = stream_from_edge_list(5, [(0, 1), (1, 0), (2, 2), (3, 4)],
+                                   settings=no_disconnect())
+    assert stream.final_edges() == {(0, 1), (3, 4)}
+    assert validate_stream(stream).valid

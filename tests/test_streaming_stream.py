@@ -1,0 +1,114 @@
+"""Tests for GraphStream and the stream update types."""
+
+import pytest
+
+from repro.streaming.stream import GraphStream
+from repro.types import EdgeUpdate, UpdateType, canonical_edge, iter_edges
+
+
+# ----------------------------------------------------------------------
+# EdgeUpdate / canonical_edge
+# ----------------------------------------------------------------------
+def test_edge_update_canonicalises_endpoints():
+    update = EdgeUpdate(5, 2)
+    assert update.edge == (2, 5)
+    assert update.u == 2 and update.v == 5
+
+
+def test_edge_update_rejects_self_loop_and_negative():
+    with pytest.raises(ValueError):
+        EdgeUpdate(3, 3)
+    with pytest.raises(ValueError):
+        EdgeUpdate(-1, 2)
+
+
+def test_edge_update_kind_helpers():
+    insert = EdgeUpdate(0, 1, UpdateType.INSERT)
+    delete = insert.inverted()
+    assert insert.is_insert and not insert.is_delete
+    assert delete.is_delete and delete.edge == insert.edge
+    assert delete.inverted() == insert
+
+
+def test_update_type_delta():
+    assert UpdateType.INSERT.delta == 1
+    assert UpdateType.DELETE.delta == -1
+
+
+def test_canonical_edge_helpers():
+    assert canonical_edge(9, 4) == (4, 9)
+    assert list(iter_edges([(3, 1), (2, 5)])) == [(1, 3), (2, 5)]
+    with pytest.raises(ValueError):
+        canonical_edge(1, 1)
+
+
+# ----------------------------------------------------------------------
+# GraphStream
+# ----------------------------------------------------------------------
+def make_stream():
+    updates = [
+        EdgeUpdate(0, 1, UpdateType.INSERT),
+        EdgeUpdate(1, 2, UpdateType.INSERT),
+        EdgeUpdate(0, 1, UpdateType.DELETE),
+        EdgeUpdate(3, 4, UpdateType.INSERT),
+    ]
+    return GraphStream(num_nodes=5, updates=updates, name="demo")
+
+
+def test_stream_length_and_iteration():
+    stream = make_stream()
+    assert len(stream) == 4
+    assert stream.num_updates == 4
+    assert [u.edge for u in stream] == [(0, 1), (1, 2), (0, 1), (3, 4)]
+
+
+def test_final_edges_replays_deletions():
+    stream = make_stream()
+    assert stream.final_edges() == {(1, 2), (3, 4)}
+
+
+def test_edges_at_prefix():
+    stream = make_stream()
+    assert stream.edges_at(2) == {(0, 1), (1, 2)}
+    assert stream.edges_at(0) == set()
+
+
+def test_prefix_returns_new_stream():
+    stream = make_stream()
+    prefix = stream.prefix(2)
+    assert len(prefix) == 2
+    assert prefix.num_nodes == stream.num_nodes
+    assert prefix.final_edges() == {(0, 1), (1, 2)}
+    # the original is untouched
+    assert len(stream) == 4
+
+
+def test_counts():
+    stream = make_stream()
+    assert stream.counts() == (3, 1)
+
+
+def test_checkpoints_cover_stream_end():
+    stream = make_stream()
+    positions = stream.checkpoints(0.5)
+    assert positions[-1] == len(stream)
+    assert all(0 < p <= len(stream) for p in positions)
+    with pytest.raises(ValueError):
+        stream.checkpoints(0)
+
+
+def test_append_and_extend():
+    stream = GraphStream(num_nodes=4)
+    stream.append(EdgeUpdate(0, 1))
+    stream.extend([EdgeUpdate(1, 2), EdgeUpdate(2, 3)])
+    assert len(stream) == 3
+
+
+def test_from_edges_builds_insert_only_stream():
+    stream = GraphStream.from_edges(4, [(0, 1), (2, 3)])
+    assert all(update.is_insert for update in stream)
+    assert stream.final_edges() == {(0, 1), (2, 3)}
+
+
+def test_repr_contains_counts():
+    assert "3 ins / 1 del" in repr(make_stream())
