@@ -73,6 +73,25 @@ def test_fig04_cubesketch_update_kernel(benchmark):
     benchmark(sketch.update_batch, batch)
 
 
+def test_fig04_flat_bundle_update_kernel(benchmark):
+    """pytest-benchmark timing of the columnar whole-bundle kernel.
+
+    Where the CubeSketch kernel above folds one round's sketch, this
+    folds a full node bundle (every Boruvka round at once) through the
+    flat tensor path -- the unit of work the ingest pipeline actually
+    performs per batch.
+    """
+    from repro.core.edge_encoding import EdgeEncoder
+    from repro.sketch.flat_node_sketch import FlatNodeSketch
+
+    encoder = EdgeEncoder(10_000)
+    sketch = FlatNodeSketch(0, encoder, graph_seed=1)
+    rng = np.random.default_rng(1)
+    neighbors = rng.integers(1, 10_000, size=10_000)
+    indices = encoder.encode_batch(0, neighbors)
+    benchmark(sketch.apply_indices, indices)
+
+
 def test_fig04_standard_l0_update_kernel(benchmark):
     """pytest-benchmark timing of the baseline sampler's scalar update."""
     sketch = StandardL0Sketch(10**8, seed=1)

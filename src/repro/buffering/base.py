@@ -6,6 +6,8 @@ import abc
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
+import numpy as np
+
 #: Bytes one buffered update occupies: two 32-bit node ids, matching the
 #: "2B to encode an edge" style accounting the paper uses for buffers.
 BYTES_PER_BUFFERED_UPDATE = 8
@@ -66,6 +68,58 @@ class BufferingSystem(abc.ABC):
         batches = self.insert(u, v)
         batches.extend(self.insert(v, u))
         return batches
+
+    def insert_batch(self, dsts, neighbors) -> List[Batch]:
+        """Buffer a column of single-direction updates at once.
+
+        ``dsts[i]`` receives the update ``{dsts[i], neighbors[i]}``; the
+        columnar ingest path passes both mirrored halves of its edge
+        array in one call.  The base implementation loops; the concrete
+        buffering structures override it with vectorised grouping.
+        """
+        batches: List[Batch] = []
+        for u, v in zip(dsts, neighbors):
+            batches.extend(self.insert(int(u), int(v)))
+        return batches
+
+
+def as_update_columns(
+    dsts, neighbors, num_nodes: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate a pair of update columns and return them as int64 arrays.
+
+    Shared prologue of every vectorised ``insert_batch``: both columns
+    must be matching 1-D arrays of node ids inside ``[0, num_nodes)``.
+    """
+    dst_array = np.asarray(dsts, dtype=np.int64)
+    neighbor_array = np.asarray(neighbors, dtype=np.int64)
+    if dst_array.shape != neighbor_array.shape or dst_array.ndim != 1:
+        raise ValueError("dsts and neighbors must be matching one-dimensional arrays")
+    for column in (dst_array, neighbor_array):
+        if column.size and ((column < 0) | (column >= num_nodes)).any():
+            raise ValueError(f"node outside [0, {num_nodes})")
+    return dst_array, neighbor_array
+
+
+def group_by_destination(
+    dsts: np.ndarray, neighbors: np.ndarray
+) -> Iterator[Tuple[int, np.ndarray]]:
+    """Yield ``(node, neighbor_chunk)`` groups of an update column.
+
+    One stable argsort, then contiguous segments per destination --
+    the single implementation behind the vectorised buffering inserts
+    and the engine's unbuffered grouped apply.
+    """
+    if dsts.size == 0:
+        return
+    order = np.argsort(dsts, kind="stable")
+    sorted_dsts = dsts[order]
+    sorted_neighbors = neighbors[order]
+    cuts = np.flatnonzero(sorted_dsts[1:] != sorted_dsts[:-1]) + 1
+    starts = np.concatenate(([0], cuts))
+    ends = np.concatenate((cuts, [sorted_dsts.size]))
+    for start, end in zip(starts.tolist(), ends.tolist()):
+        yield int(sorted_dsts[start]), sorted_neighbors[start:end]
 
 
 def gutter_capacity_updates(

@@ -27,6 +27,7 @@ from repro.buffering.base import (
     BYTES_PER_BUFFERED_UPDATE,
     Batch,
     BufferingSystem,
+    as_update_columns,
     gutter_capacity_updates,
 )
 from repro.exceptions import ConfigurationError
@@ -123,6 +124,25 @@ class GutterTree(BufferingSystem):
         self._check_node(v)
         self._root.buffer.append((u, v))
         self._pending += 1
+        if len(self._root.buffer) >= self._buffer_capacity:
+            return self._flush_node(self._root)
+        return []
+
+    def insert_batch(self, dsts, neighbors) -> List[Batch]:
+        """Buffer a whole update column at the root in one extend.
+
+        The root buffer is the only structure the scalar path touches
+        per update, so the batched path validates the columns
+        vectorised, extends the root once, and flushes (recursively) if
+        the extension crossed the capacity.
+        """
+        dst_array, neighbor_array = as_update_columns(dsts, neighbors, self.num_nodes)
+        if dst_array.size == 0:
+            return []
+        self._root.buffer.extend(
+            zip(dst_array.tolist(), neighbor_array.tolist())
+        )
+        self._pending += int(dst_array.size)
         if len(self._root.buffer) >= self._buffer_capacity:
             return self._flush_node(self._root)
         return []

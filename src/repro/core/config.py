@@ -51,6 +51,16 @@ class GraphZeppelinConfig:
         the partial forest is returned with ``complete=False``.
     seed:
         Root seed from which every hash function is derived.
+    sketch_backend:
+        ``"flat"`` (default) stores node sketches as contiguous tensors
+        -- one :class:`~repro.sketch.tensor_pool.NodeTensorPool` for the
+        whole graph when everything fits in RAM, per-node
+        :class:`~repro.sketch.flat_node_sketch.FlatNodeSketch` blobs
+        when a RAM budget forces sketches through the hybrid memory.
+        ``"legacy"`` keeps the original per-round CubeSketch bundles;
+        both backends are bit-identical under the same seed (the
+        property tests assert this), so legacy exists for comparison
+        benchmarks and as the reference implementation.
     """
 
     delta: float = 0.01
@@ -61,10 +71,15 @@ class GraphZeppelinConfig:
     validate_stream: bool = False
     strict_queries: bool = False
     seed: int = 0
+    sketch_backend: str = "flat"
 
     def __post_init__(self) -> None:
         if not 0 < self.delta < 1:
             raise ConfigurationError("delta must be in (0, 1)")
+        if self.sketch_backend not in ("flat", "legacy"):
+            raise ConfigurationError(
+                f"unknown sketch_backend {self.sketch_backend!r} (use 'flat' or 'legacy')"
+            )
         if self.gutter_fraction <= 0:
             raise ConfigurationError("gutter_fraction must be positive")
         if self.num_workers < 1:

@@ -87,6 +87,17 @@ class EdgeEncoder:
         hi = np.maximum(others, node).astype(np.uint64)
         return lo * np.uint64(self.num_nodes) + hi
 
+    def encode_canonical_pairs(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Vectorised encoding of pre-validated canonical edge pairs.
+
+        Inputs must satisfy ``0 <= lo < hi < num_nodes`` elementwise; the
+        columnar ingest path validates and canonicalises its whole edge
+        array first and then encodes with this single expression.
+        Keeping it here (rather than inlining ``lo * V + hi`` at call
+        sites) means the index layout has one owner.
+        """
+        return lo.astype(np.uint64) * np.uint64(self.num_nodes) + hi.astype(np.uint64)
+
     def decode_batch(self, indices: np.ndarray) -> List[Edge]:
         """Decode an array of indices (all must be valid)."""
         return [self.decode(int(index)) for index in np.asarray(indices).ravel()]

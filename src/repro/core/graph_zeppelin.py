@@ -4,21 +4,35 @@ This is the system of Section 5 of the paper.  Stream updates enter
 through :meth:`GraphZeppelin.edge_update` (or the ``insert`` /
 ``delete`` convenience wrappers), are collected per destination node by
 the configured buffering structure, and are folded into the node
-sketches in batches.  A connectivity query flushes the buffers and runs
-the sketch-based Boruvka algorithm, returning a
+sketches in batches.  Columnar callers hand whole ``(N, 2)`` edge
+arrays to :meth:`GraphZeppelin.ingest_batch`, which canonicalises,
+mirrors, and encodes the updates with numpy and drives the sketch layer
+without any per-edge Python work.  A connectivity query flushes the
+buffers and runs the sketch-based Boruvka algorithm, returning a
 :class:`~repro.core.spanning_forest.SpanningForest`.
 
-The engine can run fully in RAM (the default) or with a RAM budget, in
-which case node sketches are stored through the hybrid-memory substrate
-and every access pays modelled SSD I/O -- the configuration used by the
-out-of-core experiments (Figures 12, 15, 16b).
+Sketch state lives in one of three places depending on configuration:
+
+* **flat backend, everything in RAM** (the default): a single
+  :class:`~repro.sketch.tensor_pool.NodeTensorPool` holds every node's
+  bundle in two contiguous tensors and mixed multi-node batches fold in
+  one columnar kernel pass;
+* **flat backend, RAM budget**: per-node
+  :class:`~repro.sketch.flat_node_sketch.FlatNodeSketch` blobs move
+  through the hybrid-memory substrate, each as one contiguous payload,
+  paying modelled SSD I/O (the out-of-core experiments, Figures 12, 15,
+  16b);
+* **legacy backend**: the original per-round CubeSketch bundles, kept
+  as the bit-identical reference implementation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.buffering.base import Batch, BufferingSystem
+import numpy as np
+
+from repro.buffering.base import Batch, BufferingSystem, group_by_destination
 from repro.buffering.gutter_tree import GutterTree
 from repro.buffering.leaf_gutters import LeafGutters
 from repro.core.boruvka import BoruvkaStats, sketch_spanning_forest
@@ -29,7 +43,10 @@ from repro.core.spanning_forest import SpanningForest
 from repro.exceptions import ConfigurationError, InvalidStreamError
 from repro.memory.hybrid import HybridMemory, SketchStore
 from repro.memory.metrics import IOStats
+from repro.sketch.flat_node_sketch import FlatNodeSketch, merged_round_query
+from repro.sketch.sizes import node_sketch_size_bytes
 from repro.sketch.sketch_base import SampleResult
+from repro.sketch.tensor_pool import NodeTensorPool
 from repro.types import Edge, EdgeUpdate, UpdateType, canonical_edge
 
 
@@ -70,17 +87,40 @@ class GraphZeppelin:
         else:
             self.memory = None
 
-        self._store: SketchStore[NodeSketch] = SketchStore(
-            serialize=lambda sketch: sketch.to_bytes(),
-            deserialize=lambda payload: NodeSketch.from_bytes(
-                payload, self.encoder, self.config.seed, delta=self.config.delta
-            ),
-            memory=self.memory,
-        )
-        for node in range(self.num_nodes):
-            self._store.put(node, self._new_node_sketch(node))
+        self._backend = self.config.sketch_backend
+        external = self.memory is not None and not self.memory.is_unbounded
+        self._pool: Optional[NodeTensorPool] = None
+        self._store: Optional[SketchStore] = None
+        if self._backend == "flat" and not external:
+            # Everything fits in RAM: one contiguous tensor pool for the
+            # whole graph, shared by the columnar and per-edge paths.
+            self._pool = NodeTensorPool(
+                self.num_nodes,
+                self.encoder,
+                graph_seed=self.config.seed,
+                delta=self.config.delta,
+                num_rounds=self.num_rounds,
+            )
+        else:
+            if self._backend == "flat":
+                deserialize = lambda payload: FlatNodeSketch.from_bytes(
+                    payload, self.encoder, self.config.seed, delta=self.config.delta
+                )
+            else:
+                deserialize = lambda payload: NodeSketch.from_bytes(
+                    payload, self.encoder, self.config.seed, delta=self.config.delta
+                )
+            self._store = SketchStore(
+                serialize=lambda sketch: sketch.to_bytes(),
+                deserialize=deserialize,
+                memory=self.memory,
+            )
+            for node in range(self.num_nodes):
+                self._store.put(node, self._new_node_sketch(node))
 
-        self._node_sketch_bytes = self._store.get(0).size_bytes()
+        self._node_sketch_bytes = node_sketch_size_bytes(
+            self.num_nodes, self.config.delta
+        )
         self._buffering = self._build_buffering()
         self._updates_processed = 0
         self._batches_applied = 0
@@ -135,6 +175,66 @@ class GraphZeppelin:
             count += 1
         return count
 
+    def ingest_batch(self, edges: Union[np.ndarray, Sequence[Tuple[int, int]]]) -> int:
+        """Columnar ingestion of an ``(N, 2)`` array of edge toggles.
+
+        The whole batch is canonicalised, mirrored, and encoded with
+        numpy; no per-edge Python work happens anywhere on the path.
+        With the in-RAM tensor pool the mixed multi-node update column
+        goes straight through the columnar fold kernel (buffering would
+        only add copying); out-of-core configurations route the columns
+        through the buffering structure's vectorised ``insert_batch`` so
+        per-node batches still amortise sketch page-ins.
+
+        Like :meth:`edge_update`, each row is a toggle: inserting an
+        absent edge and deleting a present one are the same operation
+        over Z_2.  When stream validation is enabled, the tracked edge
+        set is toggled to match, so later validated ``insert`` /
+        ``delete`` calls stay consistent.  Returns the number of edge
+        updates ingested.
+        """
+        array = np.asarray(edges)
+        if array.size == 0:
+            return 0
+        if array.ndim != 2 or array.shape[1] != 2:
+            raise InvalidStreamError("ingest_batch expects an (N, 2) edge array")
+        endpoints = array.astype(np.int64, copy=False)
+        u, v = endpoints[:, 0], endpoints[:, 1]
+        if ((u < 0) | (u >= self.num_nodes) | (v < 0) | (v >= self.num_nodes)).any():
+            raise InvalidStreamError("batch contains an endpoint outside the graph")
+        if (u == v).any():
+            raise InvalidStreamError("batch contains a self loop")
+
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        count = int(lo.size)
+        self._updates_processed += count
+        if self._current_edges is not None:
+            # Toggle per occurrence (a repeated edge cancels), matching the
+            # sketch semantics; validation mode is already documented as
+            # O(E) bookkeeping, so the per-row loop is acceptable here.
+            for edge in zip(lo.tolist(), hi.tolist()):
+                if edge in self._current_edges:
+                    self._current_edges.remove(edge)
+                else:
+                    self._current_edges.add(edge)
+
+        if self._pool is not None:
+            self._pool.apply_edges(
+                lo, hi, self.encoder.encode_canonical_pairs(lo, hi)
+            )
+            self._batches_applied += 1
+            return count
+
+        dsts = np.concatenate([lo, hi])
+        neighbors = np.concatenate([hi, lo])
+        if self._buffering is not None:
+            for batch in self._buffering.insert_batch(dsts, neighbors):
+                self._apply_batch(batch)
+        else:
+            self._apply_grouped(dsts, neighbors)
+        return count
+
     # ------------------------------------------------------------------
     # queries (user API)
     # ------------------------------------------------------------------
@@ -182,8 +282,10 @@ class GraphZeppelin:
         for batch in self._buffering.flush_all():
             self._apply_batch(batch)
 
-    def node_sketch(self, node: int) -> NodeSketch:
+    def node_sketch(self, node: int) -> Union[NodeSketch, FlatNodeSketch]:
         """The current sketch of one node (a copy-safe reference)."""
+        if self._pool is not None:
+            return self._pool.node_sketch(node)
         return self._store.get(node)
 
     # ------------------------------------------------------------------
@@ -240,8 +342,9 @@ class GraphZeppelin:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _new_node_sketch(self, node: int) -> NodeSketch:
-        return NodeSketch(
+    def _new_node_sketch(self, node: int) -> Union[NodeSketch, FlatNodeSketch]:
+        sketch_class = FlatNodeSketch if self._backend == "flat" else NodeSketch
+        return sketch_class(
             node,
             self.encoder,
             graph_seed=self.config.seed,
@@ -281,10 +384,18 @@ class GraphZeppelin:
     def _apply_batch(self, batch: Batch) -> None:
         if len(batch) == 0:
             return
-        sketch = self._store.get(batch.node)
-        sketch.apply_batch(batch.neighbors)
-        self._store.put(batch.node, sketch)
+        if self._pool is not None:
+            self._pool.apply_node_batch(batch.node, batch.neighbors)
+        else:
+            sketch = self._store.get(batch.node)
+            sketch.apply_batch(batch.neighbors)
+            self._store.put(batch.node, sketch)
         self._batches_applied += 1
+
+    def _apply_grouped(self, dsts: np.ndarray, neighbors: np.ndarray) -> None:
+        """Group a mixed update column by destination and apply per node."""
+        for node, chunk in group_by_destination(dsts, neighbors):
+            self._apply_batch(Batch(node=node, neighbors=chunk))
 
     def _component_cut_sample(
         self, round_index: int, members: Sequence[int]
@@ -293,7 +404,12 @@ class GraphZeppelin:
 
         XOR-merges the round-``round_index`` sketches of the component's
         member nodes (without mutating them) and queries the result.
+        With the tensor pool this is one fancy gather + XOR reduction;
+        the object-store backends stack their members' raw arrays.
         """
+        if self._pool is not None:
+            return self._pool.query_merged(members, round_index)
         sketches = [self._store.get(node) for node in members]
-        merged = merged_round_sketch(sketches, round_index)
-        return merged.query()
+        if self._backend == "legacy":
+            return merged_round_sketch(sketches, round_index).query()
+        return merged_round_query(sketches, round_index)

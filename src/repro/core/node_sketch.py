@@ -203,11 +203,33 @@ def merged_round_sketch(
 
     Used by the Boruvka driver to build a component's cut sketch without
     mutating the per-node sketches (so the stream can continue after a
-    query).
+    query).  This is the inner loop of every Boruvka query, so instead
+    of the old copy-then-merge chain (one full bucket-array copy plus
+    one XOR pass per member), the members' raw arrays are stacked and
+    XOR-reduced in a single numpy reduction.
     """
     if not node_sketches:
         raise ValueError("merged_round_sketch requires at least one node sketch")
-    total = node_sketches[0].round_sketch(round_index).copy()
-    for node_sketch in node_sketches[1:]:
-        total.merge(node_sketch.round_sketch(round_index))
+    round_sketches = [ns.round_sketch(round_index) for ns in node_sketches]
+    first = round_sketches[0]
+    if len(round_sketches) == 1:
+        return first.copy()
+    for sketch in round_sketches[1:]:
+        if not first.is_compatible(sketch):
+            raise IncompatibleSketchError(
+                "cannot merge CubeSketches with different shapes or seeds"
+            )
+    total = CubeSketch(
+        first.vector_length,
+        delta=first.delta,
+        seed=first.seed,
+        num_columns=first.num_columns,
+        num_rows=first.num_rows,
+    )
+    alpha, gamma = zip(*(sketch.raw_arrays() for sketch in round_sketches))
+    # The reduce outputs are fresh arrays, so they become the merged
+    # sketch's buckets directly -- no per-member or per-array copies.
+    total._alpha = np.bitwise_xor.reduce(np.stack(alpha))
+    total._gamma = np.bitwise_xor.reduce(np.stack(gamma))
+    total._updates_applied = sum(sketch.updates_applied for sketch in round_sketches)
     return total

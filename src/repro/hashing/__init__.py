@@ -20,8 +20,10 @@ checksums.  This package provides:
 from repro.hashing.carter_wegman import CarterWegmanHash, MERSENNE_PRIME_61
 from repro.hashing.mixers import (
     hash_to_depth,
+    mix_seed_array,
     seeded_hash64,
     seeded_hash64_array,
+    seeded_hash64_matrix,
     splitmix64,
     splitmix64_array,
     xxhash_avalanche,
@@ -38,8 +40,10 @@ __all__ = [
     "TabulationHash",
     "derive_seed",
     "hash_to_depth",
+    "mix_seed_array",
     "seeded_hash64",
     "seeded_hash64_array",
+    "seeded_hash64_matrix",
     "splitmix64",
     "splitmix64_array",
     "xxhash_avalanche",

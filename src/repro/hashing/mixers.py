@@ -95,6 +95,59 @@ def seeded_hash64_array(values: np.ndarray, seed: int) -> np.ndarray:
     return xxhash_avalanche_array(splitmix64_array(v))
 
 
+def mix_seed_array(seeds: np.ndarray) -> np.ndarray:
+    """Pre-diffuse an array of seeds the way :func:`seeded_hash64` does.
+
+    ``seeded_hash64(value, seed)`` first runs the seed through splitmix64
+    before XOR-ing it into the key.  Hashing a batch of keys against many
+    seeds repeats that per-seed diffusion every call; callers on the hot
+    path (the flat node sketch) premix their whole seed matrix once at
+    construction and pass the result to :func:`seeded_hash64_matrix`.
+    """
+    return splitmix64_array(np.asarray(seeds).astype(np.uint64, copy=False))
+
+
+def _finalise_inplace(v: np.ndarray) -> np.ndarray:
+    """splitmix64 followed by the xxHash avalanche, mutating ``v`` in place.
+
+    The broadcasted ``(K, S)`` hash matrices are large enough that the
+    temporaries of the copying array variants dominate; the in-place
+    pipeline touches the matrix once per operation and allocates nothing.
+    """
+    with np.errstate(over="ignore"):
+        v += np.uint64(_SPLITMIX_GAMMA)
+        v ^= v >> np.uint64(30)
+        v *= np.uint64(_SPLITMIX_MUL1)
+        v ^= v >> np.uint64(27)
+        v *= np.uint64(_SPLITMIX_MUL2)
+        v ^= v >> np.uint64(31)
+        v ^= v >> np.uint64(33)
+        v *= np.uint64(_XX_PRIME_2)
+        v ^= v >> np.uint64(29)
+        v *= np.uint64(_XX_PRIME_3)
+        v ^= v >> np.uint64(32)
+    return v
+
+
+def seeded_hash64_matrix(values: np.ndarray, mixed_seeds: np.ndarray) -> np.ndarray:
+    """Hash ``K`` values under ``S`` seeds in one shot, as a ``(K, S)`` matrix.
+
+    ``mixed_seeds`` must already be diffused with :func:`mix_seed_array`;
+    entry ``[k, s]`` of the result then equals
+    ``seeded_hash64(values[k], seeds[s])`` bit-for-bit.  This is the
+    kernel of the columnar sketch engine: one batch of edge-slot indices
+    is hashed against every (round, column) hash function with a single
+    broadcasted expression instead of a Python loop per column.
+    """
+    v = np.asarray(values).astype(np.uint64, copy=False)
+    m = np.asarray(mixed_seeds).astype(np.uint64, copy=False)
+    if v.ndim != 1 or m.ndim != 1:
+        raise ValueError("seeded_hash64_matrix expects 1-D values and 1-D seeds")
+    with np.errstate(over="ignore"):
+        keys = v[:, None] ^ m[None, :]
+    return _finalise_inplace(keys)
+
+
 def hash_to_depth(hashes: np.ndarray, max_depth: int) -> np.ndarray:
     """Map hash values to geometric bucket depths.
 
@@ -114,18 +167,18 @@ def hash_to_depth(hashes: np.ndarray, max_depth: int) -> np.ndarray:
     if max_depth < 1:
         raise ValueError("max_depth must be at least 1")
     h = hashes.astype(np.uint64, copy=False)
-    depths = np.ones(h.shape, dtype=np.int64)
-    # Count trailing zeros by repeatedly testing low bits; max_depth is
-    # O(log n) (< 64 for any realistic vector) so this loop is short and
-    # each iteration is a fully vectorised mask operation.
-    remaining = h.copy()
-    alive = np.ones(h.shape, dtype=bool)
-    for _ in range(max_depth - 1):
-        alive &= (remaining & np.uint64(1)) == 0
-        if not alive.any():
-            break
-        depths[alive] += 1
-        remaining >>= np.uint64(1)
+    # depth = 1 + (trailing zero bits), clamped to max_depth.  The lowest
+    # set bit ``h & -h`` is a power of two, which float64 represents
+    # exactly up to 2^63, so log2 recovers the trailing-zero count with
+    # three vectorised passes instead of a Python loop over rows.
+    with np.errstate(over="ignore"):
+        lowest_bit = h & (np.uint64(0) - h)
+    with np.errstate(divide="ignore"):
+        trailing = np.log2(lowest_bit.astype(np.float64))
+    # h == 0 gives log2(0) = -inf; clamp into [0, max_depth - 1] before the
+    # integer cast and patch those entries to the full depth afterwards.
+    clamped = np.clip(trailing, 0.0, float(max_depth - 1)).astype(np.int64)
+    depths = np.where(lowest_bit == 0, np.int64(max_depth), clamped + 1)
     return depths
 
 

@@ -15,10 +15,23 @@ Two samplers are provided:
 Both implement the :class:`repro.sketch.sketch_base.L0Sampler` interface
 (update / merge / query / size accounting) so the connectivity layer and
 the benchmark harness can swap between them.
+
+On top of the samplers sits the columnar sketch engine:
+
+* :class:`repro.sketch.flat_node_sketch.FlatNodeSketch` -- one node's
+  entire bundle of per-round CubeSketches flattened into two contiguous
+  uint64 tensors, updated by a single hash-matrix + argsort +
+  XOR-prefix-scan kernel instead of Python loops over rounds and
+  columns (bit-identical to the legacy bundles under the same seed);
+* :class:`repro.sketch.tensor_pool.NodeTensorPool` -- the whole graph's
+  sketch state in one tensor pair, able to fold mixed multi-node update
+  columns in one kernel pass and answer Boruvka cut queries with one
+  gather + XOR reduction.
 """
 
 from repro.sketch.bucket import CubeBucket, StandardBucket
 from repro.sketch.cubesketch import CubeSketch
+from repro.sketch.flat_node_sketch import FlatNodeSketch, merged_round_query
 from repro.sketch.sketch_base import L0Sampler, SampleOutcome, SampleResult
 from repro.sketch.sizes import (
     cubesketch_num_buckets,
@@ -27,11 +40,15 @@ from repro.sketch.sizes import (
     standard_l0_size_bytes,
 )
 from repro.sketch.standard_l0 import StandardL0Sketch
+from repro.sketch.tensor_pool import NodeTensorPool
 
 __all__ = [
     "CubeBucket",
     "CubeSketch",
+    "FlatNodeSketch",
     "L0Sampler",
+    "NodeTensorPool",
+    "merged_round_query",
     "SampleOutcome",
     "SampleResult",
     "StandardBucket",

@@ -144,11 +144,19 @@ class CubeSketch(L0Sampler):
         prefix scan, which is what makes buffered (batched) ingestion
         fast (Section 5.1).
         """
-        idx = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices)
+        if isinstance(indices, (np.ndarray, list, tuple)):
+            idx = np.asarray(indices)
+        else:
+            # Generators and other lazy iterables materialise once here,
+            # instead of the old list() round-trip that copied sequence
+            # inputs twice.
+            idx = np.fromiter(indices, dtype=np.int64)
         if idx.size == 0:
             return
         if idx.ndim != 1:
             raise ValueError("update_batch expects a one-dimensional index sequence")
+        if idx.dtype.kind in "if" and (idx < 0).any():
+            raise ValueError("batch contains a negative index")
         idx = idx.astype(np.uint64, copy=False)
         if int(idx.max()) >= self.vector_length:
             raise ValueError("batch contains an index outside the sketched vector")

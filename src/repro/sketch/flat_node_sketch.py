@@ -1,0 +1,546 @@
+"""Columnar node sketches: a node's whole sketch bundle as two tensors.
+
+The legacy :class:`~repro.core.node_sketch.NodeSketch` keeps
+``ceil(log2 V)`` independent :class:`~repro.sketch.cubesketch.CubeSketch`
+objects, each of which loops over its columns in Python.  A batched
+update therefore crosses the interpreter ``num_rounds x num_columns``
+times.  :class:`FlatNodeSketch` stores the same state as two contiguous
+uint64 tensors (``alpha`` and ``gamma``) covering every
+``(round, row, column)`` bucket, and precomputes every (round, column)
+hash seed into one seed matrix, so a batch of ``K`` edge-slot indices is
+
+1. hashed **once** as a ``(K, rounds x columns)`` matrix
+   (:func:`~repro.hashing.mixers.seeded_hash64_matrix`),
+2. mapped to bucket depths with one vectorised pass, and
+3. folded into every bucket with a single argsort + cumulative-XOR
+   prefix scan over the flattened update set
+   (:func:`columnar_fold`).
+
+The arithmetic is bit-for-bit identical to the legacy path: the seeds
+are derived with the same labels, the hashes are the same functions, and
+XOR folding is order-independent, so a FlatNodeSketch and a NodeSketch
+fed the same stream hold identical buckets (the property tests assert
+this).
+
+Internally the tensors are laid out slot-major with bucket rows
+innermost -- shape ``(num_rounds, num_columns, num_rows)`` -- so that a
+bucket's flat offset is ``slot * num_rows + row``.  That makes the fold
+kernel's scatter targets a single linear expression, and it is the same
+layout :class:`~repro.sketch.tensor_pool.NodeTensorPool` uses to hold
+*every* node's bundle in one allocation.  The public accessors
+(:meth:`FlatNodeSketch.raw_tensors`, :meth:`FlatNodeSketch.round_arrays`)
+present the conventional ``(rounds, rows, cols)`` / ``(rows, cols)``
+orientation as transposed views.  Serialisation writes the two tensors
+as single ``tobytes`` blobs: one node's entire bundle moves as one
+contiguous payload, which is what makes the out-of-core configuration's
+disk layout sequential.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.edge_encoding import EdgeEncoder
+from repro.exceptions import ConfigurationError, IncompatibleSketchError
+from repro.hashing.mixers import (
+    hash_to_depth,
+    mix_seed_array,
+    seeded_hash64,
+    seeded_hash64_matrix,
+)
+from repro.hashing.prng import derive_seed
+from repro.sketch.cubesketch import CubeSketch, _CHECKSUM_LABEL, _MEMBERSHIP_LABEL
+from repro.sketch.sizes import (
+    BYTES_PER_CUBE_BUCKET,
+    cubesketch_num_columns,
+    cubesketch_num_rows,
+)
+from repro.sketch.sketch_base import SampleResult
+
+_GAMMA_MASK = np.uint64(0xFFFFFFFF)
+_ZERO64 = np.uint64(0)
+
+#: Updates per internal chunk of the fold kernel; bounds the
+#: ``(K, slots)`` temporaries to a few tens of megabytes while keeping
+#: per-chunk fixed costs amortised.
+BATCH_CHUNK = 1 << 15
+
+
+@lru_cache(maxsize=64)
+def flat_seed_matrices(
+    graph_seed: int, num_rounds: int, num_columns: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-(round, column) hash seeds, flattened round-major.
+
+    Returns ``(membership, checksum, mixed_membership, mixed_checksum)``
+    where each array has ``num_rounds * num_columns`` entries and slot
+    ``s = round * num_columns + column``.  The raw seeds match the ones
+    the legacy per-round CubeSketches derive; the mixed variants are
+    pre-diffused for :func:`~repro.hashing.mixers.seeded_hash64_matrix`.
+    Seeds depend only on the graph seed and the geometry, so they are
+    cached and shared across every node of an engine.
+    """
+    # Local import: the legacy NodeSketch module imports CubeSketch from
+    # this package, so round_seed cannot be imported at module top.
+    from repro.core.node_sketch import round_seed
+
+    membership = np.empty(num_rounds * num_columns, dtype=np.uint64)
+    checksum = np.empty(num_rounds * num_columns, dtype=np.uint64)
+    for round_index in range(num_rounds):
+        seed = round_seed(graph_seed, round_index)
+        base = round_index * num_columns
+        for col in range(num_columns):
+            membership[base + col] = derive_seed(seed, _MEMBERSHIP_LABEL, col)
+            checksum[base + col] = derive_seed(seed, _CHECKSUM_LABEL, col)
+    mixed_membership = mix_seed_array(membership)
+    mixed_checksum = mix_seed_array(checksum)
+    for array in (membership, checksum, mixed_membership, mixed_checksum):
+        array.flags.writeable = False
+    return membership, checksum, mixed_membership, mixed_checksum
+
+
+def validate_indices(indices, vector_length: int) -> Optional[np.ndarray]:
+    """Validate a raw edge-slot index batch, mirroring the legacy guard.
+
+    Matches :meth:`CubeSketch.update_batch`'s input handling: a negative
+    or out-of-range index raises ``ValueError`` instead of wrapping
+    through the uint64 cast and silently corrupting buckets.  Returns
+    the batch as a uint64 array, or ``None`` for an empty batch.
+    """
+    idx = np.asarray(indices)
+    if idx.size == 0:
+        return None
+    if idx.ndim != 1:
+        raise ValueError("expected a one-dimensional index array")
+    if idx.dtype.kind in "if" and (idx < 0).any():
+        raise ValueError("batch contains a negative index")
+    idx = idx.astype(np.uint64, copy=False)
+    if int(idx.max()) >= vector_length:
+        raise ValueError("batch contains an index outside the sketched vector")
+    return idx
+
+
+def hash_depths_checksums(
+    indices: np.ndarray,
+    mixed_membership: np.ndarray,
+    mixed_checksum: np.ndarray,
+    num_rows: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Hash phase of the fold kernel: ``(K, S)`` depths and checksums.
+
+    Split out so callers folding the *same* indices into several
+    destinations (the mirrored halves of an edge batch) hash once and
+    reuse the matrices.
+    """
+    idx = indices.astype(np.uint64, copy=False)
+    membership = seeded_hash64_matrix(idx, mixed_membership)
+    depths = hash_to_depth(membership, num_rows)
+    checksums = seeded_hash64_matrix(idx, mixed_checksum)
+    checksums &= _GAMMA_MASK
+    return depths, checksums
+
+
+def fold_hashed(
+    indices: np.ndarray,
+    depths: np.ndarray,
+    checksums: np.ndarray,
+    num_rows: int,
+    dsts: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reduction phase of the fold kernel (see :func:`columnar_fold`)."""
+    idx = indices.astype(np.uint64, copy=False)
+    k = idx.size
+    num_slots = depths.shape[1]
+
+    # Composite sort key: (destination, slot) segment-major, deepest
+    # updates first within a segment.  depth is in [1, num_rows], so
+    # (num_rows - depth) orders a segment's updates descending by depth
+    # without colliding across segments.
+    slot_ids = np.arange(num_slots, dtype=np.int64)
+    if dsts is None:
+        seg = np.broadcast_to(slot_ids, (k, num_slots))
+    else:
+        seg = dsts.astype(np.int64, copy=False)[:, None] * num_slots + slot_ids
+    key = (seg * (num_rows + 1) + (np.int64(num_rows) - depths)).ravel()
+    order = np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    cum_alpha = np.bitwise_xor.accumulate(
+        np.broadcast_to(idx[:, None], (k, num_slots)).ravel()[order]
+    )
+    cum_gamma = np.bitwise_xor.accumulate(checksums.ravel()[order])
+
+    sorted_seg = sorted_key // (num_rows + 1)
+    sorted_depth = np.int64(num_rows) - (sorted_key - sorted_seg * (num_rows + 1))
+
+    total = sorted_key.size
+    new_seg = np.empty(total, dtype=bool)
+    new_seg[0] = True
+    np.not_equal(sorted_seg[1:], sorted_seg[:-1], out=new_seg[1:])
+
+    # Cumulative XOR runs over the whole sorted array; each segment's
+    # fold needs the scan *restarted* at its start, which XOR's
+    # self-inverse gives for free: subtract (XOR) the prefix just before
+    # the segment.
+    seg_starts = np.flatnonzero(new_seg)
+    seg_index = np.cumsum(new_seg) - 1
+    prefix_alpha = np.where(
+        seg_starts > 0, cum_alpha[np.maximum(seg_starts - 1, 0)], _ZERO64
+    )[seg_index]
+    prefix_gamma = np.where(
+        seg_starts > 0, cum_gamma[np.maximum(seg_starts - 1, 0)], _ZERO64
+    )[seg_index]
+
+    # Element p (depth d_p) is the newest member of bucket rows
+    # [next_depth, d_p) of its segment, where next_depth is the depth of
+    # the following element (0 at segment end).  Those rows' final fold
+    # value is exactly the prefix XOR through p, so each element emits a
+    # run of (row, value) pairs and every bucket is emitted at most once.
+    next_depth = np.empty(total, dtype=np.int64)
+    next_depth[-1] = 0
+    np.copyto(next_depth[:-1], np.where(new_seg[1:], 0, sorted_depth[1:]))
+    runs = sorted_depth - next_depth
+
+    emit = runs > 0
+    runs = runs[emit]
+    emit_seg = sorted_seg[emit]
+    emit_base = next_depth[emit]
+    emit_alpha = cum_alpha[emit] ^ prefix_alpha[emit]
+    emit_gamma = cum_gamma[emit] ^ prefix_gamma[emit]
+
+    run_starts = np.cumsum(runs) - runs
+    rows = np.arange(int(runs.sum()), dtype=np.int64) - np.repeat(run_starts, runs)
+    rows += np.repeat(emit_base, runs)
+    targets = np.repeat(emit_seg * num_rows, runs) + rows
+    return targets, np.repeat(emit_alpha, runs), np.repeat(emit_gamma, runs)
+
+
+def columnar_fold(
+    indices: np.ndarray,
+    mixed_membership: np.ndarray,
+    mixed_checksum: np.ndarray,
+    num_rows: int,
+    dsts: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The columnar engine's whole update kernel, over one chunk.
+
+    Hashes ``K`` edge-slot ``indices`` against all ``S`` (round, column)
+    hash functions as one ``(K, S)`` matrix, computes bucket depths
+    vectorised, and reduces every bucket's XOR contribution with a
+    single argsort + cumulative-XOR prefix scan over the flattened
+    ``K x S`` update set.
+
+    When ``dsts`` is given (one destination node per update), updates
+    for *all* nodes are folded in the same pass: the sort key simply
+    gains the node id, so ingesting a mixed multi-node batch costs one
+    kernel invocation instead of one per node.
+
+    Returns ``(targets, alpha_values, gamma_values)``: flat bucket
+    offsets -- ``(dst * S + slot) * num_rows + row`` into a rows-innermost
+    tensor pool -- and the values to XOR into them.  Targets are unique
+    within one call, so the caller can fold with a fancy-indexed
+    ``pool[targets] ^= values`` (no slow ``ufunc.at`` scatter needed).
+    """
+    depths, checksums = hash_depths_checksums(
+        indices, mixed_membership, mixed_checksum, num_rows
+    )
+    return fold_hashed(indices, depths, checksums, num_rows, dsts=dsts)
+
+
+def query_bucket_arrays(
+    alpha: np.ndarray,
+    gamma: np.ndarray,
+    vector_length: int,
+    checksum_seeds: Sequence[int],
+) -> SampleResult:
+    """CubeSketch's query over raw ``(rows, cols)`` bucket arrays.
+
+    Scans buckets in the same order as
+    :meth:`~repro.sketch.cubesketch.CubeSketch.query` (columns outer,
+    deepest row first) so flat and legacy sketches in identical states
+    return identical samples.
+    """
+    num_rows, num_columns = alpha.shape
+    if not (alpha.any() or gamma.any()):
+        return SampleResult.zero()
+    for col in range(num_columns):
+        checksum_seed = int(checksum_seeds[col])
+        for row in range(num_rows - 1, -1, -1):
+            a = int(alpha[row, col])
+            g = int(gamma[row, col])
+            if a == 0 and g == 0:
+                continue
+            if a >= vector_length:
+                continue
+            if (seeded_hash64(a, checksum_seed) & 0xFFFFFFFF) == g:
+                return SampleResult.good(a)
+    return SampleResult.fail()
+
+
+class FlatNodeSketch:
+    """A node's entire sketch bundle as two contiguous uint64 tensors.
+
+    Drop-in replacement for the legacy
+    :class:`~repro.core.node_sketch.NodeSketch` (same constructor, same
+    update/query/merge surface), with all per-round, per-column state
+    flattened so batched updates run as single numpy kernels.
+    """
+
+    __slots__ = (
+        "node",
+        "encoder",
+        "graph_seed",
+        "delta",
+        "num_rounds",
+        "num_rows",
+        "num_columns",
+        "_alpha",
+        "_gamma",
+        "_membership_seeds",
+        "_checksum_seeds",
+        "_mixed_membership",
+        "_mixed_checksum",
+    )
+
+    def __init__(
+        self,
+        node: int,
+        encoder: EdgeEncoder,
+        graph_seed: int = 0,
+        delta: float = 0.01,
+        num_rounds: int | None = None,
+    ) -> None:
+        from repro.core.node_sketch import num_boruvka_rounds
+
+        if not 0 < delta < 1:
+            raise ConfigurationError("delta must be in (0, 1)")
+        self.node = int(node)
+        self.encoder = encoder
+        self.graph_seed = int(graph_seed)
+        self.delta = float(delta)
+        self.num_rounds = (
+            int(num_rounds) if num_rounds is not None else num_boruvka_rounds(encoder.num_nodes)
+        )
+        if self.num_rounds < 1:
+            raise ConfigurationError("a node sketch needs at least one round")
+        self.num_rows = cubesketch_num_rows(encoder.vector_length)
+        self.num_columns = cubesketch_num_columns(delta)
+        # Slot-major, rows innermost: bucket (round, row, col) lives at
+        # flat offset (round * num_columns + col) * num_rows + row.
+        shape = (self.num_rounds, self.num_columns, self.num_rows)
+        self._alpha = np.zeros(shape, dtype=np.uint64)
+        self._gamma = np.zeros(shape, dtype=np.uint64)
+        (
+            self._membership_seeds,
+            self._checksum_seeds,
+            self._mixed_membership,
+            self._mixed_checksum,
+        ) = flat_seed_matrices(self.graph_seed, self.num_rounds, self.num_columns)
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_slots(self) -> int:
+        """Number of (round, column) hash slots."""
+        return self.num_rounds * self.num_columns
+
+    @property
+    def vector_length(self) -> int:
+        return self.encoder.vector_length
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def apply_edge(self, other_endpoint: int) -> None:
+        """Toggle the edge ``{self.node, other_endpoint}`` in every round."""
+        index = self.encoder.encode(self.node, other_endpoint)
+        self.apply_indices(np.asarray([index], dtype=np.uint64))
+
+    def apply_batch(self, neighbors: Iterable[int]) -> None:
+        """Toggle a batch of edges ``{self.node, w}`` in every round."""
+        indices = self.encoder.encode_batch(self.node, neighbors)
+        self.apply_indices(indices)
+
+    def apply_indices(self, indices: np.ndarray) -> None:
+        """Fold pre-encoded edge-slot indices into every round at once."""
+        idx = validate_indices(indices, self.encoder.vector_length)
+        if idx is None:
+            return
+        alpha_flat = self._alpha.reshape(-1)
+        gamma_flat = self._gamma.reshape(-1)
+        for start in range(0, idx.size, BATCH_CHUNK):
+            targets, alpha_vals, gamma_vals = columnar_fold(
+                idx[start : start + BATCH_CHUNK],
+                self._mixed_membership,
+                self._mixed_checksum,
+                self.num_rows,
+            )
+            alpha_flat[targets] ^= alpha_vals
+            gamma_flat[targets] ^= gamma_vals
+
+    # ------------------------------------------------------------------
+    # queries and merging
+    # ------------------------------------------------------------------
+    def query_round(self, round_index: int) -> SampleResult:
+        """Query the sketch reserved for Boruvka round ``round_index``."""
+        base = round_index * self.num_columns
+        return query_bucket_arrays(
+            self._alpha[round_index].T,
+            self._gamma[round_index].T,
+            self.encoder.vector_length,
+            self._checksum_seeds[base : base + self.num_columns],
+        )
+
+    def round_arrays(self, round_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Read-only ``(rows, cols)`` views of one round's buckets."""
+        alpha = self._alpha[round_index].T.view()
+        gamma = self._gamma[round_index].T.view()
+        alpha.flags.writeable = False
+        gamma.flags.writeable = False
+        return alpha, gamma
+
+    def round_sketch(self, round_index: int) -> CubeSketch:
+        """A legacy CubeSketch materialised from one round (compat/tests)."""
+        from repro.core.node_sketch import round_seed
+
+        sketch = CubeSketch(
+            self.encoder.vector_length,
+            delta=self.delta,
+            seed=round_seed(self.graph_seed, round_index),
+            num_columns=self.num_columns,
+            num_rows=self.num_rows,
+        )
+        sketch.load_raw_arrays(
+            np.ascontiguousarray(self._alpha[round_index].T),
+            np.ascontiguousarray(self._gamma[round_index].T),
+        )
+        return sketch
+
+    def merge(self, other: "FlatNodeSketch") -> None:
+        """Fold another node's bundle into this one (supernode merge)."""
+        if not self.is_compatible(other):
+            raise IncompatibleSketchError(
+                "node sketches from different graphs/seeds cannot be merged"
+            )
+        self._alpha ^= other._alpha
+        self._gamma ^= other._gamma
+
+    def is_compatible(self, other: object) -> bool:
+        return (
+            isinstance(other, FlatNodeSketch)
+            and other.encoder.num_nodes == self.encoder.num_nodes
+            and other.num_rounds == self.num_rounds
+            and other.graph_seed == self.graph_seed
+            and other.num_rows == self.num_rows
+            and other.num_columns == self.num_columns
+        )
+
+    def copy(self) -> "FlatNodeSketch":
+        clone = FlatNodeSketch.__new__(FlatNodeSketch)
+        clone.node = self.node
+        clone.encoder = self.encoder
+        clone.graph_seed = self.graph_seed
+        clone.delta = self.delta
+        clone.num_rounds = self.num_rounds
+        clone.num_rows = self.num_rows
+        clone.num_columns = self.num_columns
+        clone._alpha = self._alpha.copy()
+        clone._gamma = self._gamma.copy()
+        clone._membership_seeds = self._membership_seeds
+        clone._checksum_seeds = self._checksum_seeds
+        clone._mixed_membership = self._mixed_membership
+        clone._mixed_checksum = self._mixed_checksum
+        return clone
+
+    # ------------------------------------------------------------------
+    # accounting and serialisation
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Total payload bytes across all rounds (paper's accounting)."""
+        return self.num_rounds * self.num_rows * self.num_columns * BYTES_PER_CUBE_BUCKET
+
+    def is_empty(self) -> bool:
+        return not self._alpha.any() and not self._gamma.any()
+
+    def raw_tensors(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Read-only ``(rounds, rows, cols)`` views of the full tensors."""
+        alpha = self._alpha.transpose(0, 2, 1).view()
+        gamma = self._gamma.transpose(0, 2, 1).view()
+        alpha.flags.writeable = False
+        gamma.flags.writeable = False
+        return alpha, gamma
+
+    def to_bytes(self) -> bytes:
+        """Serialise the whole bundle as one contiguous blob."""
+        from repro.sketch.serialization import flat_node_sketch_to_bytes
+
+        return flat_node_sketch_to_bytes(self)
+
+    @classmethod
+    def from_bytes(
+        cls,
+        payload: bytes,
+        encoder: EdgeEncoder,
+        graph_seed: int,
+        delta: float = 0.01,
+    ) -> "FlatNodeSketch":
+        """Reconstruct a bundle serialised with :meth:`to_bytes`."""
+        from repro.sketch.serialization import flat_node_sketch_from_bytes
+
+        return flat_node_sketch_from_bytes(
+            payload, encoder, graph_seed=graph_seed, delta=delta
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlatNodeSketch):
+            return NotImplemented
+        return (
+            self.is_compatible(other)
+            and np.array_equal(self._alpha, other._alpha)
+            and np.array_equal(self._gamma, other._gamma)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FlatNodeSketch(node={self.node}, rounds={self.num_rounds}, "
+            f"rows={self.num_rows}, cols={self.num_columns}, bytes={self.size_bytes()})"
+        )
+
+
+def merged_round_query(
+    node_sketches: Sequence[FlatNodeSketch],
+    round_index: int,
+) -> SampleResult:
+    """Query the XOR of several nodes' round-``round_index`` buckets.
+
+    The Boruvka cut-merge inner loop: instead of materialising a merged
+    CubeSketch object, the members' round slices are XOR-reduced in one
+    stacked numpy reduction and queried in place.  Inputs are not
+    mutated, so the stream can continue after the query.
+    """
+    if not node_sketches:
+        raise ValueError("merged_round_query requires at least one node sketch")
+    first = node_sketches[0]
+    for sketch in node_sketches[1:]:
+        if not first.is_compatible(sketch):
+            raise IncompatibleSketchError(
+                "node sketches from different graphs/seeds cannot be merged"
+            )
+    if len(node_sketches) == 1:
+        return first.query_round(round_index)
+    alpha = np.bitwise_xor.reduce(
+        np.stack([sketch._alpha[round_index] for sketch in node_sketches])
+    )
+    gamma = np.bitwise_xor.reduce(
+        np.stack([sketch._gamma[round_index] for sketch in node_sketches])
+    )
+    base = round_index * first.num_columns
+    return query_bucket_arrays(
+        alpha.T,
+        gamma.T,
+        first.encoder.vector_length,
+        first._checksum_seeds[base : base + first.num_columns],
+    )

@@ -1,0 +1,317 @@
+"""A whole graph's sketch state as two contiguous tensors.
+
+:class:`NodeTensorPool` is the columnar engine's in-RAM backing store:
+instead of one Python object (and two arrays) per node, *every* node's
+sketch bundle lives in a single pair of
+``(num_nodes, num_rounds, num_columns, num_rows)`` uint64 tensors.
+Bucket ``(node, round, row, col)`` sits at flat offset
+``(node * slots + round * cols + col) * rows + row``, the same
+rows-innermost layout :class:`~repro.sketch.flat_node_sketch.FlatNodeSketch`
+uses, so the shared :func:`~repro.sketch.flat_node_sketch.columnar_fold`
+kernel can fold a *mixed multi-node* batch of updates into the pool with
+one hash + one argsort + one fancy-indexed XOR per chunk -- no Python
+loop over nodes, rounds, or columns.
+
+This is what turns ``GraphZeppelin.ingest_batch`` into a columnar
+pipeline: canonicalise the edge array, mirror it, encode the edge slots,
+and hand ``(destination, index)`` columns straight to
+:meth:`NodeTensorPool.apply_updates`.
+
+The pool also accelerates the query side: a Boruvka component's cut
+sketch is the XOR of its members' round slices, which here is one fancy
+gather + XOR reduction over the pool
+(:meth:`NodeTensorPool.query_merged`) instead of deserialising and
+merging per-node sketch objects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.edge_encoding import EdgeEncoder
+from repro.exceptions import ConfigurationError
+from repro.sketch.flat_node_sketch import (
+    BATCH_CHUNK,
+    FlatNodeSketch,
+    columnar_fold,
+    flat_seed_matrices,
+    fold_hashed,
+    hash_depths_checksums,
+    query_bucket_arrays,
+    validate_indices,
+)
+from repro.sketch.sizes import (
+    BYTES_PER_CUBE_BUCKET,
+    cubesketch_num_columns,
+    cubesketch_num_rows,
+)
+from repro.sketch.sketch_base import SampleResult
+
+
+class NodeTensorPool:
+    """Contiguous sketch tensors for every node of a graph.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of graph nodes (= first tensor axis).
+    encoder:
+        The engine's shared edge-slot encoder.
+    graph_seed:
+        Root seed; hash seeds are derived exactly as the per-node
+        sketches derive them, so pool state is bit-identical to a
+        collection of :class:`FlatNodeSketch` (or legacy ``NodeSketch``)
+        objects fed the same updates.
+    delta:
+        Per-round sketch failure probability.
+    num_rounds:
+        Boruvka rounds to provision (defaults to ``ceil(log2 V)``).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        encoder: EdgeEncoder,
+        graph_seed: int = 0,
+        delta: float = 0.01,
+        num_rounds: Optional[int] = None,
+    ) -> None:
+        from repro.core.node_sketch import num_boruvka_rounds
+
+        if num_nodes < 2:
+            raise ConfigurationError("a graph needs at least two nodes")
+        if not 0 < delta < 1:
+            raise ConfigurationError("delta must be in (0, 1)")
+        self.num_nodes = int(num_nodes)
+        self.encoder = encoder
+        self.graph_seed = int(graph_seed)
+        self.delta = float(delta)
+        self.num_rounds = (
+            int(num_rounds) if num_rounds is not None else num_boruvka_rounds(num_nodes)
+        )
+        self.num_rows = cubesketch_num_rows(encoder.vector_length)
+        self.num_columns = cubesketch_num_columns(delta)
+        self.num_slots = self.num_rounds * self.num_columns
+
+        shape = (self.num_nodes, self.num_rounds, self.num_columns, self.num_rows)
+        self._alpha = np.zeros(shape, dtype=np.uint64)
+        self._gamma = np.zeros(shape, dtype=np.uint64)
+        (
+            self._membership_seeds,
+            self._checksum_seeds,
+            self._mixed_membership,
+            self._mixed_checksum,
+        ) = flat_seed_matrices(self.graph_seed, self.num_rounds, self.num_columns)
+        self._updates_applied = 0
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def apply_updates(self, dsts: np.ndarray, indices: np.ndarray) -> None:
+        """Fold a mixed multi-node batch of edge-slot updates into the pool.
+
+        ``dsts[i]`` is the node whose bundle receives edge-slot
+        ``indices[i]``.  The whole batch -- regardless of how many
+        distinct nodes it touches -- goes through the shared columnar
+        fold kernel in fixed-size chunks.
+        """
+        dsts = np.asarray(dsts)
+        if dsts.shape != np.shape(indices) or dsts.ndim != 1:
+            raise ValueError("dsts and indices must be matching one-dimensional arrays")
+        idx = validate_indices(indices, self.encoder.vector_length)
+        if idx is None:
+            return
+        self._check_destinations(dsts)
+        alpha_flat = self._alpha.reshape(-1)
+        gamma_flat = self._gamma.reshape(-1)
+        for start in range(0, idx.size, BATCH_CHUNK):
+            targets, alpha_vals, gamma_vals = columnar_fold(
+                idx[start : start + BATCH_CHUNK].astype(np.uint64, copy=False),
+                self._mixed_membership,
+                self._mixed_checksum,
+                self.num_rows,
+                dsts=dsts[start : start + BATCH_CHUNK],
+            )
+            alpha_flat[targets] ^= alpha_vals
+            gamma_flat[targets] ^= gamma_vals
+        self._updates_applied += int(idx.size)
+
+    def apply_edges(self, lo: np.ndarray, hi: np.ndarray, indices: np.ndarray) -> None:
+        """Fold both directions of a canonical edge batch into the pool.
+
+        ``indices[i]`` is the edge slot of the canonical edge
+        ``(lo[i], hi[i])``; both endpoints' bundles receive it.  The
+        hash matrices depend only on the index, not the destination, so
+        each index is hashed **once** and the depth/checksum matrices
+        are shared by the two mirrored halves -- half the hash cost of
+        pushing the duplicated column through :meth:`apply_updates`.
+        """
+        if not (np.shape(indices) == np.shape(lo) == np.shape(hi)) or np.ndim(indices) != 1:
+            raise ValueError("lo, hi and indices must be matching one-dimensional arrays")
+        idx = validate_indices(indices, self.encoder.vector_length)
+        if idx is None:
+            return
+        self._check_destinations(np.asarray(lo))
+        self._check_destinations(np.asarray(hi))
+        alpha_flat = self._alpha.reshape(-1)
+        gamma_flat = self._gamma.reshape(-1)
+        edge_chunk = max(BATCH_CHUNK // 2, 1)
+        for start in range(0, idx.size, edge_chunk):
+            chunk = idx[start : start + edge_chunk]
+            depths, checksums = hash_depths_checksums(
+                chunk, self._mixed_membership, self._mixed_checksum, self.num_rows
+            )
+            targets, alpha_vals, gamma_vals = fold_hashed(
+                np.concatenate([chunk, chunk]),
+                np.concatenate([depths, depths]),
+                np.concatenate([checksums, checksums]),
+                self.num_rows,
+                dsts=np.concatenate(
+                    [lo[start : start + edge_chunk], hi[start : start + edge_chunk]]
+                ),
+            )
+            alpha_flat[targets] ^= alpha_vals
+            gamma_flat[targets] ^= gamma_vals
+        self._updates_applied += 2 * int(idx.size)
+
+    def apply_node_batch(self, node: int, neighbors) -> None:
+        """Fold a batch of edges ``{node, w}`` into one node's bundle.
+
+        Used by the buffering path, whose emitted batches are already
+        grouped per destination node.  Writes touch only ``node``'s
+        slice of the pool, so batches for different nodes can be applied
+        concurrently by the worker pool.
+        """
+        indices = self.encoder.encode_batch(node, neighbors)
+        if indices.size == 0:
+            return
+        alpha_flat = self._alpha[node].reshape(-1)
+        gamma_flat = self._gamma[node].reshape(-1)
+        for start in range(0, indices.size, BATCH_CHUNK):
+            targets, alpha_vals, gamma_vals = columnar_fold(
+                indices[start : start + BATCH_CHUNK],
+                self._mixed_membership,
+                self._mixed_checksum,
+                self.num_rows,
+            )
+            alpha_flat[targets] ^= alpha_vals
+            gamma_flat[targets] ^= gamma_vals
+        self._updates_applied += int(indices.size)
+
+    def _check_destinations(self, dsts: np.ndarray) -> None:
+        """Reject out-of-range destinations before they index the pool.
+
+        A negative destination would not raise: it wraps around the flat
+        tensor and silently XOR-corrupts another node's buckets.
+        """
+        if ((dsts < 0) | (dsts >= self.num_nodes)).any():
+            raise ValueError(f"destination node outside [0, {self.num_nodes})")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query_round(self, node: int, round_index: int) -> SampleResult:
+        """Query one node's round-``round_index`` sketch."""
+        self._check_node(node)
+        base = round_index * self.num_columns
+        return query_bucket_arrays(
+            self._alpha[node, round_index].T,
+            self._gamma[node, round_index].T,
+            self.encoder.vector_length,
+            self._checksum_seeds[base : base + self.num_columns],
+        )
+
+    def query_merged(self, members: Sequence[int], round_index: int) -> SampleResult:
+        """Query the XOR of several nodes' round-``round_index`` sketches.
+
+        The Boruvka cut sampler: one fancy gather over the pool plus an
+        XOR reduction replaces per-member sketch copies and merges.
+        """
+        if len(members) == 0:
+            raise ValueError("query_merged requires at least one member node")
+        member_array = np.asarray(members, dtype=np.int64)
+        self._check_destinations(member_array)
+        if member_array.size == 1:
+            return self.query_round(int(member_array[0]), round_index)
+        alpha = np.bitwise_xor.reduce(self._alpha[member_array, round_index], axis=0)
+        gamma = np.bitwise_xor.reduce(self._gamma[member_array, round_index], axis=0)
+        base = round_index * self.num_columns
+        return query_bucket_arrays(
+            alpha.T,
+            gamma.T,
+            self.encoder.vector_length,
+            self._checksum_seeds[base : base + self.num_columns],
+        )
+
+    # ------------------------------------------------------------------
+    # per-node views
+    # ------------------------------------------------------------------
+    def node_sketch(self, node: int) -> FlatNodeSketch:
+        """Materialise one node's bundle as a standalone FlatNodeSketch."""
+        self._check_node(node)
+        sketch = FlatNodeSketch(
+            node,
+            self.encoder,
+            graph_seed=self.graph_seed,
+            delta=self.delta,
+            num_rounds=self.num_rounds,
+        )
+        sketch._alpha = self._alpha[node].copy()
+        sketch._gamma = self._gamma[node].copy()
+        return sketch
+
+    def load_node_sketch(self, sketch: FlatNodeSketch) -> None:
+        """Replace one node's pool slice with a standalone sketch's state."""
+        if (
+            sketch.num_rounds != self.num_rounds
+            or sketch.graph_seed != self.graph_seed
+            or sketch.num_rows != self.num_rows
+            or sketch.num_columns != self.num_columns
+        ):
+            raise ValueError("sketch geometry/seed does not match the pool")
+        if not 0 <= sketch.node < self.num_nodes:
+            raise ValueError(f"sketch node {sketch.node} outside [0, {self.num_nodes})")
+        self._alpha[sketch.node] = sketch._alpha
+        self._gamma[sketch.node] = sketch._gamma
+
+    def node_is_empty(self, node: int) -> bool:
+        self._check_node(node)
+        return not self._alpha[node].any() and not self._gamma[node].any()
+
+    def _check_node(self, node: int) -> None:
+        """Reject node ids the flat tensors would silently wrap."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside [0, {self.num_nodes})")
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def updates_applied(self) -> int:
+        """Coordinate updates folded into the pool so far."""
+        return self._updates_applied
+
+    def node_sketch_bytes(self) -> int:
+        """Payload bytes of a single node's bundle (paper accounting)."""
+        return self.num_rounds * self.num_rows * self.num_columns * BYTES_PER_CUBE_BUCKET
+
+    def size_bytes(self) -> int:
+        """Payload bytes of the whole pool."""
+        return self.num_nodes * self.node_sketch_bytes()
+
+    def raw_tensors(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Read-only views of the full pool tensors (native layout)."""
+        alpha = self._alpha.view()
+        gamma = self._gamma.view()
+        alpha.flags.writeable = False
+        gamma.flags.writeable = False
+        return alpha, gamma
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeTensorPool(num_nodes={self.num_nodes}, rounds={self.num_rounds}, "
+            f"rows={self.num_rows}, cols={self.num_columns}, "
+            f"bytes={self.size_bytes()})"
+        )

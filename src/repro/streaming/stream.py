@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.types import Edge, EdgeUpdate, UpdateType
 
 
@@ -38,6 +40,21 @@ class GraphStream:
 
     def extend(self, updates: Sequence[EdgeUpdate]) -> None:
         self.updates.extend(updates)
+
+    def edge_array(self) -> np.ndarray:
+        """The stream's endpoints as an ``(N, 2)`` int64 array.
+
+        Over Z_2 an insertion and a deletion are the same toggle, so the
+        update-type column is not needed for sketch ingestion; this is
+        the columnar input
+        :meth:`~repro.core.graph_zeppelin.GraphZeppelin.ingest_batch`
+        consumes.
+        """
+        if not self.updates:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.asarray(
+            [(update.u, update.v) for update in self.updates], dtype=np.int64
+        )
 
     # ------------------------------------------------------------------
     def final_edges(self) -> Set[Edge]:

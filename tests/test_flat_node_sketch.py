@@ -1,0 +1,247 @@
+"""Bit-identicality of the columnar sketch engine vs the legacy path.
+
+The flat tensor representation (FlatNodeSketch / NodeTensorPool) must
+hold *exactly* the same bucket contents as the legacy per-CubeSketch
+bundles under the same graph seed: same alpha/gamma words, same query
+results, same merged cut sketches.  These tests drive both
+implementations with identical random streams (hypothesis) and compare
+raw state, plus round-trip the new whole-bundle serialisation format.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.edge_encoding import EdgeEncoder
+from repro.core.node_sketch import NodeSketch, merged_round_sketch
+from repro.exceptions import IncompatibleSketchError, StreamFormatError
+from repro.sketch.flat_node_sketch import (
+    FlatNodeSketch,
+    columnar_fold,
+    flat_seed_matrices,
+    merged_round_query,
+)
+from repro.sketch.serialization import (
+    flat_node_sketch_from_bytes,
+    flat_node_sketch_to_bytes,
+    flat_serialized_size_bytes,
+)
+from repro.sketch.tensor_pool import NodeTensorPool
+
+NUM_NODES = 24
+
+node_ids = st.integers(min_value=0, max_value=NUM_NODES - 1)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+neighbor_lists = st.lists(node_ids, min_size=0, max_size=80)
+
+
+def _assert_same_state(legacy: NodeSketch, flat: FlatNodeSketch) -> None:
+    assert legacy.num_rounds == flat.num_rounds
+    for round_index in range(flat.num_rounds):
+        alpha, gamma = legacy.round_sketch(round_index).raw_arrays()
+        flat_alpha, flat_gamma = flat.round_arrays(round_index)
+        assert np.array_equal(alpha, flat_alpha), f"alpha differs in round {round_index}"
+        assert np.array_equal(gamma, flat_gamma), f"gamma differs in round {round_index}"
+
+
+@given(neighbors=neighbor_lists, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_flat_batch_is_bit_identical_to_legacy(neighbors, seed):
+    encoder = EdgeEncoder(NUM_NODES)
+    node = 5
+    neighbors = [w for w in neighbors if w != node]
+    legacy = NodeSketch(node, encoder, graph_seed=seed)
+    flat = FlatNodeSketch(node, encoder, graph_seed=seed)
+    legacy.apply_batch(neighbors)
+    flat.apply_batch(neighbors)
+    _assert_same_state(legacy, flat)
+    for round_index in range(flat.num_rounds):
+        assert legacy.query_round(round_index) == flat.query_round(round_index)
+
+
+@given(neighbors=neighbor_lists, seed=seeds)
+@settings(max_examples=25, deadline=None)
+def test_flat_single_edges_match_batch(neighbors, seed):
+    encoder = EdgeEncoder(NUM_NODES)
+    node = 2
+    neighbors = [w for w in neighbors if w != node]
+    one_by_one = FlatNodeSketch(node, encoder, graph_seed=seed)
+    batched = FlatNodeSketch(node, encoder, graph_seed=seed)
+    for w in neighbors:
+        one_by_one.apply_edge(w)
+    batched.apply_batch(neighbors)
+    assert one_by_one == batched
+
+
+@given(seed=seeds, data=st.data())
+@settings(max_examples=20, deadline=None)
+def test_pool_matches_legacy_engine_state(seed, data):
+    """A mixed multi-node update column folds identically to per-node legacy."""
+    encoder = EdgeEncoder(NUM_NODES)
+    edges = data.draw(
+        st.lists(
+            st.tuples(node_ids, node_ids).filter(lambda e: e[0] != e[1]),
+            min_size=0,
+            max_size=120,
+        )
+    )
+    pool = NodeTensorPool(NUM_NODES, encoder, graph_seed=seed)
+    legacy = [NodeSketch(n, encoder, graph_seed=seed) for n in range(NUM_NODES)]
+
+    if edges:
+        endpoint_u = np.asarray([e[0] for e in edges], dtype=np.int64)
+        endpoint_v = np.asarray([e[1] for e in edges], dtype=np.int64)
+        lo = np.minimum(endpoint_u, endpoint_v)
+        hi = np.maximum(endpoint_u, endpoint_v)
+        indices = lo.astype(np.uint64) * np.uint64(NUM_NODES) + hi.astype(np.uint64)
+        pool.apply_updates(np.concatenate([lo, hi]), np.concatenate([indices, indices]))
+        for u, v in edges:
+            legacy[u].apply_edge(v)
+            legacy[v].apply_edge(u)
+
+    for node in range(NUM_NODES):
+        _assert_same_state(legacy[node], pool.node_sketch(node))
+
+    members = sorted({e[0] for e in edges} | {0, 1})
+    for round_index in range(pool.num_rounds):
+        assert (
+            pool.query_merged(members, round_index)
+            == merged_round_sketch([legacy[n] for n in members], round_index).query()
+        )
+
+
+@given(neighbors=neighbor_lists, seed=seeds)
+@settings(max_examples=25, deadline=None)
+def test_flat_serialization_round_trip(neighbors, seed):
+    encoder = EdgeEncoder(NUM_NODES)
+    node = 7
+    sketch = FlatNodeSketch(node, encoder, graph_seed=seed)
+    sketch.apply_batch([w for w in neighbors if w != node])
+    payload = sketch.to_bytes()
+    assert len(payload) == flat_serialized_size_bytes(sketch)
+    restored = FlatNodeSketch.from_bytes(payload, encoder, graph_seed=seed)
+    assert restored == sketch
+    assert restored.node == node
+
+
+def test_flat_apply_rejects_out_of_range_indices_like_legacy():
+    encoder = EdgeEncoder(NUM_NODES)
+    flat = FlatNodeSketch(0, encoder, graph_seed=1)
+    pool = NodeTensorPool(NUM_NODES, encoder, graph_seed=1)
+    for bad in ([-1], [encoder.vector_length], [-1.0]):
+        with pytest.raises(ValueError):
+            flat.apply_indices(np.asarray(bad))
+        with pytest.raises(ValueError):
+            pool.apply_updates(np.asarray([0]), np.asarray(bad))
+    with pytest.raises(ValueError):
+        pool.apply_updates(np.asarray([-1]), np.asarray([3], dtype=np.uint64))
+    with pytest.raises(ValueError):
+        pool.apply_edges(
+            np.asarray([0]), np.asarray([1]), np.asarray([encoder.vector_length])
+        )
+    assert flat.is_empty()
+    assert pool.node_is_empty(0)
+
+
+def test_pool_accessors_reject_wrapping_node_ids():
+    encoder = EdgeEncoder(NUM_NODES)
+    pool = NodeTensorPool(NUM_NODES, encoder, graph_seed=1)
+    for node in (-1, NUM_NODES):
+        with pytest.raises(ValueError):
+            pool.node_sketch(node)
+        with pytest.raises(ValueError):
+            pool.query_round(node, 0)
+        with pytest.raises(ValueError):
+            pool.node_is_empty(node)
+    with pytest.raises(ValueError):
+        pool.query_merged([0, -1], 0)
+
+
+def test_flat_serialization_rejects_seed_mismatch():
+    encoder = EdgeEncoder(NUM_NODES)
+    sketch = FlatNodeSketch(1, encoder, graph_seed=3)
+    sketch.apply_batch([2, 4])
+    payload = sketch.to_bytes()
+    with pytest.raises(StreamFormatError):
+        FlatNodeSketch.from_bytes(payload, encoder, graph_seed=4)
+
+
+def test_flat_serialization_rejects_bad_payloads():
+    encoder = EdgeEncoder(NUM_NODES)
+    sketch = FlatNodeSketch(1, encoder, graph_seed=3)
+    payload = flat_node_sketch_to_bytes(sketch)
+    with pytest.raises(StreamFormatError):
+        flat_node_sketch_from_bytes(payload[:10], encoder, graph_seed=3)
+    with pytest.raises(StreamFormatError):
+        flat_node_sketch_from_bytes(payload + b"\0" * 8, encoder, graph_seed=3)
+    with pytest.raises(StreamFormatError):
+        flat_node_sketch_from_bytes(b"\0" * len(payload), encoder, graph_seed=3)
+    with pytest.raises(StreamFormatError):
+        flat_node_sketch_from_bytes(payload, EdgeEncoder(NUM_NODES + 1), graph_seed=3)
+
+
+def test_merge_and_copy_semantics():
+    encoder = EdgeEncoder(NUM_NODES)
+    a = FlatNodeSketch(0, encoder, graph_seed=1)
+    b = FlatNodeSketch(1, encoder, graph_seed=1)
+    a.apply_batch([1, 2, 3])
+    b.apply_batch([0, 2, 3])
+    clone = a.copy()
+    a.merge(b)
+    # Edge {0, 1} appears in both bundles and must cancel on merge.
+    merged_legacy = NodeSketch(0, encoder, graph_seed=1)
+    merged_legacy.apply_batch([2, 3])
+    legacy_b = NodeSketch(1, encoder, graph_seed=1)
+    legacy_b.apply_batch([2, 3])
+    merged_legacy.merge(legacy_b)
+    _assert_same_state(merged_legacy, a)
+    # The pre-merge copy is untouched.
+    assert not clone == a
+
+    incompatible = FlatNodeSketch(0, encoder, graph_seed=2)
+    with pytest.raises(IncompatibleSketchError):
+        a.merge(incompatible)
+
+
+def test_merged_round_query_does_not_mutate_inputs():
+    encoder = EdgeEncoder(NUM_NODES)
+    a = FlatNodeSketch(0, encoder, graph_seed=5)
+    b = FlatNodeSketch(1, encoder, graph_seed=5)
+    a.apply_batch([3, 4])
+    b.apply_batch([5, 6])
+    before_a, before_b = a.copy(), b.copy()
+    merged_round_query([a, b], 0)
+    assert a == before_a and b == before_b
+
+
+def test_seed_matrices_match_legacy_cubesketch_seeds():
+    encoder = EdgeEncoder(NUM_NODES)
+    legacy = NodeSketch(0, encoder, graph_seed=77)
+    membership, checksum, _, _ = flat_seed_matrices(
+        77, legacy.num_rounds, legacy.sketches[0].num_columns
+    )
+    for round_index, cube in enumerate(legacy.sketches):
+        base = round_index * cube.num_columns
+        for col in range(cube.num_columns):
+            assert int(membership[base + col]) == cube._membership_seeds[col]
+            assert int(checksum[base + col]) == cube._checksum_seeds[col]
+
+
+def test_columnar_fold_targets_are_unique():
+    encoder = EdgeEncoder(NUM_NODES)
+    sketch = FlatNodeSketch(0, encoder, graph_seed=0)
+    rng = np.random.default_rng(0)
+    indices = (rng.integers(0, NUM_NODES - 1, 500) + 1).astype(np.uint64)
+    dsts = rng.integers(0, NUM_NODES, 500)
+    targets, alpha_vals, gamma_vals = columnar_fold(
+        indices,
+        sketch._mixed_membership,
+        sketch._mixed_checksum,
+        sketch.num_rows,
+        dsts=dsts,
+    )
+    assert targets.size == np.unique(targets).size
+    assert targets.size == alpha_vals.size == gamma_vals.size
+    assert int(targets.max()) < NUM_NODES * sketch.num_slots * sketch.num_rows
