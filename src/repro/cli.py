@@ -96,6 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="optional RAM budget; sketches beyond it page to the simulated SSD",
     )
     components_parser.add_argument(
+        "--query-backend", choices=["vectorized", "scalar"], default="vectorized",
+        help="whole-round vectorized Boruvka (default) or the per-component reference",
+    )
+    components_parser.add_argument(
         "--verify", action="store_true",
         help="also ingest into an exact adjacency matrix and compare answers",
     )
@@ -177,6 +181,7 @@ def _cmd_components(args) -> int:
         buffering=BufferingMode(args.buffering),
         ram_budget_bytes=ram_budget,
         seed=args.seed,
+        query_backend=args.query_backend,
     )
     engine = GraphZeppelin(stream.num_nodes, config=config)
     engine.ingest(stream)

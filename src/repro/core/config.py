@@ -61,6 +61,13 @@ class GraphZeppelinConfig:
         both backends are bit-identical under the same seed (the
         property tests assert this), so legacy exists for comparison
         benchmarks and as the reference implementation.
+    query_backend:
+        ``"vectorized"`` (default) runs connectivity queries through the
+        whole-round Boruvka driver: one segmented XOR-reduce plus one
+        batched bucket decode per round instead of one Python query per
+        component.  ``"scalar"`` keeps the per-component loop, the
+        bit-identical reference (the property tests assert both return
+        the same forest, stats, and samples under the same seed).
     """
 
     delta: float = 0.01
@@ -72,6 +79,7 @@ class GraphZeppelinConfig:
     strict_queries: bool = False
     seed: int = 0
     sketch_backend: str = "flat"
+    query_backend: str = "vectorized"
 
     def __post_init__(self) -> None:
         if not 0 < self.delta < 1:
@@ -79,6 +87,11 @@ class GraphZeppelinConfig:
         if self.sketch_backend not in ("flat", "legacy"):
             raise ConfigurationError(
                 f"unknown sketch_backend {self.sketch_backend!r} (use 'flat' or 'legacy')"
+            )
+        if self.query_backend not in ("vectorized", "scalar"):
+            raise ConfigurationError(
+                f"unknown query_backend {self.query_backend!r} "
+                "(use 'vectorized' or 'scalar')"
             )
         if self.gutter_fraction <= 0:
             raise ConfigurationError("gutter_fraction must be positive")

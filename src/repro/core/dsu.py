@@ -23,6 +23,24 @@ class DisjointSetUnion:
         self._size = [1] * num_nodes
         self._num_components = num_nodes
 
+    @classmethod
+    def from_arrays(
+        cls, parent: List[int], size: List[int], num_components: int
+    ) -> "DisjointSetUnion":
+        """Adopt parent/size state built elsewhere (no copies, no checks).
+
+        The vectorized Boruvka driver runs its union-find inline on
+        plain lists for speed and hands the finished state over through
+        this constructor; the caller guarantees the arrays form a valid
+        union-by-size forest with ``num_components`` roots.
+        """
+        dsu = cls(0)
+        dsu.num_nodes = len(parent)
+        dsu._parent = parent
+        dsu._size = size
+        dsu._num_components = int(num_components)
+        return dsu
+
     # ------------------------------------------------------------------
     def find(self, node: int) -> int:
         """Representative of ``node``'s component (with path compression)."""

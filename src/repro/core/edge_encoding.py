@@ -102,6 +102,27 @@ class EdgeEncoder:
         """Decode an array of indices (all must be valid)."""
         return [self.decode(int(index)) for index in np.asarray(indices).ravel()]
 
+    def valid_index_mask(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`is_valid_index` over an index array.
+
+        The whole-round query engine validates every component's sample
+        in one expression instead of one Python call per component.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        u = idx // np.int64(self.num_nodes)
+        v = idx - u * np.int64(self.num_nodes)
+        return (idx >= 0) & (idx < self.vector_length) & (u < v)
+
+    def decode_endpoints(self, indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised decode of pre-validated indices to ``(u, v)`` arrays.
+
+        Callers must filter with :meth:`valid_index_mask` first; invalid
+        indices decode to garbage endpoints here (no per-element checks,
+        this is the batched hot path).
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        return np.divmod(idx, np.int64(self.num_nodes))
+
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:
             raise ValueError(f"node {node} outside [0, {self.num_nodes})")

@@ -35,7 +35,12 @@ import numpy as np
 from repro.buffering.base import Batch, BufferingSystem, group_by_destination
 from repro.buffering.gutter_tree import GutterTree
 from repro.buffering.leaf_gutters import LeafGutters
-from repro.core.boruvka import BoruvkaStats, sketch_spanning_forest
+from repro.core.boruvka import (
+    BoruvkaStats,
+    batch_sampler_from_scalar,
+    sketch_spanning_forest,
+    vectorized_spanning_forest,
+)
 from repro.core.config import BufferingMode, GraphZeppelinConfig
 from repro.core.edge_encoding import EdgeEncoder
 from repro.core.node_sketch import NodeSketch, merged_round_sketch, num_boruvka_rounds
@@ -128,6 +133,10 @@ class GraphZeppelin:
             set() if self.config.validate_stream else None
         )
         self._last_query_stats: Optional[BoruvkaStats] = None
+        # The spanning forest is a pure function of the sketch state, so
+        # it is cached between queries and invalidated whenever an
+        # update touches the sketches (directly or via the buffers).
+        self._cached_forest: Optional[SpanningForest] = None
 
     # ------------------------------------------------------------------
     # stream ingestion (user API)
@@ -209,6 +218,7 @@ class GraphZeppelin:
         hi = np.maximum(u, v)
         count = int(lo.size)
         self._updates_processed += count
+        self._cached_forest = None
         if self._current_edges is not None:
             # Toggle per occurrence (a repeated edge cancels), matching the
             # sketch semantics; validation mode is already documented as
@@ -245,16 +255,33 @@ class GraphZeppelin:
         buffered updates are applied first, then Boruvka runs over the
         node sketches.  The node sketches are not consumed -- the stream
         can continue after the query.
+
+        The forest is cached: repeated connectivity queries
+        (``is_connected`` point lookups, ``num_connected_components``
+        polls) between updates reuse it instead of re-running Boruvka,
+        and any ingested update invalidates it.
         """
+        if self._cached_forest is not None:
+            return self._cached_forest
         self.flush()
-        forest, stats = sketch_spanning_forest(
-            num_nodes=self.num_nodes,
-            num_rounds=self.num_rounds,
-            encoder=self.encoder,
-            cut_sampler=self._component_cut_sample,
-            strict=self.config.strict_queries,
-        )
+        if self.config.query_backend == "vectorized":
+            forest, stats = vectorized_spanning_forest(
+                num_nodes=self.num_nodes,
+                num_rounds=self.num_rounds,
+                encoder=self.encoder,
+                batch_cut_sampler=self._component_cut_sample_batch,
+                strict=self.config.strict_queries,
+            )
+        else:
+            forest, stats = sketch_spanning_forest(
+                num_nodes=self.num_nodes,
+                num_rounds=self.num_rounds,
+                encoder=self.encoder,
+                cut_sampler=self._component_cut_sample,
+                strict=self.config.strict_queries,
+            )
         self._last_query_stats = stats
+        self._cached_forest = forest
         return forest
 
     def spanning_forest(self) -> SpanningForest:
@@ -374,6 +401,7 @@ class GraphZeppelin:
     def _ingest(self, edge: Edge, validated: bool = False) -> None:
         u, v = edge
         self._updates_processed += 1
+        self._cached_forest = None
         if self._buffering is None:
             self._apply_batch(Batch(node=u, neighbors=[v]))
             self._apply_batch(Batch(node=v, neighbors=[u]))
@@ -384,6 +412,9 @@ class GraphZeppelin:
     def _apply_batch(self, batch: Batch) -> None:
         if len(batch) == 0:
             return
+        # Also reached by the parallel ingestor's workers, which submit
+        # batches without passing through the user-facing entry points.
+        self._cached_forest = None
         if self._pool is not None:
             self._pool.apply_node_batch(batch.node, batch.neighbors)
         else:
@@ -413,3 +444,22 @@ class GraphZeppelin:
         if self._backend == "legacy":
             return merged_round_sketch(sketches, round_index).query()
         return merged_round_query(sketches, round_index)
+
+    def _component_cut_sample_batch(
+        self,
+        round_index: int,
+        labels: np.ndarray,
+        node_mask: Optional[np.ndarray] = None,
+    ):
+        """Whole-round cut sampler handed to the vectorized Boruvka driver.
+
+        With the tensor pool every component's merged sketch comes out
+        of one segmented XOR-reduce over the pool; the object-store
+        backends fall back to grouping nodes by label and querying per
+        component (still without any member-list bookkeeping).
+        """
+        if self._pool is not None:
+            return self._pool.query_components(labels, round_index, node_mask=node_mask)
+        return batch_sampler_from_scalar(self._component_cut_sample)(
+            round_index, labels, node_mask
+        )

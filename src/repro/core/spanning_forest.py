@@ -49,6 +49,30 @@ class SpanningForest:
             )
 
     @classmethod
+    def from_prevalidated(
+        cls,
+        num_nodes: int,
+        edges: Sequence[Edge],
+        dsu: DisjointSetUnion,
+        complete: bool = True,
+    ) -> "SpanningForest":
+        """Adopt an already-built union-find instead of replaying the edges.
+
+        The vectorized Boruvka driver maintains a DSU whose unions are
+        exactly the forest edges, so re-running them in
+        ``__post_init__`` (one Python union per edge) would only redo
+        work.  The caller guarantees ``edges`` are canonical, unique and
+        acyclic, and that ``dsu`` reflects precisely those unions;
+        nothing is re-checked here.
+        """
+        forest = object.__new__(cls)
+        object.__setattr__(forest, "num_nodes", int(num_nodes))
+        object.__setattr__(forest, "edges", tuple(edges))
+        object.__setattr__(forest, "complete", bool(complete))
+        object.__setattr__(forest, "_dsu", dsu)
+        return forest
+
+    @classmethod
     def from_edges(
         cls, num_nodes: int, edges: Sequence[Edge], complete: bool = True
     ) -> "SpanningForest":

@@ -129,6 +129,18 @@ def _finalise_inplace(v: np.ndarray) -> np.ndarray:
     return v
 
 
+def finalise_hash64_inplace(keys: np.ndarray) -> np.ndarray:
+    """Finalise pre-mixed hash keys in place (any shape, uint64).
+
+    ``keys`` must be ``value ^ mixed_seed`` terms (seeds diffused with
+    :func:`mix_seed_array`); afterwards each entry equals
+    ``seeded_hash64(value, seed)`` bit-for-bit.  The batched bucket
+    decoder uses this to checksum-verify every component's buckets with
+    one broadcasted pipeline and no temporaries beyond ``keys`` itself.
+    """
+    return _finalise_inplace(keys)
+
+
 def seeded_hash64_matrix(values: np.ndarray, mixed_seeds: np.ndarray) -> np.ndarray:
     """Hash ``K`` values under ``S`` seeds in one shot, as a ``(K, S)`` matrix.
 

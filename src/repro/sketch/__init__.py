@@ -31,8 +31,19 @@ On top of the samplers sits the columnar sketch engine:
 
 from repro.sketch.bucket import CubeBucket, StandardBucket
 from repro.sketch.cubesketch import CubeSketch
-from repro.sketch.flat_node_sketch import FlatNodeSketch, merged_round_query
-from repro.sketch.sketch_base import L0Sampler, SampleOutcome, SampleResult
+from repro.sketch.flat_node_sketch import (
+    FlatNodeSketch,
+    merged_round_query,
+    query_bucket_arrays_batch,
+)
+from repro.sketch.sketch_base import (
+    SAMPLE_FAIL,
+    SAMPLE_GOOD,
+    SAMPLE_ZERO,
+    L0Sampler,
+    SampleOutcome,
+    SampleResult,
+)
 from repro.sketch.sizes import (
     cubesketch_num_buckets,
     cubesketch_size_bytes,
@@ -49,6 +60,10 @@ __all__ = [
     "L0Sampler",
     "NodeTensorPool",
     "merged_round_query",
+    "query_bucket_arrays_batch",
+    "SAMPLE_FAIL",
+    "SAMPLE_GOOD",
+    "SAMPLE_ZERO",
     "SampleOutcome",
     "SampleResult",
     "StandardBucket",

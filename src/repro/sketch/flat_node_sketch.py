@@ -46,6 +46,7 @@ import numpy as np
 from repro.core.edge_encoding import EdgeEncoder
 from repro.exceptions import ConfigurationError, IncompatibleSketchError
 from repro.hashing.mixers import (
+    finalise_hash64_inplace,
     hash_to_depth,
     mix_seed_array,
     seeded_hash64,
@@ -58,7 +59,7 @@ from repro.sketch.sizes import (
     cubesketch_num_columns,
     cubesketch_num_rows,
 )
-from repro.sketch.sketch_base import SampleResult
+from repro.sketch.sketch_base import SAMPLE_FAIL, SAMPLE_GOOD, SAMPLE_ZERO, SampleResult
 
 _GAMMA_MASK = np.uint64(0xFFFFFFFF)
 _ZERO64 = np.uint64(0)
@@ -149,36 +150,74 @@ def fold_hashed(
     checksums: np.ndarray,
     num_rows: int,
     dsts: Optional[np.ndarray] = None,
+    dst_stride: Optional[int] = None,
+    slot_offsets: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Reduction phase of the fold kernel (see :func:`columnar_fold`)."""
+    """Reduction phase of the fold kernel (see :func:`columnar_fold`).
+
+    ``dst_stride`` and ``slot_offsets`` let a multi-destination caller
+    relocate bucket ``(dst, slot)`` to segment
+    ``dst * dst_stride + slot_offsets[slot]`` instead of the default
+    node-major ``dst * num_slots + slot``; the tensor pool uses this to
+    emit round-major flat offsets directly from the kernel.  The mapping
+    must stay injective over ``(dst, slot)`` pairs.
+    """
     idx = indices.astype(np.uint64, copy=False)
     k = idx.size
     num_slots = depths.shape[1]
 
-    # Composite sort key: (destination, slot) segment-major, deepest
-    # updates first within a segment.  depth is in [1, num_rows], so
-    # (num_rows - depth) orders a segment's updates descending by depth
-    # without colliding across segments.
     slot_ids = np.arange(num_slots, dtype=np.int64)
-    if dsts is None:
-        seg = np.broadcast_to(slot_ids, (k, num_slots))
+    # Custom slot offsets must ascend with the slot id so that the
+    # per-slot fast path's slot-order emission still matches the flat
+    # composite-key sort order.
+    offsets = slot_ids if slot_offsets is None else slot_offsets
+    if dsts is None and num_rows < np.iinfo(np.int16).max:
+        # Single-destination batch: every slot is one segment holding
+        # exactly ``k`` updates, so the composite (segment, inverted
+        # depth) key collapses to the inverted depth alone -- an int16.
+        # Sorting each slot column independently lets numpy use its
+        # radix sort for short integers (~7x faster than argsorting the
+        # flat int64 composite key) and the segment structure is known
+        # without decoding any keys.
+        inv_depth = np.ascontiguousarray(
+            (np.int64(num_rows) - depths).T, dtype=np.int16
+        )
+        order_rows = np.argsort(inv_depth, axis=1, kind="stable")
+        sorted_depth = np.int64(num_rows) - np.take_along_axis(
+            inv_depth, order_rows, axis=1
+        ).ravel().astype(np.int64)
+        # Column s's entries live at flat positions k_i * S + s of the
+        # row-major (K, S) matrices; emitting columns in slot order
+        # reproduces the flat composite-key sort order exactly.
+        order = (order_rows * np.int64(num_slots) + slot_ids[:, None]).ravel()
+        sorted_seg = np.repeat(offsets, k)
+        total = k * num_slots
+        new_seg = np.zeros(total, dtype=bool)
+        new_seg[::k] = True
     else:
-        seg = dsts.astype(np.int64, copy=False)[:, None] * num_slots + slot_ids
-    key = (seg * (num_rows + 1) + (np.int64(num_rows) - depths)).ravel()
-    order = np.argsort(key, kind="stable")
-    sorted_key = key[order]
+        # Composite sort key: (destination, slot) segment-major, deepest
+        # updates first within a segment.  depth is in [1, num_rows], so
+        # (num_rows - depth) orders a segment's updates descending by
+        # depth without colliding across segments.
+        if dsts is None:
+            seg = np.broadcast_to(offsets, (k, num_slots))
+        else:
+            stride = num_slots if dst_stride is None else int(dst_stride)
+            seg = dsts.astype(np.int64, copy=False)[:, None] * stride + offsets
+        key = (seg * (num_rows + 1) + (np.int64(num_rows) - depths)).ravel()
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        sorted_seg = sorted_key // (num_rows + 1)
+        sorted_depth = np.int64(num_rows) - (sorted_key - sorted_seg * (num_rows + 1))
+        total = sorted_key.size
+        new_seg = np.empty(total, dtype=bool)
+        new_seg[0] = True
+        np.not_equal(sorted_seg[1:], sorted_seg[:-1], out=new_seg[1:])
+
     cum_alpha = np.bitwise_xor.accumulate(
         np.broadcast_to(idx[:, None], (k, num_slots)).ravel()[order]
     )
     cum_gamma = np.bitwise_xor.accumulate(checksums.ravel()[order])
-
-    sorted_seg = sorted_key // (num_rows + 1)
-    sorted_depth = np.int64(num_rows) - (sorted_key - sorted_seg * (num_rows + 1))
-
-    total = sorted_key.size
-    new_seg = np.empty(total, dtype=bool)
-    new_seg[0] = True
-    np.not_equal(sorted_seg[1:], sorted_seg[:-1], out=new_seg[1:])
 
     # Cumulative XOR runs over the whole sorted array; each segment's
     # fold needs the scan *restarted* at its start, which XOR's
@@ -223,6 +262,8 @@ def columnar_fold(
     mixed_checksum: np.ndarray,
     num_rows: int,
     dsts: Optional[np.ndarray] = None,
+    dst_stride: Optional[int] = None,
+    slot_offsets: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """The columnar engine's whole update kernel, over one chunk.
 
@@ -246,7 +287,15 @@ def columnar_fold(
     depths, checksums = hash_depths_checksums(
         indices, mixed_membership, mixed_checksum, num_rows
     )
-    return fold_hashed(indices, depths, checksums, num_rows, dsts=dsts)
+    return fold_hashed(
+        indices,
+        depths,
+        checksums,
+        num_rows,
+        dsts=dsts,
+        dst_stride=dst_stride,
+        slot_offsets=slot_offsets,
+    )
 
 
 def query_bucket_arrays(
@@ -277,6 +326,165 @@ def query_bucket_arrays(
             if (seeded_hash64(a, checksum_seed) & 0xFFFFFFFF) == g:
                 return SampleResult.good(a)
     return SampleResult.fail()
+
+
+def segmented_xor(values: np.ndarray, seg_starts: np.ndarray) -> np.ndarray:
+    """XOR-reduce consecutive row segments of a 2-D array in one pass.
+
+    ``values`` is ``(M, W)`` with rows already grouped into segments;
+    ``seg_starts`` holds each segment's first row (``seg_starts[0]`` must
+    be 0 and segments must be non-empty).  Returns the
+    ``(num_segments, W)`` per-segment XOR -- the query-side twin of the
+    fold kernel's segmented reduction.  ``reduceat`` writes only the
+    segment results (measured ~3x faster here than a full
+    cumulative-XOR prefix scan plus boundary picks, which materialises
+    an ``(M, W)`` intermediate); XOR is exact and associative, so the
+    result is bit-identical either way.  When every segment is a single
+    row the input is returned as-is, so callers must treat the result
+    as read-only.
+    """
+    if seg_starts.size == values.shape[0]:
+        return values
+    return np.bitwise_xor.reduceat(values, seg_starts, axis=0)
+
+
+#: Largest label value the int16 radix argsort fast path can represent.
+_INT16_LABEL_LIMIT = int(np.iinfo(np.int16).max)
+
+
+def group_nodes_by_label(
+    labels: np.ndarray, node_mask: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Group node ids into contiguous per-label segments.
+
+    The shared front half of every whole-round cut query: select the
+    nodes (``node_mask`` restricts to the marked ones), stable-sort
+    them by label -- through numpy's int16 radix sort when every label
+    fits, ~7x faster than the int64 comparison sort -- and mark the
+    segment boundaries.  Returns ``(sorted_nodes, seg_starts, roots)``
+    where ``roots`` holds the distinct labels in ascending order, one
+    per segment.
+    """
+    if node_mask is None:
+        nodes = np.arange(labels.size, dtype=np.int64)
+        selected = np.asarray(labels, dtype=np.int64)
+    else:
+        nodes = np.flatnonzero(np.asarray(node_mask, dtype=bool))
+        selected = np.asarray(labels, dtype=np.int64)[nodes]
+    if nodes.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    # Gate the fast path on the actual label values -- labels are
+    # caller-supplied and need not be node ids; an out-of-range value
+    # would wrap through the cast and mis-group components.
+    if int(selected.min()) >= 0 and int(selected.max()) <= _INT16_LABEL_LIMIT:
+        order = np.argsort(selected.astype(np.int16), kind="stable")
+    else:
+        order = np.argsort(selected, kind="stable")
+    sorted_nodes = nodes[order]
+    sorted_labels = selected[order]
+    new_seg = np.empty(sorted_labels.size, dtype=bool)
+    new_seg[0] = True
+    np.not_equal(sorted_labels[1:], sorted_labels[:-1], out=new_seg[1:])
+    seg_starts = np.flatnonzero(new_seg)
+    return sorted_nodes, seg_starts, sorted_labels[seg_starts]
+
+
+def decode_column_batch(
+    alpha: np.ndarray,
+    gamma: np.ndarray,
+    vector_length: int,
+    mixed_checksum_seed: np.uint64,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decode one column's buckets for many components at once.
+
+    ``alpha`` and ``gamma`` are ``(C, num_rows)``: one column of ``C``
+    merged component sketches.  Scans rows deepest-first exactly like
+    :func:`query_bucket_arrays` does within a column, checksum-verifying
+    with one broadcasted hash pipeline.  Returns ``(good, zero, index)``
+    where ``good[c]`` flags a verified bucket, ``zero[c]`` flags an
+    all-empty column, and ``index[c]`` is the recovered edge slot (-1
+    when not good).  ``mixed_checksum_seed`` is the column's checksum
+    seed pre-diffused with :func:`~repro.hashing.mixers.mix_seed_array`.
+    """
+    count, num_rows = alpha.shape
+    nonzero = (alpha != _ZERO64) | (gamma != _ZERO64)
+    zero = ~nonzero.any(axis=1)
+    candidates = nonzero & (alpha < np.uint64(vector_length))
+    good = np.zeros(count, dtype=bool)
+    index = np.full(count, -1, dtype=np.int64)
+    # Checksum-hash only the candidate buckets (typically a small
+    # fraction -- most buckets are empty or hold deep collisions), as a
+    # compressed 1-D batch instead of the full (C, num_rows) matrix.
+    flat_positions = np.flatnonzero(candidates)
+    if flat_positions.size == 0:
+        return good, zero, index
+    flat_alpha = alpha.ravel()[flat_positions]
+    hashed = finalise_hash64_inplace(flat_alpha ^ mixed_checksum_seed)
+    verified = flat_positions[(hashed & _GAMMA_MASK) == gamma.ravel()[flat_positions]]
+    if verified.size == 0:
+        return good, zero, index
+    # ``verified`` ascends component-major with rows ascending inside a
+    # component; the deepest valid row is therefore each component's
+    # *last* entry, i.e. the first occurrence scanning from the back.
+    components = verified // num_rows
+    hit_components, first_from_back = np.unique(components[::-1], return_index=True)
+    picked = verified[components.size - 1 - first_from_back]
+    good[hit_components] = True
+    index[hit_components] = alpha.ravel()[picked].astype(np.int64)
+    return good, zero, index
+
+
+def query_bucket_arrays_batch(
+    alpha: np.ndarray,
+    gamma: np.ndarray,
+    vector_length: int,
+    checksum_seeds: Sequence[int],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """CubeSketch's query over ``C`` components' bucket tensors at once.
+
+    The batched twin of :func:`query_bucket_arrays`: ``alpha`` and
+    ``gamma`` are ``(C, num_columns, num_rows)`` slot-major tensors (the
+    tensor pool's native round-slice layout -- note the transpose
+    relative to the scalar function's ``(rows, cols)`` arguments), and
+    instead of ``C`` :class:`SampleResult` objects the result is a pair
+    of arrays: ``statuses`` (:data:`~repro.sketch.sketch_base.SAMPLE_ZERO`
+    / ``SAMPLE_GOOD`` / ``SAMPLE_FAIL`` codes, uint8) and ``indices``
+    (the sampled edge slot per GOOD component, -1 elsewhere).
+
+    Columns are scanned in ascending order with deepest rows first, so
+    each component reports exactly the bucket the scalar scan would --
+    components resolved by an early column drop out of later columns'
+    work, which is what makes whole-round Boruvka queries cheap: most
+    components sample successfully from column 0.
+    """
+    alpha = np.asarray(alpha)
+    gamma = np.asarray(gamma)
+    if alpha.shape != gamma.shape or alpha.ndim != 3:
+        raise ValueError("expected matching (C, num_columns, num_rows) bucket tensors")
+    count, num_columns, _ = alpha.shape
+    seeds = np.asarray(checksum_seeds, dtype=np.uint64)
+    if seeds.shape != (num_columns,):
+        raise ValueError("need exactly one checksum seed per column")
+    mixed = mix_seed_array(seeds)
+
+    statuses = np.full(count, SAMPLE_FAIL, dtype=np.uint8)
+    indices = np.full(count, -1, dtype=np.int64)
+    seen_nonzero = np.zeros(count, dtype=bool)
+    undecided = np.arange(count)
+    for col in range(num_columns):
+        good, zero, index = decode_column_batch(
+            alpha[undecided, col], gamma[undecided, col], vector_length, mixed[col]
+        )
+        seen_nonzero[undecided] |= ~zero
+        hits = undecided[good]
+        statuses[hits] = SAMPLE_GOOD
+        indices[hits] = index[good]
+        undecided = undecided[~good]
+        if undecided.size == 0:
+            break
+    statuses[(statuses != SAMPLE_GOOD) & ~seen_nonzero] = SAMPLE_ZERO
+    return statuses, indices
 
 
 class FlatNodeSketch:

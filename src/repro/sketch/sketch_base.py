@@ -28,6 +28,22 @@ class SampleOutcome(enum.Enum):
     FAIL = "fail"
 
 
+#: Integer encodings of :class:`SampleOutcome` used by the batched query
+#: path, where per-component results travel as ``(status, index)`` numpy
+#: arrays instead of :class:`SampleResult` objects.
+SAMPLE_ZERO = 0
+SAMPLE_GOOD = 1
+SAMPLE_FAIL = 2
+
+#: Status code -> :class:`SampleOutcome`, for converting batched results
+#: back to the object form (tests, debugging).
+OUTCOME_BY_CODE = {
+    SAMPLE_ZERO: SampleOutcome.ZERO,
+    SAMPLE_GOOD: SampleOutcome.GOOD,
+    SAMPLE_FAIL: SampleOutcome.FAIL,
+}
+
+
 @dataclass(frozen=True, slots=True)
 class SampleResult:
     """Result of a query: an outcome plus the sampled index when GOOD."""

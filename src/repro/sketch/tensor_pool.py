@@ -1,32 +1,49 @@
-"""A whole graph's sketch state as two contiguous tensors.
+"""A whole graph's sketch state as contiguous round-major tensors.
 
 :class:`NodeTensorPool` is the columnar engine's in-RAM backing store:
 instead of one Python object (and two arrays) per node, *every* node's
-sketch bundle lives in a single pair of
-``(num_nodes, num_rounds, num_columns, num_rows)`` uint64 tensors.
-Bucket ``(node, round, row, col)`` sits at flat offset
-``(node * slots + round * cols + col) * rows + row``, the same
-rows-innermost layout :class:`~repro.sketch.flat_node_sketch.FlatNodeSketch`
-uses, so the shared :func:`~repro.sketch.flat_node_sketch.columnar_fold`
-kernel can fold a *mixed multi-node* batch of updates into the pool with
-one hash + one argsort + one fancy-indexed XOR per chunk -- no Python
-loop over nodes, rounds, or columns.
+sketch bundle lives in whole-graph tensors laid out **round-major** --
+one Boruvka round's entire graph state is a contiguous
+``(num_nodes, num_columns, num_rows)`` slab, which is what the query
+engine scans.  A whole-round cut query gathers and reduces inside one
+round slab instead of striding across every node's full bundle.
+
+Bucket storage comes in two modes:
+
+* **packed** (graphs up to 65536 nodes): the edge-slot universe fits in
+  32 bits, so a bucket's 32-bit ``alpha`` accumulator and 32-bit
+  ``gamma`` checksum pack into a single uint64 word (alpha in the high
+  half).  XOR distributes over the packed fields, so folds, merges, and
+  segmented reductions all run as **one** operation on **one** tensor --
+  half the kernel calls and half the memory traffic of separate
+  alpha/gamma tensors;
+* **wide** (larger graphs): a uint64 ``alpha`` tensor plus a uint32
+  ``gamma`` tensor (checksums are 32 bits either way).
+
+Bucket ``(round, node, row, col)`` sits at flat offset
+``((round * num_nodes + node) * cols + col) * rows + row``; the shared
+:func:`~repro.sketch.flat_node_sketch.columnar_fold` kernel emits these
+offsets directly (via its ``dst_stride`` / ``slot_offsets`` segment
+mapping), so a *mixed multi-node* batch of updates still folds with one
+hash + one argsort + one fancy-indexed XOR per chunk -- no Python loop
+over nodes, rounds, or columns.
 
 This is what turns ``GraphZeppelin.ingest_batch`` into a columnar
 pipeline: canonicalise the edge array, mirror it, encode the edge slots,
 and hand ``(destination, index)`` columns straight to
 :meth:`NodeTensorPool.apply_updates`.
 
-The pool also accelerates the query side: a Boruvka component's cut
-sketch is the XOR of its members' round slices, which here is one fancy
-gather + XOR reduction over the pool
-(:meth:`NodeTensorPool.query_merged`) instead of deserialising and
-merging per-node sketch objects.
+The pool is also the query engine's substrate: one Boruvka round's cut
+samples for *every* active component come out of a single segmented
+XOR-reduce over the round slab (:meth:`NodeTensorPool.query_components`),
+and a single component's merged sketch is one fancy gather + XOR
+reduction (:meth:`NodeTensorPool.query_merged`) instead of deserialising
+and merging per-node sketch objects.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,10 +53,14 @@ from repro.sketch.flat_node_sketch import (
     BATCH_CHUNK,
     FlatNodeSketch,
     columnar_fold,
+    decode_column_batch,
     flat_seed_matrices,
     fold_hashed,
+    group_nodes_by_label,
     hash_depths_checksums,
     query_bucket_arrays,
+    query_bucket_arrays_batch,
+    segmented_xor,
     validate_indices,
 )
 from repro.sketch.sizes import (
@@ -47,7 +68,38 @@ from repro.sketch.sizes import (
     cubesketch_num_columns,
     cubesketch_num_rows,
 )
-from repro.sketch.sketch_base import SampleResult
+from repro.sketch.sketch_base import (
+    SAMPLE_FAIL,
+    SAMPLE_GOOD,
+    SAMPLE_ZERO,
+    SampleResult,
+)
+
+#: Element budget for one ``(K, S)`` hash matrix of the fold kernel
+#: (uint64, so 1 << 22 elements is ~32 MiB per temporary).
+_CHUNK_ELEMENT_BUDGET = 1 << 22
+#: Chunks below ~8k updates under-amortise the kernel's fixed costs
+#: (ROADMAP measurement), chunks above 128k stop paying for their RAM.
+_MIN_FOLD_CHUNK = 1 << 13
+_MAX_FOLD_CHUNK = 1 << 17
+
+_LOW32 = np.uint64(0xFFFFFFFF)
+_SHIFT32 = np.uint64(32)
+
+
+def auto_fold_chunk(num_slots: int, batch_size: int) -> int:
+    """Updates per fold-kernel pass, tuned to the sketch geometry.
+
+    The kernel's dominant temporaries are ``(K, num_slots)`` uint64
+    matrices, so the chunk size that keeps them inside the element
+    budget shrinks as the graph (and with it ``num_slots``) grows.
+    Small graphs get proportionally larger chunks, which is where the
+    fixed per-chunk costs used to dominate.  The result is clamped to
+    the measured sweet spot and never exceeds the batch itself.
+    """
+    chunk = _CHUNK_ELEMENT_BUDGET // max(int(num_slots), 1)
+    chunk = min(max(chunk, _MIN_FOLD_CHUNK), _MAX_FOLD_CHUNK)
+    return max(min(chunk, max(int(batch_size), 1)), 1)
 
 
 class NodeTensorPool:
@@ -56,7 +108,7 @@ class NodeTensorPool:
     Parameters
     ----------
     num_nodes:
-        Number of graph nodes (= first tensor axis).
+        Number of graph nodes.
     encoder:
         The engine's shared edge-slot encoder.
     graph_seed:
@@ -68,6 +120,11 @@ class NodeTensorPool:
         Per-round sketch failure probability.
     num_rounds:
         Boruvka rounds to provision (defaults to ``ceil(log2 V)``).
+    force_wide:
+        Use the wide (separate alpha/gamma tensors) storage even when
+        the edge-slot universe would fit packed buckets.  Wide mode
+        only self-selects above 65536 nodes, so this exists to let the
+        equivalence tests exercise it at test-sized graphs.
     """
 
     def __init__(
@@ -77,6 +134,7 @@ class NodeTensorPool:
         graph_seed: int = 0,
         delta: float = 0.01,
         num_rounds: Optional[int] = None,
+        force_wide: bool = False,
     ) -> None:
         from repro.core.node_sketch import num_boruvka_rounds
 
@@ -95,9 +153,25 @@ class NodeTensorPool:
         self.num_columns = cubesketch_num_columns(delta)
         self.num_slots = self.num_rounds * self.num_columns
 
-        shape = (self.num_nodes, self.num_rounds, self.num_columns, self.num_rows)
-        self._alpha = np.zeros(shape, dtype=np.uint64)
-        self._gamma = np.zeros(shape, dtype=np.uint64)
+        # Round-major: tensor[round] is one contiguous slab holding every
+        # node's buckets for that round (see the module docstring).
+        shape = (self.num_rounds, self.num_nodes, self.num_columns, self.num_rows)
+        self._packed = encoder.vector_length <= 1 << 32 and not force_wide
+        if self._packed:
+            self._buckets = np.zeros(shape, dtype=np.uint64)
+            self._alpha = self._gamma = None
+        else:
+            self._buckets = None
+            self._alpha = np.zeros(shape, dtype=np.uint64)
+            self._gamma = np.zeros(shape, dtype=np.uint32)
+        # Fold-kernel segment mapping: bucket (dst, slot) of the
+        # slot-major kernel lands at round-major segment
+        # dst * num_columns + _slot_offsets[slot] (strictly increasing
+        # in slot, as the kernel's fast path requires).
+        slots = np.arange(self.num_slots, dtype=np.int64)
+        self._slot_offsets = (slots // self.num_columns) * (
+            self.num_nodes * self.num_columns
+        ) + (slots % self.num_columns)
         (
             self._membership_seeds,
             self._checksum_seeds,
@@ -105,17 +179,37 @@ class NodeTensorPool:
             self._mixed_checksum,
         ) = flat_seed_matrices(self.graph_seed, self.num_rounds, self.num_columns)
         self._updates_applied = 0
+        # Whole-slab XOR totals per (round, tensor) for the query
+        # engine's complement trick; invalidated by any fold.
+        self._version = 0
+        self._slab_cache: Dict[Tuple[int, str], Tuple[int, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
-    def apply_updates(self, dsts: np.ndarray, indices: np.ndarray) -> None:
+    def _scatter(self, targets: np.ndarray, alpha_vals: np.ndarray, gamma_vals: np.ndarray) -> None:
+        """XOR fold-kernel output into the pool at round-major offsets."""
+        if self._packed:
+            flat = self._buckets.reshape(-1)
+            flat[targets] ^= (alpha_vals << _SHIFT32) | gamma_vals
+        else:
+            self._alpha.reshape(-1)[targets] ^= alpha_vals
+            self._gamma.reshape(-1)[targets] ^= gamma_vals.astype(np.uint32)
+        self._version += 1
+
+    def apply_updates(
+        self,
+        dsts: np.ndarray,
+        indices: np.ndarray,
+        chunk_size: Optional[int] = None,
+    ) -> None:
         """Fold a mixed multi-node batch of edge-slot updates into the pool.
 
         ``dsts[i]`` is the node whose bundle receives edge-slot
         ``indices[i]``.  The whole batch -- regardless of how many
         distinct nodes it touches -- goes through the shared columnar
-        fold kernel in fixed-size chunks.
+        fold kernel in chunks sized by :func:`auto_fold_chunk` (or
+        ``chunk_size`` when given).
         """
         dsts = np.asarray(dsts)
         if dsts.shape != np.shape(indices) or dsts.ndim != 1:
@@ -124,21 +218,27 @@ class NodeTensorPool:
         if idx is None:
             return
         self._check_destinations(dsts)
-        alpha_flat = self._alpha.reshape(-1)
-        gamma_flat = self._gamma.reshape(-1)
-        for start in range(0, idx.size, BATCH_CHUNK):
+        chunk = int(chunk_size) if chunk_size else auto_fold_chunk(self.num_slots, idx.size)
+        for start in range(0, idx.size, chunk):
             targets, alpha_vals, gamma_vals = columnar_fold(
-                idx[start : start + BATCH_CHUNK].astype(np.uint64, copy=False),
+                idx[start : start + chunk].astype(np.uint64, copy=False),
                 self._mixed_membership,
                 self._mixed_checksum,
                 self.num_rows,
-                dsts=dsts[start : start + BATCH_CHUNK],
+                dsts=dsts[start : start + chunk],
+                dst_stride=self.num_columns,
+                slot_offsets=self._slot_offsets,
             )
-            alpha_flat[targets] ^= alpha_vals
-            gamma_flat[targets] ^= gamma_vals
+            self._scatter(targets, alpha_vals, gamma_vals)
         self._updates_applied += int(idx.size)
 
-    def apply_edges(self, lo: np.ndarray, hi: np.ndarray, indices: np.ndarray) -> None:
+    def apply_edges(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        indices: np.ndarray,
+        chunk_size: Optional[int] = None,
+    ) -> None:
         """Fold both directions of a canonical edge batch into the pool.
 
         ``indices[i]`` is the edge slot of the canonical edge
@@ -147,6 +247,9 @@ class NodeTensorPool:
         each index is hashed **once** and the depth/checksum matrices
         are shared by the two mirrored halves -- half the hash cost of
         pushing the duplicated column through :meth:`apply_updates`.
+        Chunks are sized by :func:`auto_fold_chunk` (halved, since the
+        mirrored halves double the reduction width) unless ``chunk_size``
+        overrides it.
         """
         if not (np.shape(indices) == np.shape(lo) == np.shape(hi)) or np.ndim(indices) != 1:
             raise ValueError("lo, hi and indices must be matching one-dimensional arrays")
@@ -155,9 +258,10 @@ class NodeTensorPool:
             return
         self._check_destinations(np.asarray(lo))
         self._check_destinations(np.asarray(hi))
-        alpha_flat = self._alpha.reshape(-1)
-        gamma_flat = self._gamma.reshape(-1)
-        edge_chunk = max(BATCH_CHUNK // 2, 1)
+        if chunk_size:
+            edge_chunk = max(int(chunk_size), 1)
+        else:
+            edge_chunk = max(auto_fold_chunk(self.num_slots, idx.size) // 2, 1)
         for start in range(0, idx.size, edge_chunk):
             chunk = idx[start : start + edge_chunk]
             depths, checksums = hash_depths_checksums(
@@ -171,9 +275,10 @@ class NodeTensorPool:
                 dsts=np.concatenate(
                     [lo[start : start + edge_chunk], hi[start : start + edge_chunk]]
                 ),
+                dst_stride=self.num_columns,
+                slot_offsets=self._slot_offsets,
             )
-            alpha_flat[targets] ^= alpha_vals
-            gamma_flat[targets] ^= gamma_vals
+            self._scatter(targets, alpha_vals, gamma_vals)
         self._updates_applied += 2 * int(idx.size)
 
     def apply_node_batch(self, node: int, neighbors) -> None:
@@ -181,14 +286,14 @@ class NodeTensorPool:
 
         Used by the buffering path, whose emitted batches are already
         grouped per destination node.  Writes touch only ``node``'s
-        slice of the pool, so batches for different nodes can be applied
+        buckets, so batches for different nodes can be applied
         concurrently by the worker pool.
         """
         indices = self.encoder.encode_batch(node, neighbors)
         if indices.size == 0:
             return
-        alpha_flat = self._alpha[node].reshape(-1)
-        gamma_flat = self._gamma[node].reshape(-1)
+        rows = np.int64(self.num_rows)
+        node_base = np.int64(node * self.num_columns)
         for start in range(0, indices.size, BATCH_CHUNK):
             targets, alpha_vals, gamma_vals = columnar_fold(
                 indices[start : start + BATCH_CHUNK],
@@ -196,8 +301,13 @@ class NodeTensorPool:
                 self._mixed_checksum,
                 self.num_rows,
             )
-            alpha_flat[targets] ^= alpha_vals
-            gamma_flat[targets] ^= gamma_vals
+            # The single-destination kernel emits node-local slot-major
+            # offsets; relocate them into the round-major pool.
+            slot = targets // rows
+            targets = (self._slot_offsets[slot] + node_base) * rows + (
+                targets - slot * rows
+            )
+            self._scatter(targets, alpha_vals, gamma_vals)
         self._updates_applied += int(indices.size)
 
     def _check_destinations(self, dsts: np.ndarray) -> None:
@@ -212,31 +322,20 @@ class NodeTensorPool:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    def _node_round_arrays(self, node: int, round_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """One node's ``(cols, rows)`` alpha/gamma arrays for a round."""
+        if self._packed:
+            packed = self._buckets[round_index, node]
+            return packed >> _SHIFT32, packed & _LOW32
+        return (
+            self._alpha[round_index, node],
+            self._gamma[round_index, node].astype(np.uint64),
+        )
+
     def query_round(self, node: int, round_index: int) -> SampleResult:
         """Query one node's round-``round_index`` sketch."""
         self._check_node(node)
-        base = round_index * self.num_columns
-        return query_bucket_arrays(
-            self._alpha[node, round_index].T,
-            self._gamma[node, round_index].T,
-            self.encoder.vector_length,
-            self._checksum_seeds[base : base + self.num_columns],
-        )
-
-    def query_merged(self, members: Sequence[int], round_index: int) -> SampleResult:
-        """Query the XOR of several nodes' round-``round_index`` sketches.
-
-        The Boruvka cut sampler: one fancy gather over the pool plus an
-        XOR reduction replaces per-member sketch copies and merges.
-        """
-        if len(members) == 0:
-            raise ValueError("query_merged requires at least one member node")
-        member_array = np.asarray(members, dtype=np.int64)
-        self._check_destinations(member_array)
-        if member_array.size == 1:
-            return self.query_round(int(member_array[0]), round_index)
-        alpha = np.bitwise_xor.reduce(self._alpha[member_array, round_index], axis=0)
-        gamma = np.bitwise_xor.reduce(self._gamma[member_array, round_index], axis=0)
+        alpha, gamma = self._node_round_arrays(node, round_index)
         base = round_index * self.num_columns
         return query_bucket_arrays(
             alpha.T,
@@ -244,6 +343,264 @@ class NodeTensorPool:
             self.encoder.vector_length,
             self._checksum_seeds[base : base + self.num_columns],
         )
+
+    def query_merged(self, members: Sequence[int], round_index: int) -> SampleResult:
+        """Query the XOR of several nodes' round-``round_index`` sketches.
+
+        The per-component Boruvka cut sampler: one fancy gather over the
+        round slab plus an XOR reduction replaces per-member sketch
+        copies and merges.
+        """
+        if len(members) == 0:
+            raise ValueError("query_merged requires at least one member node")
+        member_array = np.asarray(members, dtype=np.int64)
+        self._check_destinations(member_array)
+        if member_array.size == 1:
+            return self.query_round(int(member_array[0]), round_index)
+        if self._packed:
+            packed = np.bitwise_xor.reduce(
+                self._buckets[round_index, member_array], axis=0
+            )
+            alpha, gamma = packed >> _SHIFT32, packed & _LOW32
+        else:
+            alpha = np.bitwise_xor.reduce(self._alpha[round_index, member_array], axis=0)
+            gamma = np.bitwise_xor.reduce(self._gamma[round_index, member_array], axis=0)
+        base = round_index * self.num_columns
+        return query_bucket_arrays(
+            alpha.T,
+            gamma.T,
+            self.encoder.vector_length,
+            self._checksum_seeds[base : base + self.num_columns],
+        )
+
+    def query_components(
+        self,
+        labels: np.ndarray,
+        round_index: int,
+        node_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cut-sample **every** component of a Boruvka round in one pass.
+
+        ``labels[node]`` is the node's component label; nodes sharing a
+        label form one component.  Instead of one
+        :meth:`query_merged` call per component, the whole round is a
+        segmented XOR-reduce: sort node rows by component label (int16
+        radix sort when the labels fit), reduce label segments over the
+        round slab, and decode all merged sketches with the batched
+        bucket decoder.  ``node_mask`` restricts the query to the marked
+        nodes (the Boruvka driver masks out settled components).
+
+        Columns are decoded progressively: column 0 is reduced and
+        decoded for every component, and only the components it fails
+        to resolve pull their remaining columns (in one batched pass) --
+        most components resolve immediately, so the common case touches
+        one ``(M, num_rows)`` stripe of the slab per round.
+
+        Returns ``(roots, statuses, indices)``: the distinct labels in
+        ascending order, each component's
+        :data:`~repro.sketch.sketch_base.SAMPLE_ZERO` /
+        ``SAMPLE_GOOD`` / ``SAMPLE_FAIL`` code, and its sampled edge
+        slot (-1 unless GOOD).  Results are bit-identical to calling
+        :meth:`query_merged` per component.
+        """
+        labels = np.asarray(labels)
+        if labels.shape != (self.num_nodes,):
+            raise ValueError("labels must hold one component label per node")
+        if not 0 <= round_index < self.num_rounds:
+            raise ValueError(f"round {round_index} outside [0, {self.num_rounds})")
+        if node_mask is None:
+            excluded = np.empty(0, dtype=np.int64)
+        else:
+            mask = np.asarray(node_mask, dtype=bool)
+            if mask.shape != (self.num_nodes,):
+                raise ValueError("node_mask must hold one flag per node")
+            excluded = np.flatnonzero(~mask)
+        sorted_nodes, seg_starts, roots = group_nodes_by_label(labels, node_mask)
+        if roots.size == 0:
+            return roots, np.empty(0, dtype=np.uint8), roots.copy()
+
+        count = roots.size
+        statuses = np.full(count, SAMPLE_FAIL, dtype=np.uint8)
+        indices = np.full(count, -1, dtype=np.int64)
+        base = round_index * self.num_columns
+
+        # Phase 1: reduce and decode column 0 alone for every component.
+        # Most components resolve here, so the common case touches only
+        # an (M, num_rows) stripe of the slab per round.
+        alpha0, gamma0 = self._merged_round_cols(
+            sorted_nodes, seg_starts, excluded, round_index, 0, 1
+        )
+        good, column0_zero, index = decode_column_batch(
+            alpha0.reshape(count, self.num_rows),
+            gamma0.reshape(count, self.num_rows),
+            self.encoder.vector_length,
+            self._mixed_checksum[base],
+        )
+        statuses[good] = SAMPLE_GOOD
+        indices[good] = index[good]
+
+        unresolved = ~good
+        if not unresolved.any():
+            return roots, statuses, indices
+        if self.num_columns == 1:
+            statuses[unresolved & column0_zero] = SAMPLE_ZERO
+            return roots, statuses, indices
+
+        # Phase 2: the components column 0 could not resolve pull all
+        # their remaining columns in one batched reduce + decode
+        # (instead of per-column passes over the full node set, which
+        # would make the final all-zero convergence query pay
+        # ``num_columns`` whole-graph reductions).
+        seg_sizes = np.diff(np.append(seg_starts, sorted_nodes.size))
+        rest_nodes = sorted_nodes[np.repeat(unresolved, seg_sizes)]
+        rest_sizes = seg_sizes[unresolved]
+        rest_starts = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(rest_sizes)[:-1]]
+        )
+        rest_excluded = np.ones(self.num_nodes, dtype=bool)
+        rest_excluded[rest_nodes] = False
+        rest_excluded = np.flatnonzero(rest_excluded)
+        rest_alpha, rest_gamma = self._merged_round_cols(
+            rest_nodes, rest_starts, rest_excluded, round_index, 1, self.num_columns
+        )
+        rest_shape = (rest_sizes.size, self.num_columns - 1, self.num_rows)
+        rest_statuses, rest_indices = query_bucket_arrays_batch(
+            rest_alpha.reshape(rest_shape),
+            rest_gamma.reshape(rest_shape),
+            self.encoder.vector_length,
+            self._checksum_seeds[base + 1 : base + self.num_columns],
+        )
+
+        positions = np.flatnonzero(unresolved)
+        rest_good = rest_statuses == SAMPLE_GOOD
+        statuses[positions[rest_good]] = SAMPLE_GOOD
+        indices[positions[rest_good]] = rest_indices[rest_good]
+        # A component is ZERO only when column 0 *and* every later
+        # column were empty; otherwise the default FAIL stands.
+        statuses[
+            positions[column0_zero[positions] & (rest_statuses == SAMPLE_ZERO)]
+        ] = SAMPLE_ZERO
+        return roots, statuses, indices
+
+    def _merged_round_cols(
+        self,
+        sorted_nodes: np.ndarray,
+        seg_starts: np.ndarray,
+        excluded_nodes: np.ndarray,
+        round_index: int,
+        col_start: int,
+        col_stop: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-segment merged ``(alpha, gamma)`` for a span of columns.
+
+        Returns two ``(num_segments, (col_stop - col_start) * num_rows)``
+        uint arrays.  In packed mode one segmented reduction over the
+        packed tensor produces both; in wide mode alpha and gamma are
+        reduced separately.
+        """
+        if self._packed:
+            merged = self._segment_round_xor(
+                self._buckets, "packed", sorted_nodes, seg_starts,
+                excluded_nodes, round_index, col_start, col_stop,
+            )
+            return merged >> _SHIFT32, merged & _LOW32
+        alpha = self._segment_round_xor(
+            self._alpha, "alpha", sorted_nodes, seg_starts,
+            excluded_nodes, round_index, col_start, col_stop,
+        )
+        gamma = self._segment_round_xor(
+            self._gamma, "gamma", sorted_nodes, seg_starts,
+            excluded_nodes, round_index, col_start, col_stop,
+        )
+        return alpha, gamma
+
+    def _round_slab_total(self, tensor: np.ndarray, key: str, round_index: int) -> np.ndarray:
+        """Cached XOR of *all* nodes' buckets for one round.
+
+        One contiguous whole-slab reduction, memoised until the next
+        fold touches the pool; the complement trick below uses it to
+        price giant-component reductions at (amortised) zero reads.
+        """
+        cached = self._slab_cache.get((round_index, key))
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        total = np.bitwise_xor.reduce(tensor[round_index], axis=0)
+        self._slab_cache[(round_index, key)] = (self._version, total)
+        return total
+
+    def _segment_round_xor(
+        self,
+        tensor: np.ndarray,
+        key: str,
+        sorted_nodes: np.ndarray,
+        seg_starts: np.ndarray,
+        excluded_nodes: np.ndarray,
+        round_index: int,
+        col_start: int,
+        col_stop: int,
+    ) -> np.ndarray:
+        """Per-segment XOR of ``tensor[round_index, :, col_start:col_stop]``.
+
+        ``sorted_nodes`` is grouped into segments by ``seg_starts``;
+        ``excluded_nodes`` are the slab rows outside the query entirely
+        (settled components).  Small segments are gathered and folded
+        with :func:`~repro.sketch.flat_node_sketch.segmented_xor`.  A
+        segment holding most of the graph (the late-round giant
+        component) is instead computed by complement: the cached
+        whole-slab XOR total, minus (XOR) the other segments' sums and
+        the excluded rows -- XOR's self-inverse turns one contiguous
+        slab scan into the giant's sum without gathering its rows.
+        """
+        total = sorted_nodes.size
+        width = (col_stop - col_start) * self.num_rows
+        seg_sizes = np.diff(np.append(seg_starts, total))
+        largest = int(seg_sizes.argmax())
+        largest_size = int(seg_sizes[largest])
+        # Rough cost model in gathered-element units: skipping the
+        # largest segment's gather+reduce saves ~2 passes over its rows;
+        # the complement pays one contiguous pass over the full-width
+        # slab (unless already cached this version) plus 2 passes over
+        # the excluded rows.
+        slab_cost = 0 if (round_index, key) in self._slab_cache and self._slab_cache[
+            (round_index, key)
+        ][0] == self._version else self.num_nodes * self.num_columns * self.num_rows // 2
+        use_complement = largest_size > 1 and 2 * largest_size * width > (
+            slab_cost + 2 * excluded_nodes.size * width
+        )
+        if not use_complement:
+            gathered = tensor[round_index, sorted_nodes, col_start:col_stop]
+            return segmented_xor(gathered.reshape(total, width), seg_starts)
+
+        lo = int(seg_starts[largest])
+        hi = lo + largest_size
+        other_nodes = np.concatenate([sorted_nodes[:lo], sorted_nodes[hi:]])
+        other_starts = np.delete(seg_starts, largest)
+        other_starts[largest:] -= largest_size
+        other_sums = segmented_xor(
+            tensor[round_index, other_nodes, col_start:col_stop].reshape(
+                other_nodes.size, width
+            ),
+            other_starts,
+        )
+        largest_sum = (
+            self._round_slab_total(tensor, key, round_index)[col_start:col_stop]
+            .reshape(width)
+            .copy()
+        )
+        if other_sums.shape[0]:
+            largest_sum ^= np.bitwise_xor.reduce(other_sums, axis=0)
+        if excluded_nodes.size:
+            largest_sum ^= np.bitwise_xor.reduce(
+                tensor[round_index, excluded_nodes, col_start:col_stop].reshape(
+                    excluded_nodes.size, width
+                ),
+                axis=0,
+            )
+        merged = np.empty((seg_starts.size, width), dtype=tensor.dtype)
+        merged[:largest] = other_sums[:largest]
+        merged[largest] = largest_sum
+        merged[largest + 1 :] = other_sums[largest:]
+        return merged
 
     # ------------------------------------------------------------------
     # per-node views
@@ -258,12 +615,17 @@ class NodeTensorPool:
             delta=self.delta,
             num_rounds=self.num_rounds,
         )
-        sketch._alpha = self._alpha[node].copy()
-        sketch._gamma = self._gamma[node].copy()
+        if self._packed:
+            packed = self._buckets[:, node]
+            sketch._alpha = packed >> _SHIFT32
+            sketch._gamma = packed & _LOW32
+        else:
+            sketch._alpha = np.ascontiguousarray(self._alpha[:, node])
+            sketch._gamma = self._gamma[:, node].astype(np.uint64)
         return sketch
 
     def load_node_sketch(self, sketch: FlatNodeSketch) -> None:
-        """Replace one node's pool slice with a standalone sketch's state."""
+        """Replace one node's pool buckets with a standalone sketch's state."""
         if (
             sketch.num_rounds != self.num_rounds
             or sketch.graph_seed != self.graph_seed
@@ -273,12 +635,18 @@ class NodeTensorPool:
             raise ValueError("sketch geometry/seed does not match the pool")
         if not 0 <= sketch.node < self.num_nodes:
             raise ValueError(f"sketch node {sketch.node} outside [0, {self.num_nodes})")
-        self._alpha[sketch.node] = sketch._alpha
-        self._gamma[sketch.node] = sketch._gamma
+        if self._packed:
+            self._buckets[:, sketch.node] = (sketch._alpha << _SHIFT32) | sketch._gamma
+        else:
+            self._alpha[:, sketch.node] = sketch._alpha
+            self._gamma[:, sketch.node] = sketch._gamma.astype(np.uint32)
+        self._version += 1
 
     def node_is_empty(self, node: int) -> bool:
         self._check_node(node)
-        return not self._alpha[node].any() and not self._gamma[node].any()
+        if self._packed:
+            return not self._buckets[:, node].any()
+        return not self._alpha[:, node].any() and not self._gamma[:, node].any()
 
     def _check_node(self, node: int) -> None:
         """Reject node ids the flat tensors would silently wrap."""
@@ -302,9 +670,19 @@ class NodeTensorPool:
         return self.num_nodes * self.node_sketch_bytes()
 
     def raw_tensors(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Read-only views of the full pool tensors (native layout)."""
-        alpha = self._alpha.view()
-        gamma = self._gamma.view()
+        """Read-only ``(alpha, gamma)`` round-major tensors.
+
+        Shape ``(rounds, nodes, cols, rows)`` each.  In packed mode both
+        are unpacked copies of the single bucket tensor; in wide mode
+        they are views of the backing tensors (alpha uint64, gamma
+        uint32).
+        """
+        if self._packed:
+            alpha = self._buckets >> _SHIFT32
+            gamma = self._buckets & _LOW32
+        else:
+            alpha = self._alpha.view()
+            gamma = self._gamma.view()
         alpha.flags.writeable = False
         gamma.flags.writeable = False
         return alpha, gamma
@@ -313,5 +691,5 @@ class NodeTensorPool:
         return (
             f"NodeTensorPool(num_nodes={self.num_nodes}, rounds={self.num_rounds}, "
             f"rows={self.num_rows}, cols={self.num_columns}, "
-            f"bytes={self.size_bytes()})"
+            f"packed={self._packed}, bytes={self.size_bytes()})"
         )

@@ -1,0 +1,356 @@
+"""Bit-identicality of the vectorized whole-round query engine.
+
+The vectorized Boruvka driver (segmented XOR-reduce over the tensor
+pool + batched bucket decode) must return *exactly* what the
+per-component scalar reference returns under the same graph seed: the
+same spanning forest edge tuple, the same :class:`BoruvkaStats`, and
+the same per-component samples.  These tests drive both backends with
+identical random streams (hypothesis, mirroring
+``tests/test_flat_node_sketch.py``'s equivalence pattern), check the
+batched decoder against the scalar bucket scan, and cover the cached
+spanning forest's invalidation rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.boruvka import (
+    batch_sampler_from_scalar,
+    sketch_spanning_forest,
+    vectorized_spanning_forest,
+)
+from repro.core.config import BufferingMode, GraphZeppelinConfig
+from repro.core.edge_encoding import EdgeEncoder
+from repro.core.graph_zeppelin import GraphZeppelin
+from repro.core.streaming_cc import StreamingCC
+from repro.exceptions import ConfigurationError
+from repro.sketch.flat_node_sketch import query_bucket_arrays, query_bucket_arrays_batch
+from repro.sketch.sketch_base import OUTCOME_BY_CODE, SAMPLE_GOOD, SampleResult
+from repro.sketch.tensor_pool import NodeTensorPool
+
+NUM_NODES = 24
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+node_ids = st.integers(min_value=0, max_value=NUM_NODES - 1)
+edge_lists = st.lists(
+    st.tuples(node_ids, node_ids).filter(lambda e: e[0] != e[1]),
+    min_size=0,
+    max_size=120,
+)
+
+
+def _engine(seed: int, query_backend: str, edges, **overrides) -> GraphZeppelin:
+    config = GraphZeppelinConfig(
+        buffering=BufferingMode.NONE,
+        seed=seed,
+        query_backend=query_backend,
+        **overrides,
+    )
+    engine = GraphZeppelin(NUM_NODES, config=config)
+    if edges:
+        engine.ingest_batch(np.asarray(edges, dtype=np.int64))
+    return engine
+
+
+def _sample_of(status: int, index: int) -> SampleResult:
+    outcome = OUTCOME_BY_CODE[int(status)]
+    if status == SAMPLE_GOOD:
+        return SampleResult.good(int(index))
+    return SampleResult(outcome)
+
+
+@given(edges=edge_lists, seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_vectorized_forest_and_stats_bit_identical_to_scalar(edges, seed):
+    scalar = _engine(seed, "scalar", edges)
+    vectorized = _engine(seed, "vectorized", edges)
+    forest_s = scalar.list_spanning_forest()
+    forest_v = vectorized.list_spanning_forest()
+    assert forest_v.edges == forest_s.edges
+    assert forest_v.complete == forest_s.complete
+    assert forest_v.partition_signature() == forest_s.partition_signature()
+    assert vectorized.last_query_stats == scalar.last_query_stats
+
+
+@given(edges=edge_lists, seed=seeds, data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_query_components_matches_per_component_query_merged(edges, seed, data):
+    """The whole-round kernel equals query_merged per component, sample by sample."""
+    encoder = EdgeEncoder(NUM_NODES)
+    pool = NodeTensorPool(NUM_NODES, encoder, graph_seed=seed)
+    if edges:
+        endpoint_u = np.asarray([e[0] for e in edges], dtype=np.int64)
+        endpoint_v = np.asarray([e[1] for e in edges], dtype=np.int64)
+        lo = np.minimum(endpoint_u, endpoint_v)
+        hi = np.maximum(endpoint_u, endpoint_v)
+        pool.apply_edges(lo, hi, encoder.encode_canonical_pairs(lo, hi))
+    labels = np.asarray(
+        data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=5),
+                min_size=NUM_NODES,
+                max_size=NUM_NODES,
+            )
+        ),
+        dtype=np.int64,
+    )
+    mask = np.asarray(
+        data.draw(
+            st.lists(st.booleans(), min_size=NUM_NODES, max_size=NUM_NODES)
+        ),
+        dtype=bool,
+    )
+    for node_mask in (None, mask):
+        for round_index in range(pool.num_rounds):
+            roots, statuses, indices = pool.query_components(
+                labels, round_index, node_mask=node_mask
+            )
+            nodes = (
+                np.arange(NUM_NODES) if node_mask is None else np.flatnonzero(node_mask)
+            )
+            expected_roots = np.unique(labels[nodes]) if nodes.size else np.empty(0)
+            assert np.array_equal(roots, expected_roots)
+            for root, status, index in zip(roots, statuses, indices):
+                members = [int(n) for n in nodes if labels[n] == root]
+                reference = pool.query_merged(members, round_index)
+                assert _sample_of(status, index) == reference
+
+
+@given(edges=edge_lists, seed=seeds)
+@settings(max_examples=25, deadline=None)
+def test_batched_bucket_decode_matches_scalar_scan(edges, seed):
+    """query_bucket_arrays_batch == query_bucket_arrays over each node's rounds."""
+    encoder = EdgeEncoder(NUM_NODES)
+    pool = NodeTensorPool(NUM_NODES, encoder, graph_seed=seed)
+    if edges:
+        endpoint_u = np.asarray([e[0] for e in edges], dtype=np.int64)
+        endpoint_v = np.asarray([e[1] for e in edges], dtype=np.int64)
+        lo = np.minimum(endpoint_u, endpoint_v)
+        hi = np.maximum(endpoint_u, endpoint_v)
+        pool.apply_edges(lo, hi, encoder.encode_canonical_pairs(lo, hi))
+    alpha_all, gamma_all = pool.raw_tensors()
+    for round_index in range(pool.num_rounds):
+        # Treat every node as one "component": (C, cols, rows) tensors.
+        alpha = np.ascontiguousarray(alpha_all[round_index])
+        gamma = np.ascontiguousarray(gamma_all[round_index])
+        base = round_index * pool.num_columns
+        checksum_seeds = pool._checksum_seeds[base : base + pool.num_columns]
+        statuses, indices = query_bucket_arrays_batch(
+            alpha, gamma, encoder.vector_length, checksum_seeds
+        )
+        for node in range(NUM_NODES):
+            reference = query_bucket_arrays(
+                alpha[node].T, gamma[node].T, encoder.vector_length, checksum_seeds
+            )
+            assert _sample_of(statuses[node], indices[node]) == reference
+
+
+def test_batched_decode_rejects_corrupt_buckets_like_scalar():
+    """A bucket whose checksum does not verify must FAIL, not sample."""
+    encoder = EdgeEncoder(NUM_NODES)
+    pool = NodeTensorPool(NUM_NODES, encoder, graph_seed=9)
+    rows, cols = pool.num_rows, pool.num_columns
+    alpha = np.zeros((1, cols, rows), dtype=np.uint64)
+    gamma = np.zeros((1, cols, rows), dtype=np.uint64)
+    alpha[0, 0, 3] = 17  # plausible index, wrong checksum
+    gamma[0, 0, 3] = 12345
+    checksum_seeds = pool._checksum_seeds[:cols]
+    statuses, indices = query_bucket_arrays_batch(
+        alpha, gamma, encoder.vector_length, checksum_seeds
+    )
+    reference = query_bucket_arrays(
+        alpha[0].T, gamma[0].T, encoder.vector_length, checksum_seeds
+    )
+    assert reference.is_fail
+    assert _sample_of(statuses[0], indices[0]) == reference
+
+
+@given(edges=edge_lists, seed=seeds)
+@settings(max_examples=10, deadline=None)
+def test_streaming_cc_vectorized_matches_scalar(edges, seed):
+    scalar = StreamingCC(NUM_NODES, seed=seed, query_backend="scalar")
+    vectorized = StreamingCC(NUM_NODES, seed=seed, query_backend="vectorized")
+    for u, v in edges:
+        scalar.insert(u, v)
+        vectorized.insert(u, v)
+    forest_s = scalar.list_spanning_forest()
+    forest_v = vectorized.list_spanning_forest()
+    assert forest_v.edges == forest_s.edges
+    assert vectorized.last_query_stats == scalar.last_query_stats
+
+
+def test_vectorized_driver_via_scalar_adapter_matches_reference():
+    """The adapter path (used by object-store backends) is also identical."""
+    engine = _engine(21, "scalar", [(0, 1), (1, 2), (4, 5), (6, 7), (2, 3)])
+    forest_s, stats_s = sketch_spanning_forest(
+        engine.num_nodes,
+        engine.num_rounds,
+        engine.encoder,
+        engine._component_cut_sample,
+    )
+    forest_v, stats_v = vectorized_spanning_forest(
+        engine.num_nodes,
+        engine.num_rounds,
+        engine.encoder,
+        batch_sampler_from_scalar(engine._component_cut_sample),
+    )
+    assert forest_v.edges == forest_s.edges
+    assert stats_v == stats_s
+
+
+def test_out_of_core_engine_uses_vectorized_driver_via_adapter():
+    """A RAM-budgeted engine (no tensor pool) still answers identically."""
+    edges = [(0, 1), (1, 2), (3, 4), (5, 6), (2, 3)]
+    in_ram = _engine(33, "vectorized", edges)
+    budgeted = GraphZeppelin(
+        NUM_NODES,
+        config=GraphZeppelinConfig.out_of_core(
+            ram_budget_bytes=64 * 1024, seed=33, query_backend="vectorized"
+        ),
+    )
+    for u, v in edges:
+        budgeted.edge_update(u, v)
+    assert budgeted._pool is None  # really exercising the adapter path
+    assert budgeted.list_spanning_forest().edges == in_ram.list_spanning_forest().edges
+
+
+# ----------------------------------------------------------------------
+# cached spanning forest
+# ----------------------------------------------------------------------
+def test_forest_is_cached_between_queries():
+    engine = _engine(3, "vectorized", [(0, 1), (1, 2), (5, 6)])
+    first = engine.list_spanning_forest()
+    assert engine.list_spanning_forest() is first
+    assert engine.spanning_forest() is first
+    # The derived queries reuse the cache instead of re-running Boruvka.
+    assert engine.num_connected_components() == first.num_components
+    assert engine.is_connected(0, 2)
+    assert engine.list_spanning_forest() is first
+
+
+@pytest.mark.parametrize("mutate", ["edge_update", "insert", "ingest_batch"])
+def test_forest_cache_invalidated_by_ingest(mutate):
+    engine = _engine(
+        7, "vectorized", [(0, 1), (1, 2)], validate_stream=(mutate == "insert")
+    )
+    before = engine.list_spanning_forest()
+    assert not before.connected(0, 5)
+    if mutate == "edge_update":
+        engine.edge_update(2, 5)
+    elif mutate == "insert":
+        engine.insert(2, 5)
+    else:
+        engine.ingest_batch(np.asarray([[2, 5]]))
+    after = engine.list_spanning_forest()
+    assert after is not before
+    assert after.connected(0, 5)
+
+
+def test_forest_cache_invalidated_by_buffered_ingest():
+    """Updates sitting in the gutters must invalidate the cache too."""
+    config = GraphZeppelinConfig(
+        buffering=BufferingMode.LEAF_GUTTERS, seed=5, query_backend="vectorized"
+    )
+    engine = GraphZeppelin(NUM_NODES, config=config)
+    engine.edge_update(0, 1)
+    before = engine.list_spanning_forest()
+    assert before.connected(0, 1)
+    engine.edge_update(0, 1)  # toggle the edge back off, buffered
+    after = engine.list_spanning_forest()
+    assert after is not before
+    assert not after.connected(0, 1)
+
+
+def test_scalar_backend_also_caches_and_agrees():
+    scalar = _engine(11, "scalar", [(0, 1), (2, 3)])
+    vectorized = _engine(11, "vectorized", [(0, 1), (2, 3)])
+    assert scalar.list_spanning_forest() is scalar.list_spanning_forest()
+    assert (
+        scalar.list_spanning_forest().edges
+        == vectorized.list_spanning_forest().edges
+    )
+
+
+def test_unknown_query_backend_rejected():
+    with pytest.raises(ConfigurationError):
+        GraphZeppelinConfig(query_backend="turbo")
+    with pytest.raises(ConfigurationError):
+        StreamingCC(NUM_NODES, query_backend="turbo")
+
+
+@given(edges=edge_lists, seed=seeds)
+@settings(max_examples=15, deadline=None)
+def test_wide_bucket_storage_matches_packed(edges, seed):
+    """The >65536-node storage fallback is bit-identical to packed mode."""
+    encoder = EdgeEncoder(NUM_NODES)
+    packed = NodeTensorPool(NUM_NODES, encoder, graph_seed=seed)
+    wide = NodeTensorPool(NUM_NODES, encoder, graph_seed=seed, force_wide=True)
+    assert packed._packed and not wide._packed
+    if edges:
+        endpoint_u = np.asarray([e[0] for e in edges], dtype=np.int64)
+        endpoint_v = np.asarray([e[1] for e in edges], dtype=np.int64)
+        lo = np.minimum(endpoint_u, endpoint_v)
+        hi = np.maximum(endpoint_u, endpoint_v)
+        indices = encoder.encode_canonical_pairs(lo, hi)
+        packed.apply_edges(lo, hi, indices)
+        # Exercise the mixed-destination scatter on the wide tensors too.
+        wide.apply_updates(np.concatenate([lo, hi]), np.concatenate([indices, indices]))
+    alpha_p, gamma_p = packed.raw_tensors()
+    alpha_w, gamma_w = wide.raw_tensors()
+    assert np.array_equal(alpha_p, alpha_w)
+    assert np.array_equal(gamma_p, gamma_w)
+    labels = np.arange(NUM_NODES, dtype=np.int64) % 4
+    for round_index in range(packed.num_rounds):
+        results_p = packed.query_components(labels, round_index)
+        results_w = wide.query_components(labels, round_index)
+        for got, expected in zip(results_w, results_p):
+            assert np.array_equal(got, expected)
+        members = list(range(NUM_NODES // 2))
+        assert wide.query_merged(members, round_index) == packed.query_merged(
+            members, round_index
+        )
+    for node in (0, 3, NUM_NODES - 1):
+        assert wide.node_sketch(node) == packed.node_sketch(node)
+        assert wide.node_is_empty(node) == packed.node_is_empty(node)
+    # Round-trip one node through load_node_sketch on the wide tensors.
+    sketch = packed.node_sketch(1)
+    wide.load_node_sketch(sketch)
+    assert wide.node_sketch(1) == sketch
+
+
+def test_query_components_handles_labels_beyond_int16():
+    """Label values outside int16 must not wrap through the radix fast path."""
+    encoder = EdgeEncoder(NUM_NODES)
+    pool = NodeTensorPool(NUM_NODES, encoder, graph_seed=4)
+    pool.apply_edges(
+        np.asarray([0, 1, 2]),
+        np.asarray([5, 6, 7]),
+        encoder.encode_canonical_pairs(np.asarray([0, 1, 2]), np.asarray([5, 6, 7])),
+    )
+    labels = np.zeros(NUM_NODES, dtype=np.int64)
+    labels[::2] = 1 << 17  # collides with label 0 under an int16 cast
+    roots, statuses, indices = pool.query_components(labels, 0)
+    assert roots.tolist() == [0, 1 << 17]
+    for root, status, index in zip(roots, statuses, indices):
+        members = np.flatnonzero(labels == root).tolist()
+        assert _sample_of(status, index) == pool.query_merged(members, 0)
+
+
+def test_query_components_input_validation():
+    encoder = EdgeEncoder(NUM_NODES)
+    pool = NodeTensorPool(NUM_NODES, encoder, graph_seed=1)
+    labels = np.zeros(NUM_NODES, dtype=np.int64)
+    with pytest.raises(ValueError):
+        pool.query_components(labels[:-1], 0)
+    with pytest.raises(ValueError):
+        pool.query_components(labels, pool.num_rounds)
+    with pytest.raises(ValueError):
+        pool.query_components(labels, 0, node_mask=np.ones(NUM_NODES - 1, dtype=bool))
+    # An all-masked query returns empty arrays rather than failing.
+    roots, statuses, indices = pool.query_components(
+        labels, 0, node_mask=np.zeros(NUM_NODES, dtype=bool)
+    )
+    assert roots.size == statuses.size == indices.size == 0
