@@ -1,0 +1,213 @@
+"""Parallel-ingest benchmark: sharded columnar workers vs serial columnar.
+
+The repo's performance ledger for the parallel layer.  Five paths over
+the same random multi-graph stream:
+
+* ``serial columnar``: single-threaded ``ingest_batch`` -- the baseline
+  the sharded pipeline must beat;
+* ``sharded threads`` at 1, 2, and 4 workers: the
+  :class:`~repro.parallel.graph_workers.ShardedIngestor` pipeline
+  (partition + per-shard int16-radix folds) on the thread backend;
+* ``sharded processes`` at 4 workers: pool tensors in shared memory,
+  worker processes attached by name;
+* ``legacy worker pool``: the seed design (per-node batches through
+  per-node locks), measured on a slice of the stream and extrapolated,
+  kept as the reference for how far the layer has come.
+
+Every sharded row is checked for a **bit-identical** spanning forest
+(and pool tensors) against the serial baseline, recorded per backend as
+``forest_bit_identical`` in ``BENCH_parallel.json``.
+
+The headline acceptance (ISSUE 3): sharded threads at 4 workers must
+reach >= 2x the serial columnar rate on a 20k-node / 60k-update stream.
+On a single-core host the 2x comes from the sharded fold kernel itself
+(shard-local node offsets keep the fold's sort on numpy's int16 radix
+path); on multi-core hardware the thread scaling stacks on top.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the workload
+and only requires parallel >= serial-columnar throughput, since tiny
+per-shard groups under-amortise the kernel's fixed costs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import print_table
+
+from repro.analysis.tables import render_table
+from repro.core.config import GraphZeppelinConfig
+from repro.core.graph_zeppelin import GraphZeppelin
+from repro.generators.random_graphs import random_multigraph_edges
+from repro.parallel.cost_model import usable_cores
+from repro.parallel.graph_workers import ParallelIngestor, ShardedIngestor
+from repro.types import EdgeUpdate, UpdateType
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Benchmark scale: the ISSUE's acceptance workload is a 20k-node,
+#: 60k-update random stream; smoke mode shrinks it for CI.
+NUM_NODES = 2_000 if SMOKE else 20_000
+NUM_EDGES = 6_000 if SMOKE else 60_000
+#: Required sharded-over-serial speedup at 4 workers (ISSUE: >= 2x full
+#: scale; smoke only asserts parallel >= serial).
+MIN_SPEEDUP = 1.0 if SMOKE else 2.0
+#: Stream slice for the (slow) legacy reference row.
+LEGACY_SLICE = 1_000 if SMOKE else 5_000
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+SEED = 9
+
+
+def _engine() -> GraphZeppelin:
+    return GraphZeppelin(NUM_NODES, config=GraphZeppelinConfig(seed=SEED))
+
+
+#: Timed repetitions per path; the median is recorded.  A single-vCPU
+#: CI container time-slices against its host, so one-shot timings swing
+#: 2-3x; for multi-second workloads on shared hosts the median is the
+#: robust estimator (the minimum chases each path's luckiest run), and
+#: the repetitions are *interleaved* across paths (all paths once, then
+#: again) so a load spike degrades one rep of every path instead of
+#: permanently deflating whichever row it happened to land on.
+TIMING_REPS = 3
+
+
+def _release(engine: GraphZeppelin) -> None:
+    """Free an engine's (possibly shared-memory) pool between rows."""
+    if engine.tensor_pool is not None:
+        engine.tensor_pool.release_shared()
+
+
+def _pools_equal(a: GraphZeppelin, b: GraphZeppelin) -> bool:
+    """Bit-compare two engines' pool tensors without unpacking copies."""
+    pa, pb = a.tensor_pool, b.tensor_pool
+    if pa._packed and pb._packed:
+        return np.array_equal(pa._buckets, pb._buckets)
+    return all(
+        np.array_equal(x, y) for x, y in zip(pa.raw_tensors(), pb.raw_tensors())
+    )
+
+
+def test_parallel_ingest_ledger():
+    edges = random_multigraph_edges(NUM_NODES, NUM_EDGES, seed=5)
+    count = int(edges.shape[0])
+
+    def serial():
+        engine = _engine()
+        engine.ingest_batch(edges)
+        return engine
+
+    def sharded(backend: str, workers: int):
+        def run():
+            engine = _engine()
+            with ShardedIngestor(engine, num_workers=workers, backend=backend) as ing:
+                ing.ingest_stream(
+                    edges[s : s + (1 << 14)] for s in range(0, count, 1 << 14)
+                )
+            return engine
+
+        return run
+
+    def legacy():
+        engine = _engine()
+        stream = [
+            EdgeUpdate(int(u), int(v), UpdateType.INSERT)
+            for u, v in edges[:LEGACY_SLICE].tolist()
+        ]
+        with ParallelIngestor(engine, num_workers=4) as ing:
+            ing.ingest(stream)
+        return engine
+
+    specs = [
+        ("serial columnar (ingest_batch)", count, serial),
+        ("sharded threads x1", count, sharded("threads", 1)),
+        ("sharded threads x2", count, sharded("threads", 2)),
+        ("sharded threads x4", count, sharded("threads", 4)),
+        ("sharded processes x4", count, sharded("processes", 4)),
+        ("legacy worker pool x4", LEGACY_SLICE, legacy),
+    ]
+
+    # Bit-identity of every sharded engine against the serial baseline
+    # (first repetition only -- the paths are deterministic): identical
+    # pool tensors imply identical forests, but both are checked so the
+    # ledger records the user-visible guarantee.  Engines are verified
+    # and freed as soon as possible -- the pools are hundreds of
+    # megabytes at full scale.
+    timings = {label: [] for label, _, _ in specs}
+    row_identical = {}
+    baseline, base_forest = None, None
+    for rep in range(TIMING_REPS):
+        for label, _, run in specs:
+            start = time.perf_counter()
+            engine = run()
+            elapsed = max(time.perf_counter() - start, 1e-9)
+            timings[label].append(elapsed)
+            if rep == 0 and label.startswith("serial"):
+                baseline = engine  # kept through the first repetition
+                base_forest = engine.list_spanning_forest().partition_signature()
+                continue
+            if rep == 0 and label.startswith("sharded"):
+                row_identical[label] = bool(
+                    _pools_equal(baseline, engine)
+                    and engine.list_spanning_forest().partition_signature()
+                    == base_forest
+                )
+            _release(engine)
+        if rep == 0:
+            _release(baseline)
+
+    rows = []
+    for label, updates, _ in specs:
+        seconds = float(np.median(timings[label]))
+        row = {
+            "path": label,
+            "updates": updates,
+            "seconds": round(seconds, 4),
+            "updates_per_sec": round(updates / seconds, 1),
+        }
+        if label in row_identical:
+            row["forest_bit_identical"] = row_identical[label]
+        rows.append(row)
+    identical = {
+        backend: all(
+            same for label, same in row_identical.items() if backend in label
+        )
+        for backend in ("threads", "processes")
+    }
+
+    serial_rate = rows[0]["updates_per_sec"]
+    for row in rows:
+        row["speedup_vs_serial"] = round(row["updates_per_sec"] / serial_rate, 2)
+    print_table(
+        render_table(
+            rows,
+            title=(
+                f"Parallel ingest ({NUM_NODES} nodes, {count} edge updates, "
+                f"{usable_cores()} cores{', smoke' if SMOKE else ''})"
+            ),
+        )
+    )
+
+    payload = {
+        "num_nodes": NUM_NODES,
+        "num_edge_updates": count,
+        "cores": usable_cores(),
+        "smoke": SMOKE,
+        "forest_bit_identical": identical,
+        "rows": rows,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert identical["threads"], "threads backend diverged from serial ingest"
+    assert identical["processes"], "processes backend diverged from serial ingest"
+    threads4 = next(r for r in rows if r["path"] == "sharded threads x4")
+    assert threads4["updates_per_sec"] >= MIN_SPEEDUP * serial_rate, (
+        f"sharded threads x4 only {threads4['updates_per_sec'] / serial_rate:.2f}x "
+        f"over serial columnar (need >= {MIN_SPEEDUP}x)"
+    )

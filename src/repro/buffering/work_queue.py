@@ -21,6 +21,10 @@ class WorkQueue:
 
     DEFAULT_BATCHES_PER_WORKER = 8
 
+    #: Shutdown marker a worker pool enqueues to wake blocked consumers;
+    #: never counted in the batch/update statistics.
+    SENTINEL = object()
+
     def __init__(self, num_workers: int = 1, capacity: Optional[int] = None) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
@@ -53,11 +57,35 @@ class WorkQueue:
         """Dequeue one batch; raises ``queue.Empty`` when non-blocking and empty."""
         return self._queue.get(block=block, timeout=timeout)
 
+    def put_sentinel(self) -> None:
+        """Enqueue the shutdown marker (skips the batch statistics)."""
+        self._queue.put(self.SENTINEL)
+
+    def task_done(self) -> None:
+        """Mark one previously-gotten batch (or sentinel) as fully applied."""
+        self._queue.task_done()
+
+    def join_tasks(self) -> None:
+        """Block until every enqueued batch has been marked done.
+
+        Unlike ``is_empty`` polling, this accounts for *in-flight*
+        batches: a batch a consumer has popped but not yet finished
+        applying still holds the join open until its
+        :meth:`task_done` call.
+        """
+        self._queue.join()
+
     def get_nowait(self) -> Optional[Batch]:
         try:
-            return self._queue.get_nowait()
+            batch = self._queue.get_nowait()
         except queue.Empty:
             return None
+        # The synchronous consumers (drain, and the engine's inline
+        # pops) never call task_done() themselves; account here so a
+        # queue that was partially drained single-threaded cannot
+        # deadlock a later join_tasks().
+        self._queue.task_done()
+        return batch
 
     def drain(self) -> Iterator[Batch]:
         """Yield batches until the queue is empty (single-threaded path)."""

@@ -100,6 +100,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="whole-round vectorized Boruvka (default) or the per-component reference",
     )
     components_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel ingest workers; above 1 the stream is ingested through "
+             "the sharded columnar pipeline (or the legacy worker pool)",
+    )
+    components_parser.add_argument(
+        "--parallel-backend", choices=["threads", "processes", "legacy"],
+        default="threads",
+        help="execution backend of the parallel ingest layer (default threads)",
+    )
+    components_parser.add_argument(
         "--verify", action="store_true",
         help="also ingest into an exact adjacency matrix and compare answers",
     )
@@ -182,14 +192,37 @@ def _cmd_components(args) -> int:
         ram_budget_bytes=ram_budget,
         seed=args.seed,
         query_backend=args.query_backend,
+        num_workers=max(args.workers, 1),
+        parallel_backend=args.parallel_backend,
     )
     engine = GraphZeppelin(stream.num_nodes, config=config)
-    engine.ingest(stream)
+    if args.workers > 1:
+        backend = args.parallel_backend
+        if backend != "legacy" and engine.tensor_pool is None:
+            # Sharded ingest needs the in-RAM tensor pool; buffered /
+            # out-of-core engines fall back to the legacy worker pool.
+            print("note: --ram-budget-mib engine has no in-RAM tensor pool; "
+                  "using the legacy worker pool")
+            backend = "legacy"
+        with engine.parallel_ingestor(backend=backend) as ingestor:
+            if backend == "legacy":
+                ingestor.ingest(stream)
+            else:
+                ingestor.ingest_stream(stream.edge_array_chunks())
+        # Report what actually ran: the sharded backends clamp the
+        # worker count to the usable cores.
+        effective = getattr(ingestor, "effective_workers", args.workers)
+        ingest_mode = f"{backend} x{effective}"
+        if effective != args.workers:
+            ingest_mode += f" (clamped from {args.workers})"
+    else:
+        engine.ingest(stream)
+        ingest_mode = "serial"
     forest = engine.list_spanning_forest()
 
     components = sorted(forest.components(), key=len, reverse=True)
     print(f"nodes            : {stream.num_nodes}")
-    print(f"updates ingested : {engine.updates_processed}")
+    print(f"updates ingested : {engine.updates_processed} ({ingest_mode})")
     print(f"components       : {forest.num_components}")
     print(f"sketch space     : {format_bytes(engine.sketch_bytes())}")
     if engine.io_stats is not None:

@@ -38,8 +38,21 @@ class GraphZeppelinConfig:
         RAM; a finite budget routes sketches through the hybrid memory
         substrate so the run pays modelled SSD I/O.
     num_workers:
-        Graph Workers used by the parallel ingestion path (the
+        Workers used by the parallel ingestion path (the
         single-threaded engine ignores this except for work-queue sizing).
+    parallel_backend:
+        Execution backend of the sharded parallel ingest layer:
+        ``"threads"`` (default; numpy releases the GIL inside the fold
+        kernels, so a thread pool over disjoint shard slabs scales),
+        ``"processes"`` (pool tensors in shared memory, worker
+        processes attach by name and fold in place), or ``"legacy"``
+        (the seed design: per-node batches through per-node locks,
+        kept as the reference backend).
+    num_shards:
+        Node-range count of the sharded parallel ingest layer.  ``None``
+        (default) picks the smallest count that keeps every shard inside
+        the fold kernel's int16 radix fast path, rounded up to a
+        multiple of ``num_workers``.
     validate_stream:
         When true, the engine tracks the exact current edge set and
         rejects illegal updates (inserting a present edge / deleting an
@@ -75,6 +88,8 @@ class GraphZeppelinConfig:
     gutter_fraction: float = 0.5
     ram_budget_bytes: Optional[int] = None
     num_workers: int = 1
+    parallel_backend: str = "threads"
+    num_shards: Optional[int] = None
     validate_stream: bool = False
     strict_queries: bool = False
     seed: int = 0
@@ -97,6 +112,13 @@ class GraphZeppelinConfig:
             raise ConfigurationError("gutter_fraction must be positive")
         if self.num_workers < 1:
             raise ConfigurationError("num_workers must be at least 1")
+        if self.parallel_backend not in ("threads", "processes", "legacy"):
+            raise ConfigurationError(
+                f"unknown parallel_backend {self.parallel_backend!r} "
+                "(use 'threads', 'processes', or 'legacy')"
+            )
+        if self.num_shards is not None and self.num_shards < 1:
+            raise ConfigurationError("num_shards must be at least 1 or None")
         if self.ram_budget_bytes is not None and self.ram_budget_bytes < 0:
             raise ConfigurationError("ram_budget_bytes must be non-negative or None")
         if isinstance(self.buffering, str):

@@ -202,32 +202,13 @@ class GraphZeppelin:
         ``delete`` calls stay consistent.  Returns the number of edge
         updates ingested.
         """
-        array = np.asarray(edges)
-        if array.size == 0:
+        lo, hi = self._canonical_edge_columns(edges)
+        if lo is None:
             return 0
-        if array.ndim != 2 or array.shape[1] != 2:
-            raise InvalidStreamError("ingest_batch expects an (N, 2) edge array")
-        endpoints = array.astype(np.int64, copy=False)
-        u, v = endpoints[:, 0], endpoints[:, 1]
-        if ((u < 0) | (u >= self.num_nodes) | (v < 0) | (v >= self.num_nodes)).any():
-            raise InvalidStreamError("batch contains an endpoint outside the graph")
-        if (u == v).any():
-            raise InvalidStreamError("batch contains a self loop")
-
-        lo = np.minimum(u, v)
-        hi = np.maximum(u, v)
+        self._toggle_tracked_edges(lo, hi)
         count = int(lo.size)
         self._updates_processed += count
         self._cached_forest = None
-        if self._current_edges is not None:
-            # Toggle per occurrence (a repeated edge cancels), matching the
-            # sketch semantics; validation mode is already documented as
-            # O(E) bookkeeping, so the per-row loop is acceptable here.
-            for edge in zip(lo.tolist(), hi.tolist()):
-                if edge in self._current_edges:
-                    self._current_edges.remove(edge)
-                else:
-                    self._current_edges.add(edge)
 
         if self._pool is not None:
             self._pool.apply_edges(
@@ -244,6 +225,90 @@ class GraphZeppelin:
         else:
             self._apply_grouped(dsts, neighbors)
         return count
+
+    def _canonical_edge_columns(self, edges):
+        """Validate and canonicalise an ``(N, 2)`` edge batch.
+
+        The shared front half of serial :meth:`ingest_batch` and the
+        sharded parallel ingest path: shape/range/self-loop validation
+        and canonical ``(lo, hi)`` orientation.  Returns ``(lo, hi)``
+        int64 columns, or ``(None, None)`` for an empty batch.  Counter
+        updates, cache invalidation, and the tracked-edge toggle
+        (:meth:`_toggle_tracked_edges`) stay with the caller -- the
+        parallel path defers all of them to its batch barrier so a
+        batch whose workers fail leaves no phantom state behind.
+        """
+        array = np.asarray(edges)
+        if array.size == 0:
+            return None, None
+        if array.ndim != 2 or array.shape[1] != 2:
+            raise InvalidStreamError("ingest_batch expects an (N, 2) edge array")
+        endpoints = array.astype(np.int64, copy=False)
+        u, v = endpoints[:, 0], endpoints[:, 1]
+        if ((u < 0) | (u >= self.num_nodes) | (v < 0) | (v >= self.num_nodes)).any():
+            raise InvalidStreamError("batch contains an endpoint outside the graph")
+        if (u == v).any():
+            raise InvalidStreamError("batch contains a self loop")
+        return np.minimum(u, v), np.maximum(u, v)
+
+    def _toggle_tracked_edges(self, lo: np.ndarray, hi: np.ndarray) -> None:
+        """Toggle a canonical edge batch in the validated edge set.
+
+        No-op unless stream validation is enabled.  Toggles per
+        occurrence (a repeated edge cancels), matching the sketch
+        semantics; validation mode is already documented as O(E)
+        bookkeeping, so the per-row loop is acceptable here.
+        """
+        if self._current_edges is None:
+            return
+        for edge in zip(lo.tolist(), hi.tolist()):
+            if edge in self._current_edges:
+                self._current_edges.remove(edge)
+            else:
+                self._current_edges.add(edge)
+
+    def parallel_ingestor(
+        self,
+        num_workers: Optional[int] = None,
+        num_shards: Optional[int] = None,
+        backend: Optional[str] = None,
+    ):
+        """An ingestor matching ``config.parallel_backend`` (or ``backend``).
+
+        ``"threads"`` / ``"processes"`` return a
+        :class:`~repro.parallel.graph_workers.ShardedIngestor` over this
+        engine's tensor pool; ``"legacy"`` returns the seed design's
+        :class:`~repro.parallel.graph_workers.ParallelIngestor`.  Use as
+        a context manager around the ingest loop.
+        """
+        # Local import: repro.parallel imports this module.
+        from repro.parallel.graph_workers import ParallelIngestor, ShardedIngestor
+
+        resolved = backend if backend is not None else self.config.parallel_backend
+        workers = num_workers if num_workers is not None else self.config.num_workers
+        if resolved == "legacy":
+            return ParallelIngestor(self, num_workers=workers)
+        return ShardedIngestor(
+            self, num_workers=workers, num_shards=num_shards, backend=resolved
+        )
+
+    def _note_parallel_ingest(self, count: int) -> None:
+        """Publish one parallel batch's effects after its fold barrier.
+
+        The shard workers write the pool tensors directly (possibly
+        from other processes), bypassing every user-facing entry point,
+        so the coordinator records the counters here -- and, crucially,
+        invalidates the cached spanning forest and the pool's slab
+        cache, exactly like a serial ingest would.  ``count=0`` signals
+        a batch whose workers failed partway: the caches still have to
+        go (some shards' folds landed), but no updates are claimed.
+        """
+        if count:
+            self._updates_processed += int(count)
+            self._batches_applied += 1
+        self._cached_forest = None
+        if self._pool is not None:
+            self._pool.mark_external_updates(2 * int(count))
 
     # ------------------------------------------------------------------
     # queries (user API)
@@ -358,6 +423,14 @@ class GraphZeppelin:
     @property
     def buffering(self) -> Optional[BufferingSystem]:
         return self._buffering
+
+    @property
+    def tensor_pool(self) -> Optional[NodeTensorPool]:
+        """The whole-graph tensor pool (``None`` for object-store backends).
+
+        The sharded parallel ingest layer folds into this directly.
+        """
+        return self._pool
 
     def __repr__(self) -> str:
         mode = self.config.buffering.value

@@ -14,6 +14,7 @@ from repro.generators.kronecker import KroneckerParameters, kronecker_graph
 from repro.generators.random_graphs import (
     chung_lu_graph,
     preferential_attachment_graph,
+    random_multigraph_edges,
     random_spanning_tree,
 )
 from repro.generators.datasets import (
@@ -34,5 +35,6 @@ __all__ = [
     "kronecker_graph",
     "load_dataset",
     "preferential_attachment_graph",
+    "random_multigraph_edges",
     "random_spanning_tree",
 ]

@@ -91,6 +91,24 @@ def preferential_attachment_graph(
     return num_nodes, sorted(edges)
 
 
+def random_multigraph_edges(num_nodes: int, count: int, seed: int = 0) -> np.ndarray:
+    """Up to ``count`` uniform random edges as an ``(N, 2)`` int64 array.
+
+    The standard workload of the ingest benchmarks and the sharded
+    parallel-ingest tests: endpoints drawn independently (so repeated
+    edges -- Z_2 toggles -- occur naturally), self loops dropped, no
+    canonicalisation.  Feed it straight to
+    :meth:`~repro.core.graph_zeppelin.GraphZeppelin.ingest_batch`.
+    """
+    if num_nodes < 2:
+        raise GraphGenerationError("a graph needs at least two nodes")
+    rng = np.random.default_rng(seed)
+    u = rng.integers(0, num_nodes, count)
+    v = rng.integers(0, num_nodes, count)
+    keep = u != v
+    return np.stack([u[keep], v[keep]], axis=1).astype(np.int64)
+
+
 def random_spanning_tree(num_nodes: int, seed: int = 0) -> Tuple[int, List[Edge]]:
     """A uniformly-random-ish spanning tree (random attachment order).
 

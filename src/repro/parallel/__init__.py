@@ -1,24 +1,52 @@
-"""Parallel stream ingestion: Graph Workers and the thread-scaling model.
+"""Parallel stream ingestion: sharded columnar workers over the tensor pool.
 
-GraphZeppelin's ingestion parallelises at two levels (Section 5.1):
-*batch-level* parallelism (each batch is bound for a single node
-sketch, so different batches can be applied concurrently) and
-*sketch-level* parallelism (the ``log V`` CubeSketches inside one node
-sketch are independent).
+**Shard-ownership model.**  The node space ``[0, V)`` is partitioned
+into ``num_shards`` contiguous ranges; each shard owns the slab of
+:class:`~repro.sketch.tensor_pool.NodeTensorPool` tensors holding its
+nodes' buckets, across every Boruvka round, and is the only writer that
+ever touches them.  A batch of edge updates is mirrored (one copy per
+endpoint), split into per-shard groups with one vectorised
+``searchsorted`` + radix-argsort pass, and each group is folded through
+the shared columnar kernel straight into its shard's slab -- no
+per-node locks, no ``Batch`` objects, no shared mutable state between
+shards.  XOR-folds commute, so the result is bit-identical to serial
+ingest under the same seed regardless of worker interleaving.
 
-Python threads cannot exhibit the paper's 26x speedup because of the
-global interpreter lock, so this package provides both:
+Execution backends (``GraphZeppelinConfig.parallel_backend``):
 
-* :class:`repro.parallel.graph_workers.GraphWorkerPool` -- a real
-  thread pool applying batches concurrently (numpy kernels release the
-  GIL for part of the work, so a modest real speedup is measurable),
-* :class:`repro.parallel.cost_model.ThreadScalingModel` -- a calibrated
-  work-span/contention model that reproduces the *shape* of Figure 14
-  (near-linear scaling that flattens as the memory bandwidth and
-  work-queue contention limits are approached).
+* ``"threads"`` (:class:`repro.parallel.graph_workers.ShardedIngestor`)
+  -- numpy releases the GIL inside the hash/sort kernels, so a thread
+  pool over disjoint slabs scales on real cores;
+* ``"processes"`` -- the pool tensors move to
+  ``multiprocessing.shared_memory``; worker processes attach by segment
+  name and fold in place;
+* ``"legacy"`` (:class:`repro.parallel.graph_workers.ParallelIngestor`)
+  -- the seed design (per-node batches through per-node locks), kept as
+  the reference backend and for buffered/out-of-core engines.
+
+Sharding also pays off single-threaded: shard node ranges are sized so
+the fold kernel's int16 radix sort applies to mixed-node groups
+(:func:`~repro.sketch.flat_node_sketch.max_radix_dst_span`), which is
+~2-3x faster than the flat int64 argsort the unsharded columnar path
+needs.  :class:`repro.parallel.cost_model.ShardedIngestModel` prices
+the pipeline (partition + per-shard folds + barrier);
+:class:`repro.parallel.cost_model.ThreadScalingModel` remains the
+calibrated Figure-14 curve for the legacy pool.
 """
 
-from repro.parallel.cost_model import ThreadScalingModel
-from repro.parallel.graph_workers import GraphWorkerPool, ParallelIngestor
+from repro.parallel.cost_model import ShardedIngestModel, ThreadScalingModel
+from repro.parallel.graph_workers import (
+    GraphWorkerPool,
+    ParallelIngestor,
+    ShardedIngestor,
+    partition_mirrored_updates,
+)
 
-__all__ = ["GraphWorkerPool", "ParallelIngestor", "ThreadScalingModel"]
+__all__ = [
+    "GraphWorkerPool",
+    "ParallelIngestor",
+    "ShardedIngestor",
+    "ShardedIngestModel",
+    "ThreadScalingModel",
+    "partition_mirrored_updates",
+]

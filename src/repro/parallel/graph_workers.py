@@ -1,31 +1,464 @@
-"""Graph Workers: a thread pool that applies update batches to node sketches.
+"""Sharded columnar parallel ingest over the node tensor pool.
 
-The pool mirrors the paper's ingestion pipeline: a producer (the
-buffering system) pushes :class:`~repro.buffering.base.Batch` objects
-into the bounded work queue, and ``num_workers`` threads pop batches
-and apply them.  Batches bound for the same node are serialised with a
-per-node lock, exactly like the paper's critical section around the
-node-sketch merge; batches for different nodes proceed concurrently.
+The parallel layer partitions the node space into ``num_shards``
+contiguous node ranges.  Each shard *owns* a disjoint slab of the
+:class:`~repro.sketch.tensor_pool.NodeTensorPool` tensors -- every
+bucket of every node in its range, across all rounds -- and is the only
+writer that ever touches those buckets.  Ingesting a batch is then:
+
+1. **partition** (producer): canonicalise the ``(N, 2)`` edge batch,
+   mirror it (each edge lands in two shards, one per endpoint), and
+   split the mixed-node update columns into per-shard groups with one
+   vectorised ``searchsorted`` + stable argsort pass
+   (:func:`partition_mirrored_updates`);
+2. **fold** (workers): each shard worker folds its group straight
+   through the shared columnar fold kernel into its own slab
+   (:meth:`~repro.sketch.tensor_pool.NodeTensorPool.fold_shard`).
+
+There are no per-node locks, no ``Batch`` objects, and no shared
+mutable state between shards: scatter targets are disjoint by
+construction, and because bucket updates are XOR-folds the shard-local
+application order is irrelevant -- the resulting pool is bit-identical
+to serial :meth:`~repro.core.graph_zeppelin.GraphZeppelin.ingest_batch`
+under the same seed.  Shard node ranges are also sized (see
+:func:`~repro.sketch.tensor_pool.auto_num_shards`) so the fold kernel's
+int16 radix fast path applies, which makes sharded ingest faster than
+the serial columnar path even on a single core.
+
+Two execution backends implement the fold step
+(``GraphZeppelinConfig.parallel_backend``):
+
+* ``"threads"`` -- a thread pool; numpy releases the GIL inside the
+  hash/sort/scatter kernels, so disjoint-slab folds scale on real
+  cores;
+* ``"processes"`` -- the pool tensors are migrated into
+  ``multiprocessing.shared_memory`` and worker processes attach by
+  segment name and fold in place.
+
+:meth:`ShardedIngestor.ingest_stream` adds a pipeline mode: the
+producer partitions batch ``k + 1`` while the workers are still
+folding batch ``k``.
+
+The seed design -- a :class:`GraphWorkerPool` popping per-node
+``Batch`` objects through per-node locks -- is kept as the ``"legacy"``
+reference backend (:class:`ParallelIngestor`).
 """
 
 from __future__ import annotations
 
-import queue
+import multiprocessing
+import sys
 import threading
-from typing import Callable, Dict, Iterable, Optional
+from concurrent.futures import ThreadPoolExecutor, wait
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.buffering.base import Batch
 from repro.buffering.work_queue import WorkQueue
 from repro.core.graph_zeppelin import GraphZeppelin
+from repro.exceptions import ConfigurationError
+from repro.parallel.cost_model import usable_cores
+from repro.sketch.flat_node_sketch import hash_depths_checksums
+from repro.sketch.tensor_pool import NodeTensorPool, auto_num_shards, shard_bounds
 
-#: Signature of the function a worker applies to each batch.
+#: Signature of the function a legacy worker applies to each batch.
 BatchApplier = Callable[[Batch], None]
 
 
-class GraphWorkerPool:
-    """A pool of worker threads consuming batches from a work queue."""
+# ----------------------------------------------------------------------
+# the vectorised partition step
+# ----------------------------------------------------------------------
+def partition_mirrored_updates(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    bounds: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split a canonical edge batch into per-shard mixed-node groups.
 
-    _SHUTDOWN_TIMEOUT_SECONDS = 0.05
+    The batch is mirrored (both endpoints of edge ``(lo[i], hi[i])``
+    receive its slot, so each edge lands in two shards -- or twice in
+    one shard when both endpoints fall inside it) and grouped by the
+    owning shard in one vectorised pass: a ``searchsorted`` against the
+    shard ``bounds`` labels every update, and a stable argsort of the
+    (small-int) shard ids groups them without touching per-update
+    Python.
+
+    Returns ``(dsts, edge_rows, cuts)``: the destination column
+    reordered shard-major, each update's edge position (``edge_rows[i]``
+    indexes the *unmirrored* batch -- per-edge data such as slot
+    indices or hash matrices is shared by both mirrored copies and
+    gathered by row, never duplicated), and ``num_shards + 1`` offsets
+    such that shard ``s``'s group is the slice ``[cuts[s], cuts[s+1])``.
+    """
+    num_shards = bounds.size - 1
+    num_edges = lo.size
+    dsts = np.concatenate([lo, hi])
+    shard_ids = np.searchsorted(bounds, dsts, side="right") - 1
+    # Shard counts are node counts at most, so the ids fit int16 for
+    # any graph the int16 fold fast path itself supports -- which keeps
+    # the grouping argsort on numpy's radix sort.
+    sort_ids = (
+        shard_ids.astype(np.int16) if num_shards <= np.iinfo(np.int16).max else shard_ids
+    )
+    order = np.argsort(sort_ids, kind="stable")
+    counts = np.bincount(shard_ids, minlength=num_shards)
+    cuts = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
+    # Mirrored position p is edge p mod num_edges (first half = lo copy,
+    # second half = hi copy).
+    edge_rows = order % num_edges
+    return dsts[order], edge_rows, cuts
+
+
+# ----------------------------------------------------------------------
+# process-backend worker plumbing
+# ----------------------------------------------------------------------
+#: The worker process's attached pool, set once by the pool initializer.
+_WORKER_POOL: Optional[NodeTensorPool] = None
+
+
+def _init_shard_worker(meta: Dict) -> None:
+    """Process-pool initializer: attach to the shared-memory pool by name."""
+    global _WORKER_POOL
+    _WORKER_POOL = NodeTensorPool.attach_shared(meta)
+
+
+def _fold_shard_task(task: Tuple[int, int, np.ndarray, np.ndarray]) -> int:
+    """Fold one shard group inside a worker process (fold step of step 2)."""
+    node_lo, node_hi, dsts, indices = task
+    return _WORKER_POOL.fold_shard(dsts, indices, node_lo, node_hi)
+
+
+def _process_context():
+    """Fork on Linux (cheap startup); spawn everywhere else.
+
+    Workers attach to the pool by segment name rather than relying on
+    inherited memory, so both start methods behave identically.  macOS
+    offers fork but CPython defaults it to spawn there for a reason
+    (forking after ObjC/Accelerate initialisation can crash children),
+    so fork is only taken where it is the platform default anyway.
+    """
+    use_fork = (
+        sys.platform.startswith("linux")
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    return multiprocessing.get_context("fork" if use_fork else "spawn")
+
+
+# ----------------------------------------------------------------------
+# the sharded ingestor (tentpole)
+# ----------------------------------------------------------------------
+class ShardedIngestor:
+    """Columnar parallel ingest: shard workers over the tensor pool.
+
+    Use as a context manager around one or many batches::
+
+        with ShardedIngestor(engine, num_workers=4) as ingestor:
+            ingestor.ingest_batch(edges)  # one (N, 2) array
+            ingestor.ingest_stream(stream.edge_array_chunks())  # pipelined
+        forest = engine.list_spanning_forest()
+
+    Results are bit-identical to serial ``engine.ingest_batch`` under
+    the same seed, for either backend and any shard count.
+
+    Parameters
+    ----------
+    engine:
+        The GraphZeppelin instance to ingest into.  Must be running the
+        in-RAM flat tensor-pool backend (the default); the buffering and
+        out-of-core paths keep the legacy worker pool.
+    num_workers:
+        Concurrent shard workers (default ``engine.config.num_workers``).
+    num_shards:
+        Node-range count (default ``engine.config.num_shards``, or an
+        automatic count sized so every shard gets the fold kernel's
+        int16 radix fast path).  May exceed ``num_workers``; workers
+        pick up shard groups as they free up.
+    backend:
+        ``"threads"`` or ``"processes"`` (default
+        ``engine.config.parallel_backend``).
+    """
+
+    def __init__(
+        self,
+        engine: GraphZeppelin,
+        num_workers: Optional[int] = None,
+        num_shards: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        pool = engine.tensor_pool
+        if pool is None:
+            raise ConfigurationError(
+                "sharded parallel ingest requires the in-RAM flat tensor pool "
+                "(sketch_backend='flat' without a RAM budget); use the legacy "
+                "ParallelIngestor for buffered/out-of-core configurations"
+            )
+        self.engine = engine
+        self.pool: NodeTensorPool = pool
+        self.backend = backend if backend is not None else engine.config.parallel_backend
+        if self.backend == "legacy":
+            raise ConfigurationError(
+                "parallel_backend='legacy' maps to ParallelIngestor, not "
+                "ShardedIngestor; use GraphZeppelin.parallel_ingestor()"
+            )
+        if self.backend not in ("threads", "processes"):
+            raise ConfigurationError(
+                f"unknown parallel backend {self.backend!r} "
+                "(use 'threads', 'processes', or 'legacy')"
+            )
+        self.num_workers = int(
+            num_workers if num_workers is not None else engine.config.num_workers
+        )
+        if self.num_workers < 1:
+            raise ConfigurationError("num_workers must be at least 1")
+        shards = num_shards if num_shards is not None else engine.config.num_shards
+        if shards is None:
+            shards = auto_num_shards(engine.num_nodes, pool.num_rows, self.num_workers)
+        self.num_shards = int(shards)
+        if self.num_shards < 1:
+            raise ConfigurationError("num_shards must be at least 1")
+        self.bounds = shard_bounds(engine.num_nodes, self.num_shards)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._proc_pool = None
+        self._batches_ingested = 0
+        self._updates_ingested = 0
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ShardedIngestor":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish()
+
+    def start(self) -> None:
+        """Spin up the shard workers (idempotent).
+
+        The actual worker count is ``min(num_workers, usable cores)``
+        (affinity-aware): the folds are CPU-bound numpy kernels, so
+        workers beyond the cores this process may run on only add
+        scheduler contention (the cost model's ``effective_workers``
+        encodes the same clamp).
+        """
+        workers = self.effective_workers
+        if self.backend == "threads":
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="shard-worker"
+                )
+        else:
+            if self._proc_pool is None:
+                # Workers attach to the pool tensors by shared-memory
+                # segment name and fold in place.
+                self.pool.to_shared_memory()
+                self._proc_pool = _process_context().Pool(
+                    processes=workers,
+                    initializer=_init_shard_worker,
+                    initargs=(self.pool.shared_meta(),),
+                )
+
+    def finish(self) -> None:
+        """Stop the workers.  The pool (and any shared memory backing it)
+        stays with the engine, which keeps serving queries and further
+        ingest."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._proc_pool is not None:
+            self._proc_pool.close()
+            self._proc_pool.join()
+            self._proc_pool = None
+
+    close = finish
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_workers(self) -> int:
+        """Workers actually running: ``num_workers`` clamped to usable cores."""
+        return max(1, min(self.num_workers, usable_cores()))
+
+    @property
+    def batches_ingested(self) -> int:
+        return self._batches_ingested
+
+    @property
+    def updates_ingested(self) -> int:
+        """Edge updates ingested through this ingestor (pre-mirroring)."""
+        return self._updates_ingested
+
+    # ------------------------------------------------------------------
+    def ingest_batch(self, edges: Union[np.ndarray, Sequence[Tuple[int, int]]]) -> int:
+        """Partition one ``(N, 2)`` edge batch and fold it in parallel.
+
+        Blocks until every shard worker has folded its group (so the
+        engine may be queried immediately after), and returns the number
+        of edge updates ingested.
+        """
+        self.start()
+        parts = self._prepare(edges)
+        if parts is None:
+            return 0
+        count, groups, lo, hi = parts
+        self._await(self._dispatch(groups), count, lo, hi)
+        return count
+
+    def ingest_stream(
+        self,
+        chunks: Iterable[Union[np.ndarray, Sequence[Tuple[int, int]]]],
+    ) -> int:
+        """Pipelined ingest of a sequence of edge batches.
+
+        The producer (this thread) canonicalises and partitions batch
+        ``k + 1`` while the shard workers fold batch ``k``; a barrier
+        between consecutive batches keeps two folds from racing on the
+        same bucket.  ``chunks`` is any iterable of ``(N, 2)`` edge
+        arrays -- typically
+        :meth:`~repro.streaming.stream.GraphStream.edge_array_chunks`.
+        Returns the total number of edge updates ingested.
+        """
+        self.start()
+        total = 0
+        in_flight: Optional[Tuple] = None
+        try:
+            for chunk in chunks:
+                parts = self._prepare(chunk)
+                if parts is None:
+                    continue
+                count, groups, lo, hi = parts
+                if in_flight is not None:
+                    # Clear before awaiting so a worker exception here
+                    # cannot make the finally block await it again.
+                    pending, in_flight = in_flight, None
+                    self._await(*pending)
+                in_flight = (self._dispatch(groups), count, lo, hi)
+                total += count
+        finally:
+            # A failed _prepare (bad chunk) must not leave a dispatched
+            # batch unpublished: its folds complete in the workers and
+            # mutate the pool, so the caches have to be invalidated.
+            if in_flight is not None:
+                self._await(*in_flight)
+        return total
+
+    # ------------------------------------------------------------------
+    def _prepare(self, edges) -> Optional[Tuple[int, list, np.ndarray, np.ndarray]]:
+        """Producer half: canonicalise, hash, mirror, and partition a batch.
+
+        The hash matrices depend only on the edge slot, so for the
+        thread backend they are computed **once per edge** here and
+        shared by reference with every worker (each gathers its group's
+        rows) -- half the hash cost of hashing per mirrored copy.  The
+        process backend hashes inside the workers instead: shipping the
+        ``(K, slots)`` matrices through the task pipe would cost far
+        more than the duplicate hash.
+        """
+        lo, hi = self.engine._canonical_edge_columns(edges)
+        if lo is None:
+            return None
+        pool = self.pool
+        indices = self.engine.encoder.encode_canonical_pairs(lo, hi)
+        dsts, edge_rows, cuts = partition_mirrored_updates(lo, hi, self.bounds)
+        shards = [
+            (shard, slice(int(cuts[shard]), int(cuts[shard + 1])))
+            for shard in range(self.num_shards)
+            if cuts[shard + 1] > cuts[shard]
+        ]
+        if self.backend == "threads":
+            depths, checksums = hash_depths_checksums(
+                indices, pool._mixed_membership, pool._mixed_checksum, pool.num_rows
+            )
+            groups = [
+                (
+                    int(self.bounds[shard]),
+                    int(self.bounds[shard + 1]),
+                    dsts[rows],
+                    edge_rows[rows],
+                    indices,
+                    depths,
+                    checksums,
+                )
+                for shard, rows in shards
+            ]
+        else:
+            groups = [
+                (
+                    int(self.bounds[shard]),
+                    int(self.bounds[shard + 1]),
+                    dsts[rows],
+                    indices[edge_rows[rows]],
+                )
+                for shard, rows in shards
+            ]
+        return int(lo.size), groups, lo, hi
+
+    def _dispatch(self, groups: list) -> list:
+        """Hand the per-shard groups to the workers; returns wait handles."""
+        if self.backend == "threads":
+            return [
+                self._executor.submit(
+                    self.pool.fold_shard_hashed,
+                    dsts,
+                    rows,
+                    indices,
+                    depths,
+                    checksums,
+                    node_lo,
+                    node_hi,
+                )
+                for node_lo, node_hi, dsts, rows, indices, depths, checksums in groups
+            ]
+        return [self._proc_pool.map_async(_fold_shard_task, groups, chunksize=1)]
+
+    def _await(
+        self, handles: list, count: int, lo: np.ndarray, hi: np.ndarray
+    ) -> None:
+        """Barrier: wait for a batch's folds, then publish its effects.
+
+        When a worker raised, the failed batch's other shards have
+        already XOR-mutated the pool tensors, so the forest and slab
+        caches are invalidated even then (a query served from them
+        would silently return pre-batch answers) -- but the update
+        counters and the validated edge-set toggle are only applied on
+        success, so they never claim a partially-folded batch landed
+        (a caller retrying the failed batch must not double-toggle).
+        """
+        try:
+            if self.backend == "threads":
+                wait(handles)
+                for handle in handles:
+                    handle.result()  # surface worker exceptions
+            else:
+                for handle in handles:
+                    handle.get()
+        except BaseException:
+            self.engine._note_parallel_ingest(0)
+            raise
+        self._batches_ingested += 1
+        self._updates_ingested += count
+        self.engine._toggle_tracked_edges(lo, hi)
+        self.engine._note_parallel_ingest(count)
+
+
+# ----------------------------------------------------------------------
+# legacy reference backend (the seed design, shutdown race fixed)
+# ----------------------------------------------------------------------
+class GraphWorkerPool:
+    """A pool of worker threads consuming per-node batches from a queue.
+
+    The seed repository's Graph Workers pipeline, kept as the
+    ``"legacy"`` reference backend: a producer pushes
+    :class:`~repro.buffering.base.Batch` objects into the bounded work
+    queue and ``num_workers`` threads pop and apply them, serialising
+    same-node batches with a per-node lock.  The sharded path above
+    replaces all of this for the in-RAM tensor pool; this pool remains
+    for buffered/out-of-core engines and as the comparison baseline.
+
+    Shutdown uses task-done accounting: :meth:`join` blocks on the
+    queue's unfinished-task count -- which reaches zero only after the
+    *apply* of the last popped batch completes, not merely after the
+    queue drains -- and then wakes each worker with a sentinel.  There
+    is no polling loop anywhere.
+    """
 
     def __init__(
         self,
@@ -42,18 +475,17 @@ class GraphWorkerPool:
         )
         self._node_locks: Dict[int, threading.Lock] = {}
         self._node_locks_guard = threading.Lock()
-        self._stop = threading.Event()
-        self._threads = []
+        self._threads: List[threading.Thread] = []
         self._batches_processed = 0
         self._updates_processed = 0
         self._counter_lock = threading.Lock()
+        self._worker_errors: List[BaseException] = []
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Start the worker threads (idempotent)."""
         if self._threads:
             return
-        self._stop.clear()
         for worker_id in range(self.num_workers):
             thread = threading.Thread(
                 target=self._worker_loop, name=f"graph-worker-{worker_id}", daemon=True
@@ -70,13 +502,24 @@ class GraphWorkerPool:
             self.submit(batch)
 
     def join(self) -> None:
-        """Wait until every submitted batch has been processed, then stop."""
-        while not self.work_queue.is_empty:
-            self._stop.wait(self._SHUTDOWN_TIMEOUT_SECONDS)
-        self._stop.set()
+        """Wait until every submitted batch has been *applied*, then stop.
+
+        ``task_done`` accounting tracks in-flight batches, so a batch a
+        worker has already popped but is still applying holds this call
+        open until its apply returns.  An exception raised by
+        ``apply_batch`` does not kill its worker (the pool keeps its
+        full worker count and every sentinel is consumed); the first
+        such error is re-raised here after shutdown.
+        """
+        self.work_queue.join_tasks()
+        for _ in self._threads:
+            self.work_queue.put_sentinel()
         for thread in self._threads:
             thread.join()
         self._threads = []
+        if self._worker_errors:
+            errors, self._worker_errors = self._worker_errors, []
+            raise errors[0]
 
     # ------------------------------------------------------------------
     @property
@@ -90,18 +533,22 @@ class GraphWorkerPool:
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
         while True:
+            batch = self.work_queue.get(block=True)
+            if batch is WorkQueue.SENTINEL:
+                self.work_queue.task_done()
+                return
             try:
-                batch = self.work_queue.get(block=True, timeout=self._SHUTDOWN_TIMEOUT_SECONDS)
-            except queue.Empty:
-                if self._stop.is_set():
-                    return
-                continue
-            lock = self._lock_for(batch.node)
-            with lock:
-                self.apply_batch(batch)
-            with self._counter_lock:
-                self._batches_processed += 1
-                self._updates_processed += len(batch)
+                lock = self._lock_for(batch.node)
+                with lock:
+                    self.apply_batch(batch)
+                with self._counter_lock:
+                    self._batches_processed += 1
+                    self._updates_processed += len(batch)
+            except BaseException as exc:  # noqa: BLE001 -- surfaced by join()
+                with self._counter_lock:
+                    self._worker_errors.append(exc)
+            finally:
+                self.work_queue.task_done()
 
     def _lock_for(self, node: int) -> threading.Lock:
         with self._node_locks_guard:
@@ -113,12 +560,15 @@ class GraphWorkerPool:
 
 
 class ParallelIngestor:
-    """Drives a GraphZeppelin instance with a Graph Worker pool.
+    """Drives a GraphZeppelin instance with the legacy Graph Worker pool.
 
     The single-threaded engine applies batches inline as the buffering
     layer emits them; this wrapper reroutes emitted batches through a
     :class:`GraphWorkerPool` instead, so multiple node sketches are
-    updated concurrently.  Use it as a context manager::
+    updated concurrently.  This is the ``"legacy"`` reference backend --
+    per-node batches, per-node locks, scalar apply path; prefer
+    :class:`ShardedIngestor` whenever the engine holds the in-RAM
+    tensor pool.  Use it as a context manager::
 
         with ParallelIngestor(gz, num_workers=8) as ingestor:
             for update in stream:

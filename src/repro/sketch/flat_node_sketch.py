@@ -144,6 +144,18 @@ def hash_depths_checksums(
     return depths, checksums
 
 
+def max_radix_dst_span(num_rows: int) -> int:
+    """Widest destination-node span the int16 fold fast path supports.
+
+    The multi-destination fast path of :func:`fold_hashed` sorts each
+    slot column by the composite key
+    ``(dst - dst_min) * (num_rows + 1) + inverted_depth``, which must
+    fit in an int16 for numpy's radix sort to apply.  Shard planners
+    size their node ranges against this bound.
+    """
+    return max((np.iinfo(np.int16).max - num_rows) // (num_rows + 1), 1)
+
+
 def fold_hashed(
     indices: np.ndarray,
     depths: np.ndarray,
@@ -171,6 +183,12 @@ def fold_hashed(
     # per-slot fast path's slot-order emission still matches the flat
     # composite-key sort order.
     offsets = slot_ids if slot_offsets is None else slot_offsets
+    dst_arr = dst_min = None
+    if dsts is not None:
+        dst_arr = np.asarray(dsts).astype(np.int64, copy=False)
+        dst_min = int(dst_arr.min())
+        if int(dst_arr.max()) - dst_min > max_radix_dst_span(num_rows) - 1:
+            dst_arr = None
     if dsts is None and num_rows < np.iinfo(np.int16).max:
         # Single-destination batch: every slot is one segment holding
         # exactly ``k`` updates, so the composite (segment, inverted
@@ -193,6 +211,37 @@ def fold_hashed(
         sorted_seg = np.repeat(offsets, k)
         total = k * num_slots
         new_seg = np.zeros(total, dtype=bool)
+        new_seg[::k] = True
+    elif dst_arr is not None:
+        # Multi-destination batch over a narrow node range (a shard):
+        # the composite (node-local destination, inverted depth) key
+        # fits an int16, so each slot column sorts with the same radix
+        # fast path the single-destination branch uses.  This is what
+        # makes sharded ingest faster than the flat int64 argsort even
+        # before any threads join in; the shard planner picks node
+        # ranges no wider than :func:`max_radix_dst_span`.
+        stride = num_slots if dst_stride is None else int(dst_stride)
+        dloc = dst_arr - np.int64(dst_min)
+        key16 = np.ascontiguousarray(
+            (dloc[:, None] * (num_rows + 1) + (np.int64(num_rows) - depths)).T,
+            dtype=np.int16,
+        )
+        order_rows = np.argsort(key16, axis=1, kind="stable")
+        sorted_key = (
+            np.take_along_axis(key16, order_rows, axis=1).astype(np.int64).ravel()
+        )
+        sorted_dloc = sorted_key // (num_rows + 1)
+        sorted_depth = np.int64(num_rows) - (
+            sorted_key - sorted_dloc * (num_rows + 1)
+        )
+        order = (order_rows.astype(np.int64) * num_slots + slot_ids[:, None]).ravel()
+        sorted_seg = np.repeat(offsets, k) + (sorted_dloc + np.int64(dst_min)) * stride
+        total = k * num_slots
+        # A segment boundary is a destination change within a slot
+        # column or the start of the next column (``[::k]``).
+        new_seg = np.empty(total, dtype=bool)
+        new_seg[0] = True
+        np.not_equal(sorted_dloc[1:], sorted_dloc[:-1], out=new_seg[1:])
         new_seg[::k] = True
     else:
         # Composite sort key: (destination, slot) segment-major, deepest

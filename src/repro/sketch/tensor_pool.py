@@ -43,7 +43,7 @@ and merging per-node sketch objects.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,6 +58,7 @@ from repro.sketch.flat_node_sketch import (
     fold_hashed,
     group_nodes_by_label,
     hash_depths_checksums,
+    max_radix_dst_span,
     query_bucket_arrays,
     query_bucket_arrays_batch,
     segmented_xor,
@@ -87,6 +88,34 @@ _LOW32 = np.uint64(0xFFFFFFFF)
 _SHIFT32 = np.uint64(32)
 
 
+def shard_bounds(num_nodes: int, num_shards: int) -> np.ndarray:
+    """Contiguous node-range boundaries for ``num_shards`` pool shards.
+
+    Returns ``num_shards + 1`` ascending boundaries; shard ``s`` owns the
+    node range ``[bounds[s], bounds[s + 1])``.  Ranges differ by at most
+    one node when ``num_nodes`` is not divisible by ``num_shards``, and a
+    shard count above ``num_nodes`` simply produces empty tail shards.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    return (
+        np.arange(num_shards + 1, dtype=np.int64) * np.int64(num_nodes)
+    ) // np.int64(num_shards)
+
+
+def auto_num_shards(num_nodes: int, num_rows: int, num_workers: int = 1) -> int:
+    """Shard count giving every shard the int16 fold fast path.
+
+    The smallest count whose node ranges fit inside
+    :func:`~repro.sketch.flat_node_sketch.max_radix_dst_span`, rounded up
+    to a multiple of ``num_workers`` so the shards distribute evenly.
+    """
+    span = max_radix_dst_span(num_rows)
+    shards = max(-(-int(num_nodes) // span), 1)
+    workers = max(int(num_workers), 1)
+    return -(-shards // workers) * workers
+
+
 def auto_fold_chunk(num_slots: int, batch_size: int) -> int:
     """Updates per fold-kernel pass, tuned to the sketch geometry.
 
@@ -100,6 +129,26 @@ def auto_fold_chunk(num_slots: int, batch_size: int) -> int:
     chunk = _CHUNK_ELEMENT_BUDGET // max(int(num_slots), 1)
     chunk = min(max(chunk, _MIN_FOLD_CHUNK), _MAX_FOLD_CHUNK)
     return max(min(chunk, max(int(batch_size), 1)), 1)
+
+
+def _shm_view(segment, shape: Tuple[int, ...], dtype) -> np.ndarray:
+    """A numpy view over a shared-memory segment's leading bytes.
+
+    Segments round up to page size, so the view is built with an
+    explicit element count rather than over the whole buffer.
+    """
+    count = int(np.prod(shape))
+    return np.frombuffer(segment.buf, dtype=dtype, count=count).reshape(shape)
+
+
+def _move_to_shm(tensor: np.ndarray):
+    """Copy a tensor into a fresh shared-memory segment; returns (view, shm)."""
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(create=True, size=max(tensor.nbytes, 1))
+    view = _shm_view(segment, tensor.shape, tensor.dtype)
+    view[...] = tensor
+    return view, segment
 
 
 class NodeTensorPool:
@@ -135,6 +184,7 @@ class NodeTensorPool:
         delta: float = 0.01,
         num_rounds: Optional[int] = None,
         force_wide: bool = False,
+        _allocate: bool = True,
     ) -> None:
         from repro.core.node_sketch import num_boruvka_rounds
 
@@ -153,17 +203,26 @@ class NodeTensorPool:
         self.num_columns = cubesketch_num_columns(delta)
         self.num_slots = self.num_rounds * self.num_columns
 
+        # Shared-memory bookkeeping: populated by to_shared_memory() /
+        # attach_shared().  _shm holds the open segments, _owns_shm says
+        # whether this process created (and therefore unlinks) them.
+        self._shm: List = []
+        self._owns_shm = False
+
         # Round-major: tensor[round] is one contiguous slab holding every
         # node's buckets for that round (see the module docstring).
+        # ``_allocate=False`` (attach_shared) skips the zero tensors --
+        # the caller installs shared-memory views instead, so a worker
+        # process never commits a throwaway pool-sized allocation.
         shape = (self.num_rounds, self.num_nodes, self.num_columns, self.num_rows)
         self._packed = encoder.vector_length <= 1 << 32 and not force_wide
-        if self._packed:
-            self._buckets = np.zeros(shape, dtype=np.uint64)
-            self._alpha = self._gamma = None
-        else:
-            self._buckets = None
-            self._alpha = np.zeros(shape, dtype=np.uint64)
-            self._gamma = np.zeros(shape, dtype=np.uint32)
+        self._buckets = self._alpha = self._gamma = None
+        if _allocate:
+            if self._packed:
+                self._buckets = np.zeros(shape, dtype=np.uint64)
+            else:
+                self._alpha = np.zeros(shape, dtype=np.uint64)
+                self._gamma = np.zeros(shape, dtype=np.uint32)
         # Fold-kernel segment mapping: bucket (dst, slot) of the
         # slot-major kernel lands at round-major segment
         # dst * num_columns + _slot_offsets[slot] (strictly increasing
@@ -187,15 +246,28 @@ class NodeTensorPool:
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
-    def _scatter(self, targets: np.ndarray, alpha_vals: np.ndarray, gamma_vals: np.ndarray) -> None:
-        """XOR fold-kernel output into the pool at round-major offsets."""
+    def _scatter(
+        self,
+        targets: np.ndarray,
+        alpha_vals: np.ndarray,
+        gamma_vals: np.ndarray,
+        bump_version: bool = True,
+    ) -> None:
+        """XOR fold-kernel output into the pool at round-major offsets.
+
+        ``bump_version=False`` is for shard workers, whose concurrent
+        folds must not race on the version counter; the ingest
+        coordinator bumps it once per batch via
+        :meth:`mark_external_updates`.
+        """
         if self._packed:
             flat = self._buckets.reshape(-1)
             flat[targets] ^= (alpha_vals << _SHIFT32) | gamma_vals
         else:
             self._alpha.reshape(-1)[targets] ^= alpha_vals
             self._gamma.reshape(-1)[targets] ^= gamma_vals.astype(np.uint32)
-        self._version += 1
+        if bump_version:
+            self._version += 1
 
     def apply_updates(
         self,
@@ -309,6 +381,126 @@ class NodeTensorPool:
             )
             self._scatter(targets, alpha_vals, gamma_vals)
         self._updates_applied += int(indices.size)
+
+    def fold_shard(
+        self,
+        dsts: np.ndarray,
+        indices: np.ndarray,
+        node_lo: int,
+        node_hi: int,
+        chunk_size: Optional[int] = None,
+    ) -> int:
+        """Fold one shard's mixed-node update group into its pool slab.
+
+        The sharded-ingest worker entry point: ``dsts`` must lie inside
+        the shard's node range ``[node_lo, node_hi)``, whose buckets no
+        other shard touches, so concurrent ``fold_shard`` calls for
+        *different* shards need no locks -- their scatter targets are
+        disjoint by construction.  When the shard span fits
+        :func:`~repro.sketch.flat_node_sketch.max_radix_dst_span` (the
+        planner guarantees it), the fold runs through the kernel's int16
+        radix fast path.
+
+        Deliberately does **not** bump the pool version or the update
+        counter -- shared counters would race across workers, and worker
+        processes mutate their own copies anyway.  The ingest
+        coordinator calls :meth:`mark_external_updates` once per batch
+        after the barrier.  Returns the number of updates folded.
+        """
+        dsts = np.asarray(dsts)
+        if dsts.shape != np.shape(indices) or dsts.ndim != 1:
+            raise ValueError("dsts and indices must be matching one-dimensional arrays")
+        if not 0 <= node_lo <= node_hi <= self.num_nodes:
+            raise ValueError(
+                f"shard range [{node_lo}, {node_hi}) outside [0, {self.num_nodes})"
+            )
+        idx = validate_indices(indices, self.encoder.vector_length)
+        if idx is None:
+            return 0
+        # One scan covers both guards: a destination inside the shard
+        # range is inside the pool, since the range itself was checked.
+        if ((dsts < node_lo) | (dsts >= node_hi)).any():
+            raise ValueError(
+                f"destination node outside shard range [{node_lo}, {node_hi})"
+            )
+        chunk = int(chunk_size) if chunk_size else auto_fold_chunk(self.num_slots, idx.size)
+        for start in range(0, idx.size, chunk):
+            targets, alpha_vals, gamma_vals = columnar_fold(
+                idx[start : start + chunk].astype(np.uint64, copy=False),
+                self._mixed_membership,
+                self._mixed_checksum,
+                self.num_rows,
+                dsts=dsts[start : start + chunk],
+                dst_stride=self.num_columns,
+                slot_offsets=self._slot_offsets,
+            )
+            self._scatter(targets, alpha_vals, gamma_vals, bump_version=False)
+        return int(idx.size)
+
+    def fold_shard_hashed(
+        self,
+        dsts: np.ndarray,
+        edge_rows: np.ndarray,
+        indices: np.ndarray,
+        depths: np.ndarray,
+        checksums: np.ndarray,
+        node_lo: int,
+        node_hi: int,
+        chunk_size: Optional[int] = None,
+    ) -> int:
+        """:meth:`fold_shard` with the hash phase hoisted out.
+
+        The hash matrices depend only on the edge slot, not the
+        destination, so a mirrored batch's two copies of every edge
+        share one row of ``depths`` / ``checksums``.  The ingest
+        coordinator hashes the *unique* ``indices`` once and shard
+        workers gather their rows by ``edge_rows[i]`` (the position of
+        update ``i``'s edge in ``indices``) -- half the hash cost of
+        :meth:`fold_shard`, which is what the thread backend uses where
+        the matrices can be shared by reference.  Same shard-ownership
+        contract and (deliberate) lack of version/counter updates as
+        :meth:`fold_shard`; ``indices`` must already be validated.
+        """
+        dsts = np.asarray(dsts)
+        if dsts.shape != np.shape(edge_rows) or dsts.ndim != 1:
+            raise ValueError("dsts and edge_rows must be matching one-dimensional arrays")
+        if not 0 <= node_lo <= node_hi <= self.num_nodes:
+            raise ValueError(
+                f"shard range [{node_lo}, {node_hi}) outside [0, {self.num_nodes})"
+            )
+        if dsts.size == 0:
+            return 0
+        if ((dsts < node_lo) | (dsts >= node_hi)).any():
+            raise ValueError(
+                f"destination node outside shard range [{node_lo}, {node_hi})"
+            )
+        chunk = (
+            int(chunk_size) if chunk_size else auto_fold_chunk(self.num_slots, dsts.size)
+        )
+        for start in range(0, dsts.size, chunk):
+            rows = edge_rows[start : start + chunk]
+            targets, alpha_vals, gamma_vals = fold_hashed(
+                indices[rows],
+                depths[rows],
+                checksums[rows],
+                self.num_rows,
+                dsts=dsts[start : start + chunk],
+                dst_stride=self.num_columns,
+                slot_offsets=self._slot_offsets,
+            )
+            self._scatter(targets, alpha_vals, gamma_vals, bump_version=False)
+        return int(dsts.size)
+
+    def mark_external_updates(self, count: int) -> None:
+        """Record updates folded outside :meth:`apply_updates`'s accounting.
+
+        Invalidate the slab cache (version bump) and advance the update
+        counter after a sharded parallel ingest, whose workers write the
+        tensors directly (possibly from other processes) without
+        touching this object's Python state.
+        """
+        self._version += 1
+        self._updates_applied += int(count)
 
     def _check_destinations(self, dsts: np.ndarray) -> None:
         """Reject out-of-range destinations before they index the pool.
@@ -603,6 +795,135 @@ class NodeTensorPool:
         return merged
 
     # ------------------------------------------------------------------
+    # shared-memory backing (the "processes" parallel backend)
+    # ------------------------------------------------------------------
+    @property
+    def is_shared(self) -> bool:
+        """Whether the bucket tensors live in shared-memory segments."""
+        return bool(self._shm)
+
+    def to_shared_memory(self) -> None:
+        """Migrate the bucket tensors into ``multiprocessing.shared_memory``.
+
+        Allocates one named segment per backing tensor, copies the
+        current state in, and swaps the pool's arrays for views of the
+        segments -- every other pool operation (folds, queries, per-node
+        views) keeps working unchanged.  Worker processes then
+        :meth:`attach_shared` by name and fold their shards in place; a
+        fold by an attached worker is immediately visible here because
+        both processes map the same pages.  Idempotent.  The creating
+        pool owns the segments and unlinks them in
+        :meth:`release_shared`.
+        """
+        if self.is_shared:
+            return
+        if self._packed:
+            self._buckets, shm = _move_to_shm(self._buckets)
+            self._shm = [shm]
+        else:
+            self._alpha, alpha_shm = _move_to_shm(self._alpha)
+            self._gamma, gamma_shm = _move_to_shm(self._gamma)
+            self._shm = [alpha_shm, gamma_shm]
+        self._owns_shm = True
+
+    def shared_meta(self) -> Dict:
+        """Everything a worker process needs to attach to this pool.
+
+        Geometry and seed parameters travel by value (seed matrices are
+        re-derived, which is cheap and cached); tensor state travels by
+        shared-memory segment name.
+        """
+        if not self.is_shared:
+            raise ValueError("pool is not shared-memory backed; call to_shared_memory()")
+        return {
+            "num_nodes": self.num_nodes,
+            "graph_seed": self.graph_seed,
+            "delta": self.delta,
+            "num_rounds": self.num_rounds,
+            "packed": self._packed,
+            "shm_names": [segment.name for segment in self._shm],
+        }
+
+    @classmethod
+    def attach_shared(cls, meta: Dict) -> "NodeTensorPool":
+        """Build a pool over another process's shared-memory tensors.
+
+        The attached pool is a full :class:`NodeTensorPool` (folds and
+        queries both work); only the tensor storage is borrowed.  Update
+        accounting and the slab cache are process-local, so attached
+        workers are fold-only in practice and the owning process runs
+        the queries.
+        """
+        from multiprocessing import shared_memory
+
+        pool = cls(
+            meta["num_nodes"],
+            EdgeEncoder(meta["num_nodes"]),
+            graph_seed=meta["graph_seed"],
+            delta=meta["delta"],
+            num_rounds=meta["num_rounds"],
+            force_wide=not meta["packed"],
+            _allocate=False,
+        )
+        shape = (pool.num_rounds, pool.num_nodes, pool.num_columns, pool.num_rows)
+        # Attaching also registers with the resource tracker on
+        # Python < 3.13, but worker processes share the owner's tracker
+        # (its cache is a set, so repeat registrations collapse) and the
+        # owner's unlink unregisters the name once -- no extra
+        # bookkeeping needed, and the tracker stays a backstop that
+        # unlinks the segments if the owner dies without cleanup.
+        segments = [
+            shared_memory.SharedMemory(name=name) for name in meta["shm_names"]
+        ]
+        if pool._packed:
+            pool._buckets = _shm_view(segments[0], shape, np.uint64)
+        else:
+            pool._alpha = _shm_view(segments[0], shape, np.uint64)
+            pool._gamma = _shm_view(segments[1], shape, np.uint32)
+        pool._shm = segments
+        pool._owns_shm = False
+        return pool
+
+    def release_shared(self, copy_back: bool = True) -> None:
+        """Detach from shared memory (unlinking it when this pool owns it).
+
+        The owning pool copies the tensor state back to private arrays
+        first, so the engine keeps working after release; an attached
+        worker pool just drops its views.  Idempotent.
+        ``copy_back=False`` skips the copy -- destruction uses it, where
+        a full-pool allocation for an object about to die would only
+        spike memory.
+        """
+        if not self.is_shared:
+            return
+        if self._owns_shm and copy_back:
+            if self._packed:
+                self._buckets = self._buckets.copy()
+            else:
+                self._alpha = self._alpha.copy()
+                self._gamma = self._gamma.copy()
+        else:
+            self._buckets = self._alpha = self._gamma = None
+        segments, owns = self._shm, self._owns_shm
+        self._shm, self._owns_shm = [], False
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:
+                # A caller still holds a view (raw_tensors() etc.); the
+                # mapping lives until that view dies, but the segment
+                # can and must still be unlinked below.
+                pass
+            if owns:
+                segment.unlink()
+
+    def __del__(self) -> None:
+        try:
+            self.release_shared(copy_back=False)
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
     # per-node views
     # ------------------------------------------------------------------
     def node_sketch(self, node: int) -> FlatNodeSketch:
@@ -675,11 +996,16 @@ class NodeTensorPool:
         Shape ``(rounds, nodes, cols, rows)`` each.  In packed mode both
         are unpacked copies of the single bucket tensor; in wide mode
         they are views of the backing tensors (alpha uint64, gamma
-        uint32).
+        uint32) -- except when those live in shared memory, where copies
+        are returned so a caller-held array can never pin the segment
+        mapping open past :meth:`release_shared`.
         """
         if self._packed:
             alpha = self._buckets >> _SHIFT32
             gamma = self._buckets & _LOW32
+        elif self.is_shared:
+            alpha = self._alpha.copy()
+            gamma = self._gamma.copy()
         else:
             alpha = self._alpha.view()
             gamma = self._gamma.view()

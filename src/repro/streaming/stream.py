@@ -56,6 +56,22 @@ class GraphStream:
             [(update.u, update.v) for update in self.updates], dtype=np.int64
         )
 
+    def edge_array_chunks(self, chunk_size: int = 1 << 14) -> Iterator[np.ndarray]:
+        """The stream as consecutive ``(chunk_size, 2)`` edge arrays.
+
+        The input side of the sharded ingest pipeline
+        (:meth:`~repro.parallel.graph_workers.ShardedIngestor.ingest_stream`):
+        the producer partitions chunk ``k + 1`` while the shard workers
+        fold chunk ``k``.  The final chunk may be shorter; chunks are
+        views of one materialised edge array, so iterating costs no
+        per-chunk copies.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        array = self.edge_array()
+        for start in range(0, array.shape[0], chunk_size):
+            yield array[start : start + chunk_size]
+
     # ------------------------------------------------------------------
     def final_edges(self) -> Set[Edge]:
         """The edge set defined by the whole stream."""

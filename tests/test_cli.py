@@ -89,3 +89,38 @@ def test_components_with_ram_budget(tmp_path, capsys):
 def test_unknown_dataset_rejected_by_parser():
     with pytest.raises(SystemExit):
         main(["generate", "not-a-dataset", "out.stream"])
+
+
+@pytest.mark.parametrize("backend", ["threads", "processes", "legacy"])
+def test_components_parallel_backends_match_reference(tmp_path, capsys, backend):
+    stream_path = tmp_path / "kron13.stream"
+    main(["generate", "kron13", str(stream_path), "--scale-reduction", "8", "--seed", "3"])
+    capsys.readouterr()
+    assert main(
+        [
+            "components", str(stream_path), "--verify", "--seed", "5",
+            "--workers", "2", "--parallel-backend", backend,
+        ]
+    ) == 0
+    output = capsys.readouterr().out
+    from repro.parallel.cost_model import usable_cores
+
+    # Sharded backends report the effective (core-clamped) worker count.
+    effective = 2 if backend == "legacy" else min(2, usable_cores())
+    assert f"({backend} x{effective}" in output
+    assert "matches exact reference: True" in output
+
+
+def test_components_workers_with_ram_budget_falls_back_to_legacy(tmp_path, capsys):
+    stream_path = tmp_path / "small.stream"
+    main(["generate", "kron13", str(stream_path), "--scale-reduction", "8"])
+    capsys.readouterr()
+    assert main(
+        [
+            "components", str(stream_path),
+            "--workers", "2", "--ram-budget-mib", "0.25",
+        ]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "legacy worker pool" in output
+    assert "(legacy x2)" in output

@@ -1,4 +1,8 @@
-"""Tests for the Graph Worker pool and the thread-scaling cost model."""
+"""Tests for the worker pools and the parallel cost models."""
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
@@ -8,9 +12,11 @@ from repro.buffering.work_queue import WorkQueue
 from repro.core.config import BufferingMode, GraphZeppelinConfig
 from repro.core.graph_zeppelin import GraphZeppelin
 from repro.generators.erdos_renyi import erdos_renyi_gnm
-from repro.parallel.cost_model import ThreadScalingModel
+from repro.parallel.cost_model import ShardedIngestModel, ThreadScalingModel
 from repro.parallel.graph_workers import GraphWorkerPool, ParallelIngestor
 from repro.streaming.generator import StreamConversionSettings, graph_to_stream
+
+BENCH_PARALLEL = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 
 
 # ----------------------------------------------------------------------
@@ -43,6 +49,60 @@ def test_pool_serialises_same_node_batches():
     for position in range(0, len(log), 2):
         assert log[position][0] == "start"
         assert log[position + 1][0] == "end"
+
+
+def test_pool_join_waits_for_in_flight_batches():
+    """join() must account for a popped-but-still-applying batch.
+
+    The seed implementation polled ``is_empty`` and could return while a
+    worker was mid-apply on the final batch; task-done accounting closes
+    that window.  A slow apply makes the old race all but certain.
+    """
+    def slow_apply(batch):
+        time.sleep(0.05)
+
+    pool = GraphWorkerPool(apply_batch=slow_apply, num_workers=2)
+    pool.start()
+    pool.submit_all([Batch(node=i, neighbors=[i + 1]) for i in range(4)])
+    pool.join()
+    # With the old queue-empty poll the last applies were still running
+    # here; with task-done accounting every batch is fully processed.
+    assert pool.batches_processed == 4
+    assert pool.updates_processed == 4
+
+
+def test_pool_surfaces_apply_errors_and_keeps_workers():
+    """An apply_batch exception must not silently kill a worker.
+
+    The error is recorded and re-raised from join(); the worker stays in
+    its loop, so every sentinel is consumed and a restarted pool still
+    has its full worker count.
+    """
+    def apply(batch):
+        if batch.node == 3:
+            raise ValueError("bad batch")
+
+    pool = GraphWorkerPool(apply_batch=apply, num_workers=2)
+    pool.start()
+    pool.submit_all([Batch(node=i, neighbors=[i + 1]) for i in range(5)])
+    with pytest.raises(ValueError):
+        pool.join()
+    pool.start()
+    pool.submit(Batch(node=0, neighbors=[1]))
+    pool.join()
+    assert pool.batches_processed == 5  # 4 good batches + 1 after restart
+
+
+def test_pool_restarts_after_join():
+    processed = []
+    pool = GraphWorkerPool(apply_batch=lambda b: processed.append(b.node), num_workers=2)
+    pool.start()
+    pool.submit(Batch(node=1, neighbors=[2]))
+    pool.join()
+    pool.start()
+    pool.submit(Batch(node=3, neighbors=[4]))
+    pool.join()
+    assert sorted(processed) == [1, 3]
 
 
 def test_pool_rejects_bad_worker_count():
@@ -142,3 +202,64 @@ def test_model_curve_rows():
 def test_model_rejects_zero_threads():
     with pytest.raises(ValueError):
         ThreadScalingModel.paper_like(1000).speedup(0)
+
+
+# ----------------------------------------------------------------------
+# ShardedIngestModel
+# ----------------------------------------------------------------------
+def test_sharded_model_speedup_monotone_and_core_limited():
+    model = ShardedIngestModel(fold_rate=50_000, available_cores=8)
+    speedups = [model.speedup(w) for w in (1, 2, 4, 8, 16, 32)]
+    assert speedups[0] == pytest.approx(1.0)
+    assert all(b >= a for a, b in zip(speedups, speedups[1:]))
+    # Workers beyond the available cores add nothing.
+    assert model.speedup(16) == model.speedup(8)
+    # Amdahl bound: the serial partition step caps the speedup.
+    assert model.speedup(8) < 1.0 / model.partition_fraction
+
+
+def test_sharded_model_single_core_predicts_flat_scaling():
+    model = ShardedIngestModel(fold_rate=50_000, available_cores=1)
+    assert model.speedup(4) == pytest.approx(1.0)
+
+
+def test_sharded_model_curve_rows_and_validation():
+    model = ShardedIngestModel(fold_rate=10_000)
+    rows = model.curve([1, 2, 4])
+    assert [row["workers"] for row in rows] == [1, 2, 4]
+    assert all("ingestion_rate" in row and "speedup" in row for row in rows)
+    with pytest.raises(ValueError):
+        model.speedup(0)
+
+
+def test_sharded_model_calibration_matches_measured_bench_rows():
+    """Calibrated predictions must sit near the BENCH_parallel.json rows.
+
+    The model is calibrated from the measured one-worker sharded rate
+    and the recorded core count; its predicted rate at every measured
+    worker count must land within a sane factor of the measurement.
+    The tolerance is loose (3x) because the ledger rows come from
+    shared CI runners, but it still catches a model whose shape has
+    drifted from the pipeline it prices.
+    """
+    if not BENCH_PARALLEL.exists():
+        pytest.skip("BENCH_parallel.json not generated yet")
+    payload = json.loads(BENCH_PARALLEL.read_text())
+    measured = {}
+    for row in payload["rows"]:
+        path = row["path"]
+        if path.startswith("sharded threads x"):
+            measured[int(path.rsplit("x", 1)[1])] = row["updates_per_sec"]
+    assert 1 in measured, "ledger is missing the one-worker sharded row"
+
+    batch = min(payload["num_edge_updates"], 1 << 14)
+    model = ShardedIngestModel.calibrated(
+        measured[1], batch_size=batch, available_cores=payload.get("cores") or 1
+    )
+    assert model.ingestion_rate(1) == pytest.approx(measured[1], rel=1e-6)
+    for workers, rate in measured.items():
+        predicted = model.ingestion_rate(workers)
+        assert predicted / rate < 3.0 and rate / predicted < 3.0, (
+            f"model predicts {predicted:.0f} upd/s at {workers} workers, "
+            f"measured {rate:.0f}"
+        )
