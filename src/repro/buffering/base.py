@@ -21,6 +21,13 @@ class Batch:
     ``neighbors`` lists the other endpoint of each buffered edge update
     (duplicates are legal: an edge inserted and later deleted appears
     twice and cancels inside the Z_2 sketch).
+
+    .. deprecated:: PR 4
+        Per-node batches are no longer the buffering hot path: engines
+        holding a tensor pool (in-RAM or paged) buffer per node-group
+        *page* and emit :class:`PageBatch` mixed-node columns instead.
+        ``Batch`` remains the emission unit only for the **legacy**
+        sketch backend's per-node object store (and its worker pool).
     """
 
     node: int
@@ -35,6 +42,43 @@ class Batch:
     @property
     def size_bytes(self) -> int:
         return len(self.neighbors) * BYTES_PER_BUFFERED_UPDATE
+
+    @property
+    def lock_key(self) -> Tuple[str, int]:
+        """Serialisation key for the legacy worker pool's per-target locks."""
+        return ("node", self.node)
+
+
+@dataclass(slots=True)
+class PageBatch:
+    """A batch of buffered updates bound for one node-group page.
+
+    The page-mode emission unit: a *mixed-node* update column -- update
+    ``i`` toggles edge ``{dsts[i], neighbors[i]}`` in ``dsts[i]``'s
+    sketch -- whose destinations all fall inside the page's node range
+    ``[node_lo, node_hi)``.  The engine folds the whole column through
+    the columnar fold kernel in **one page pin** instead of one sketch
+    round trip per node, which is what makes out-of-core flushes pay
+    block-device I/O per page rather than per node.
+    """
+
+    page: int
+    node_lo: int
+    node_hi: int
+    dsts: np.ndarray
+    neighbors: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.dsts.size)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self) * BYTES_PER_BUFFERED_UPDATE
+
+    @property
+    def lock_key(self) -> Tuple[str, int]:
+        """Serialisation key for the legacy worker pool's per-target locks."""
+        return ("page", self.page)
 
 
 class BufferingSystem(abc.ABC):
@@ -101,25 +145,42 @@ def as_update_columns(
     return dst_array, neighbor_array
 
 
+def group_update_columns(
+    keys: np.ndarray, *columns: np.ndarray
+) -> Iterator[Tuple[int, Tuple[np.ndarray, ...]]]:
+    """Yield ``(key, column_chunks)`` groups of parallel update columns.
+
+    One stable argsort of ``keys``, then contiguous segments -- the
+    single grouping pass behind every vectorised buffering insert,
+    whether keyed per destination node or per node-group page.
+    """
+    if keys.size == 0:
+        return
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    # One gather per column up front; every group is then a zero-copy
+    # contiguous slice (a flush can yield thousands of groups).
+    sorted_columns = [column[order] for column in columns]
+    cuts = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    starts = np.concatenate(([0], cuts))
+    ends = np.concatenate((cuts, [sorted_keys.size]))
+    for start, end in zip(starts.tolist(), ends.tolist()):
+        yield int(sorted_keys[start]), tuple(
+            column[start:end] for column in sorted_columns
+        )
+
+
 def group_by_destination(
     dsts: np.ndarray, neighbors: np.ndarray
 ) -> Iterator[Tuple[int, np.ndarray]]:
-    """Yield ``(node, neighbor_chunk)`` groups of an update column.
+    """Yield ``(node, neighbor_chunk)`` groups of an update column."""
+    for node, (chunk,) in group_update_columns(dsts, neighbors):
+        yield node, chunk
 
-    One stable argsort, then contiguous segments per destination --
-    the single implementation behind the vectorised buffering inserts
-    and the engine's unbuffered grouped apply.
-    """
-    if dsts.size == 0:
-        return
-    order = np.argsort(dsts, kind="stable")
-    sorted_dsts = dsts[order]
-    sorted_neighbors = neighbors[order]
-    cuts = np.flatnonzero(sorted_dsts[1:] != sorted_dsts[:-1]) + 1
-    starts = np.concatenate(([0], cuts))
-    ends = np.concatenate((cuts, [sorted_dsts.size]))
-    for start, end in zip(starts.tolist(), ends.tolist()):
-        yield int(sorted_dsts[start]), sorted_neighbors[start:end]
+
+def page_of_nodes(nodes: np.ndarray, page_bounds: np.ndarray) -> np.ndarray:
+    """Map node ids to the index of the owning node-group page."""
+    return np.searchsorted(page_bounds, nodes, side="right") - 1
 
 
 def gutter_capacity_updates(

@@ -20,18 +20,22 @@ DESIGN.md for the paper's pre-allocated on-disk buffer tree.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.buffering.base import (
     BYTES_PER_BUFFERED_UPDATE,
     Batch,
     BufferingSystem,
+    PageBatch,
     as_update_columns,
     gutter_capacity_updates,
 )
 from repro.exceptions import ConfigurationError
 from repro.memory.hybrid import HybridMemory
+
+import numpy as np
 
 #: Paper defaults: 8 MB internal buffers flushed in 16 KB blocks.
 DEFAULT_BUFFER_BYTES = 8 * 1024 * 1024
@@ -71,6 +75,14 @@ class GutterTree(BufferingSystem):
     fanout:
         Children per internal vertex; the default follows
         ``buffer_bytes / flush_block_bytes``.
+    page_bounds:
+        Optional node-group page boundaries.  When given, the leaves
+        are per-*page* gutters emitting
+        :class:`~repro.buffering.base.PageBatch` mixed-node columns
+        (capacity scaled by the page's node count) -- the tensor-pool
+        engines' emission mode.  Without it the leaves are the seed
+        design's per-node gutters emitting per-node ``Batch`` objects,
+        kept for the legacy sketch backend.
     """
 
     def __init__(
@@ -82,6 +94,7 @@ class GutterTree(BufferingSystem):
         flush_block_bytes: int = DEFAULT_FLUSH_BLOCK_BYTES,
         leaf_fraction: float = 2.0,
         fanout: Optional[int] = None,
+        page_bounds: Optional[np.ndarray] = None,
     ) -> None:
         if num_nodes < 1:
             raise ConfigurationError("num_nodes must be at least 1")
@@ -98,8 +111,17 @@ class GutterTree(BufferingSystem):
         self.fanout = int(fanout) if fanout else max(2, buffer_bytes // flush_block_bytes)
         self._buffer_capacity = max(1, buffer_bytes // BYTES_PER_BUFFERED_UPDATE)
         self._leaf_capacity = gutter_capacity_updates(node_sketch_bytes, leaf_fraction)
+        self._bounds = (
+            np.asarray(page_bounds, dtype=np.int64) if page_bounds is not None else None
+        )
+        # Python-list twin of the bounds: the leaf-flush loop maps one
+        # node per update, and bisect on a list is ~10x cheaper than a
+        # scalar numpy searchsorted call.
+        self._bounds_list = self._bounds.tolist() if self._bounds is not None else None
 
-        self._leaf_gutters: Dict[int, List[int]] = {}
+        #: leaf page -> (destination list, neighbor list); per-node mode
+        #: uses the node id as the page id.
+        self._leaf_gutters: Dict[int, Tuple[List[int], List[int]]] = {}
         self._pending = 0
         self._root = self._build_tree()
         self.flush_count = 0
@@ -147,15 +169,29 @@ class GutterTree(BufferingSystem):
             return self._flush_node(self._root)
         return []
 
-    def flush_all(self) -> List[Batch]:
+    def flush_all(self) -> List[Union[Batch, PageBatch]]:
         batches = self._flush_node(self._root, force=True)
-        for node in sorted(self._leaf_gutters):
-            if self._leaf_gutters[node]:
-                batches.append(self._emit_leaf(node))
+        for page in sorted(self._leaf_gutters):
+            if self._leaf_gutters[page][0]:
+                batches.append(self._emit_leaf(page))
         return batches
 
     def pending_updates(self) -> int:
         return self._pending
+
+    @property
+    def page_mode(self) -> bool:
+        return self._bounds is not None
+
+    def _page_of(self, node: int) -> int:
+        if self._bounds_list is None:
+            return node
+        return bisect_right(self._bounds_list, node) - 1
+
+    def _leaf_capacity_for(self, page: int) -> int:
+        if self._bounds is None:
+            return self._leaf_capacity
+        return self._leaf_capacity * int(self._bounds[page + 1] - self._bounds[page])
 
     # ------------------------------------------------------------------
     def _build_tree(self) -> _TreeNode:
@@ -209,10 +245,12 @@ class GutterTree(BufferingSystem):
                     batches.extend(self._flush_node(child, force=force))
         else:
             for u, v in flushed:
-                gutter = self._leaf_gutters.setdefault(u, [])
-                gutter.append(v)
-                if len(gutter) >= self._leaf_capacity:
-                    batches.append(self._emit_leaf(u))
+                page = self._page_of(u)
+                dsts, neighbors = self._leaf_gutters.setdefault(page, ([], []))
+                dsts.append(u)
+                neighbors.append(v)
+                if len(dsts) >= self._leaf_capacity_for(page):
+                    batches.append(self._emit_leaf(page))
         return batches
 
     def _child_for(self, node: _TreeNode, graph_node: int) -> _TreeNode:
@@ -221,10 +259,19 @@ class GutterTree(BufferingSystem):
                 return child
         raise AssertionError(f"graph node {graph_node} not covered by tree vertex")
 
-    def _emit_leaf(self, node: int) -> Batch:
-        neighbors = self._leaf_gutters.pop(node, [])
-        self._pending -= len(neighbors)
-        batch = Batch(node=node, neighbors=neighbors)
+    def _emit_leaf(self, page: int) -> Union[Batch, PageBatch]:
+        dsts, neighbors = self._leaf_gutters.pop(page, ([], []))
+        self._pending -= len(dsts)
+        if self._bounds is None:
+            batch: Union[Batch, PageBatch] = Batch(node=page, neighbors=neighbors)
+        else:
+            batch = PageBatch(
+                page=page,
+                node_lo=int(self._bounds[page]),
+                node_hi=int(self._bounds[page + 1]),
+                dsts=np.asarray(dsts, dtype=np.int64),
+                neighbors=np.asarray(neighbors, dtype=np.int64),
+            )
         if self.memory is not None:
             # Reading the leaf gutter back from disk before applying it.
             self.memory.charge_read(batch.size_bytes, sequential=True)

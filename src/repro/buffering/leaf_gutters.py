@@ -1,31 +1,47 @@
-"""Leaf-only gutters: one update buffer per graph node.
+"""Leaf-only gutters: one update buffer per node group (or per node).
 
 This is the buffering structure GraphZeppelin uses when RAM is
-plentiful (``M > V * B``): a gutter per node, sized as a fraction ``f``
-of the node-sketch size, filled directly by ``buffer_insert`` and
-emitted as a batch the moment it fills (Section 5.1).  When the node
-sketches themselves live on the simulated disk, emitting larger batches
-amortises the cost of paging a node sketch in and out, which is the
-trade-off Figure 15 sweeps.
+plentiful (``M > V * B``): gutters sized as a fraction ``f`` of the
+node-sketch size, filled directly by ``buffer_insert`` and emitted as a
+batch the moment they fill (Section 5.1).
+
+Since PR 4 the gutters are keyed by **node-group page**: with
+``page_bounds`` given, each gutter collects the mixed-node update
+column of one contiguous node range and emits a
+:class:`~repro.buffering.base.PageBatch` sized to amortise a single
+page pin of the paged tensor pool (capacity scales with the page's
+node count, so total buffered bytes match the per-node sizing).  This
+is the emission mode every tensor-pool engine uses -- one fold kernel
+pass per flush, one block-device round trip per *page* out of core.
+
+Without ``page_bounds`` the structure degenerates to the seed design's
+per-node gutters (every node its own page) and emits per-node
+:class:`~repro.buffering.base.Batch` objects -- kept for the legacy
+sketch backend's object store and its worker pool.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.buffering.base import (
     Batch,
     BufferingSystem,
+    PageBatch,
     as_update_columns,
-    group_by_destination,
+    group_update_columns,
     gutter_capacity_updates,
+    page_of_nodes,
 )
 from repro.exceptions import ConfigurationError
 from repro.memory.hybrid import HybridMemory
 
 
 class LeafGutters(BufferingSystem):
-    """Per-node update gutters kept in RAM.
+    """Per-page (or per-node) update gutters kept in RAM.
 
     Parameters
     ----------
@@ -34,17 +50,23 @@ class LeafGutters(BufferingSystem):
         of the id space costs nothing).
     node_sketch_bytes:
         Size of one node sketch; together with ``fraction`` it fixes the
-        gutter capacity.  The paper's default is half a node sketch.
+        per-node gutter capacity.  The paper's default is half a node
+        sketch.
     fraction:
         Gutter size as a fraction of the node-sketch size.
     capacity_updates:
-        Explicit per-gutter capacity in updates, overriding
+        Explicit per-node capacity in updates, overriding
         ``node_sketch_bytes``/``fraction`` (used by the buffer-size
         sweep benchmark, where capacity 1 means "no buffering").
     memory:
         Optional hybrid memory; when provided, each emitted batch
         charges a sequential read of its own bytes, modelling gutters
         that have been swapped to SSD.
+    page_bounds:
+        Optional ``num_pages + 1`` ascending node-range boundaries.
+        When given, gutters are keyed per page, capacities scale with
+        each page's node count, and emissions are
+        :class:`~repro.buffering.base.PageBatch` mixed-node columns.
     """
 
     def __init__(
@@ -54,6 +76,7 @@ class LeafGutters(BufferingSystem):
         fraction: float = 0.5,
         capacity_updates: Optional[int] = None,
         memory: Optional[HybridMemory] = None,
+        page_bounds: Optional[np.ndarray] = None,
     ) -> None:
         if num_nodes < 1:
             raise ConfigurationError("num_nodes must be at least 1")
@@ -69,7 +92,16 @@ class LeafGutters(BufferingSystem):
             self._capacity = gutter_capacity_updates(node_sketch_bytes, fraction)
         self.num_nodes = int(num_nodes)
         self.memory = memory
-        self._gutters: Dict[int, List[int]] = {}
+        self._bounds = (
+            np.asarray(page_bounds, dtype=np.int64) if page_bounds is not None else None
+        )
+        # Python-list twin of the bounds for the scalar insert path:
+        # bisect on a list is ~10x cheaper per update than a scalar
+        # numpy searchsorted call.
+        self._bounds_list = self._bounds.tolist() if self._bounds is not None else None
+        #: page -> (destination list, neighbor list); in per-node mode
+        #: the page id *is* the node id.
+        self._gutters: Dict[int, Tuple[List[int], List[int]]] = {}
         self._pending = 0
 
     # ------------------------------------------------------------------
@@ -77,41 +109,65 @@ class LeafGutters(BufferingSystem):
     def capacity_per_node(self) -> int:
         return self._capacity
 
-    def insert(self, u: int, v: int) -> List[Batch]:
+    @property
+    def page_mode(self) -> bool:
+        return self._bounds is not None
+
+    def _page_of(self, node: int) -> int:
+        if self._bounds_list is None:
+            return node
+        return bisect_right(self._bounds_list, node) - 1
+
+    def _page_capacity(self, page: int) -> int:
+        if self._bounds is None:
+            return self._capacity
+        return self._capacity * int(self._bounds[page + 1] - self._bounds[page])
+
+    def insert(self, u: int, v: int) -> List[Union[Batch, PageBatch]]:
         self._check_node(u)
         self._check_node(v)
-        gutter = self._gutters.setdefault(u, [])
-        gutter.append(v)
+        page = self._page_of(u)
+        dsts, neighbors = self._gutters.setdefault(page, ([], []))
+        dsts.append(u)
+        neighbors.append(v)
         self._pending += 1
-        if len(gutter) >= self._capacity:
-            return [self._emit(u)]
+        if len(dsts) >= self._page_capacity(page):
+            return [self._emit(page)]
         return []
 
-    def insert_batch(self, dsts, neighbors) -> List[Batch]:
+    def insert_batch(self, dsts, neighbors) -> List[Union[Batch, PageBatch]]:
         """Vectorised buffering of a whole update column.
 
-        Groups the column by destination node with one argsort and
-        extends each gutter with its contiguous chunk, instead of one
-        Python call per update.  Emission semantics match the scalar
-        path: a gutter that reaches capacity is emitted whole (batches
-        may exceed capacity when a chunk overshoots it, which only makes
+        Groups the column by owning gutter with one argsort and extends
+        each gutter with its contiguous chunk, instead of one Python
+        call per update.  Emission semantics match the scalar path: a
+        gutter that reaches capacity is emitted whole (batches may
+        exceed capacity when a chunk overshoots it, which only makes
         the emitted batches larger -- the sketch fold is partition
         independent).
         """
         dst_array, neighbor_array = as_update_columns(dsts, neighbors, self.num_nodes)
         if dst_array.size == 0:
             return []
-        batches: List[Batch] = []
-        for node, chunk in group_by_destination(dst_array, neighbor_array):
-            gutter = self._gutters.setdefault(node, [])
-            gutter.extend(chunk.tolist())
-            self._pending += chunk.size
-            if len(gutter) >= self._capacity:
-                batches.append(self._emit(node))
+        keys = (
+            dst_array if self._bounds is None else page_of_nodes(dst_array, self._bounds)
+        )
+        batches: List[Union[Batch, PageBatch]] = []
+        for page, (dst_chunk, neighbor_chunk) in group_update_columns(
+            keys, dst_array, neighbor_array
+        ):
+            gutter_dsts, gutter_neighbors = self._gutters.setdefault(page, ([], []))
+            gutter_dsts.extend(dst_chunk.tolist())
+            gutter_neighbors.extend(neighbor_chunk.tolist())
+            self._pending += dst_chunk.size
+            if len(gutter_dsts) >= self._page_capacity(page):
+                batches.append(self._emit(page))
         return batches
 
-    def flush_all(self) -> List[Batch]:
-        batches = [self._emit(node) for node in sorted(self._gutters) if self._gutters[node]]
+    def flush_all(self) -> List[Union[Batch, PageBatch]]:
+        batches = [
+            self._emit(page) for page in sorted(self._gutters) if self._gutters[page][0]
+        ]
         return [batch for batch in batches if len(batch) > 0]
 
     def pending_updates(self) -> int:
@@ -119,13 +175,27 @@ class LeafGutters(BufferingSystem):
 
     def pending_for(self, node: int) -> int:
         """Updates currently buffered for one node (for tests/inspection)."""
-        return len(self._gutters.get(node, []))
+        if self._bounds is None:
+            return len(self._gutters.get(node, ([], []))[0])
+        gutter = self._gutters.get(self._page_of(node))
+        if gutter is None:
+            return 0
+        return sum(1 for dst in gutter[0] if dst == node)
 
     # ------------------------------------------------------------------
-    def _emit(self, node: int) -> Batch:
-        neighbors = self._gutters.pop(node, [])
-        self._pending -= len(neighbors)
-        batch = Batch(node=node, neighbors=neighbors)
+    def _emit(self, page: int) -> Union[Batch, PageBatch]:
+        dsts, neighbors = self._gutters.pop(page, ([], []))
+        self._pending -= len(dsts)
+        if self._bounds is None:
+            batch: Union[Batch, PageBatch] = Batch(node=page, neighbors=neighbors)
+        else:
+            batch = PageBatch(
+                page=page,
+                node_lo=int(self._bounds[page]),
+                node_hi=int(self._bounds[page + 1]),
+                dsts=np.asarray(dsts, dtype=np.int64),
+                neighbors=np.asarray(neighbors, dtype=np.int64),
+            )
         if self.memory is not None and not self.memory.is_unbounded:
             # Gutters that overflowed RAM live on disk; emitting the batch
             # reads it back sequentially.
@@ -137,7 +207,8 @@ class LeafGutters(BufferingSystem):
             raise ValueError(f"node {node} outside [0, {self.num_nodes})")
 
     def __repr__(self) -> str:
+        mode = "pages" if self.page_mode else "nodes"
         return (
             f"LeafGutters(num_nodes={self.num_nodes}, capacity={self._capacity}, "
-            f"pending={self._pending})"
+            f"keyed_by={mode}, pending={self._pending})"
         )

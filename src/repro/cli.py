@@ -198,12 +198,13 @@ def _cmd_components(args) -> int:
     engine = GraphZeppelin(stream.num_nodes, config=config)
     if args.workers > 1:
         backend = args.parallel_backend
-        if backend != "legacy" and engine.tensor_pool is None:
-            # Sharded ingest needs the in-RAM tensor pool; buffered /
-            # out-of-core engines fall back to the legacy worker pool.
-            print("note: --ram-budget-mib engine has no in-RAM tensor pool; "
-                  "using the legacy worker pool")
-            backend = "legacy"
+        pool = engine.tensor_pool
+        if backend == "processes" and pool is not None and pool.is_paged:
+            # Page-affine sharded ingest folds pages in place; pages
+            # cannot migrate to shared memory, so workers are threads.
+            print("note: paged out-of-core pool folds in place; "
+                  "using the threads backend")
+            backend = "threads"
         with engine.parallel_ingestor(backend=backend) as ingestor:
             if backend == "legacy":
                 ingestor.ingest(stream)
@@ -225,6 +226,17 @@ def _cmd_components(args) -> int:
     print(f"updates ingested : {engine.updates_processed} ({ingest_mode})")
     print(f"components       : {forest.num_components}")
     print(f"sketch space     : {format_bytes(engine.sketch_bytes())}")
+    pool = engine.tensor_pool
+    if pool is not None and pool.is_paged:
+        page_info = pool.page_stats()
+        print(f"page size        : {page_info['nodes_per_page']} nodes / "
+              f"{format_bytes(page_info['page_payload_bytes'])} "
+              f"({page_info['page_blocks']} blocks)")
+        stats = engine.io_stats
+        lookups = stats.cache_hits + stats.cache_misses
+        print(f"RAM-tier hit rate: {stats.cache_hit_rate:.1%} "
+              f"({stats.cache_hits}/{lookups} lookups, "
+              f"{page_info['resident_pages']}/{page_info['num_pages']} pages resident)")
     if engine.io_stats is not None:
         print(f"modelled disk I/O: {engine.io_stats.total_ios} block accesses, "
               f"{engine.io_stats.modelled_seconds:.3f}s")

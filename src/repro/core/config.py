@@ -37,6 +37,21 @@ class GraphZeppelinConfig:
         RAM available for node sketches.  ``None`` keeps everything in
         RAM; a finite budget routes sketches through the hybrid memory
         substrate so the run pays modelled SSD I/O.
+    out_of_core_pool:
+        Which out-of-core sketch store a RAM-budgeted flat engine uses:
+        ``"paged"`` (default) is the
+        :class:`~repro.sketch.paged_pool.PagedTensorPool` -- node-group
+        pages, columnar page folds, whole-round queries;
+        ``"per_node"`` is the seed design's per-node blob store
+        (:class:`~repro.memory.hybrid.SketchStore` of serialised
+        :class:`~repro.sketch.flat_node_sketch.FlatNodeSketch`), kept
+        as the reference/baseline.  Ignored when everything fits in RAM
+        or under the legacy sketch backend.
+    nodes_per_page:
+        Page granularity of the paged out-of-core pool (nodes per
+        node-group page).  ``None`` (default) sizes pages to a whole
+        number of device blocks targeting
+        :data:`~repro.sketch.paged_pool.DEFAULT_PAGE_TARGET_BLOCKS`.
     num_workers:
         Workers used by the parallel ingestion path (the
         single-threaded engine ignores this except for work-queue sizing).
@@ -87,6 +102,8 @@ class GraphZeppelinConfig:
     buffering: BufferingMode = BufferingMode.LEAF_GUTTERS
     gutter_fraction: float = 0.5
     ram_budget_bytes: Optional[int] = None
+    out_of_core_pool: str = "paged"
+    nodes_per_page: Optional[int] = None
     num_workers: int = 1
     parallel_backend: str = "threads"
     num_shards: Optional[int] = None
@@ -121,6 +138,13 @@ class GraphZeppelinConfig:
             raise ConfigurationError("num_shards must be at least 1 or None")
         if self.ram_budget_bytes is not None and self.ram_budget_bytes < 0:
             raise ConfigurationError("ram_budget_bytes must be non-negative or None")
+        if self.out_of_core_pool not in ("paged", "per_node"):
+            raise ConfigurationError(
+                f"unknown out_of_core_pool {self.out_of_core_pool!r} "
+                "(use 'paged' or 'per_node')"
+            )
+        if self.nodes_per_page is not None and self.nodes_per_page < 1:
+            raise ConfigurationError("nodes_per_page must be at least 1 or None")
         if isinstance(self.buffering, str):
             self.buffering = BufferingMode(self.buffering)
 

@@ -17,13 +17,24 @@ Sketch state lives in one of three places depending on configuration:
   :class:`~repro.sketch.tensor_pool.NodeTensorPool` holds every node's
   bundle in two contiguous tensors and mixed multi-node batches fold in
   one columnar kernel pass;
-* **flat backend, RAM budget**: per-node
-  :class:`~repro.sketch.flat_node_sketch.FlatNodeSketch` blobs move
-  through the hybrid-memory substrate, each as one contiguous payload,
-  paying modelled SSD I/O (the out-of-core experiments, Figures 12, 15,
-  16b);
+* **flat backend, RAM budget**: a
+  :class:`~repro.sketch.paged_pool.PagedTensorPool` -- the same
+  round-major tensors partitioned into node-group pages stored through
+  the hybrid-memory substrate, folded per page and queried per round
+  slab, paying modelled SSD I/O per *page* (the out-of-core
+  experiments, Figures 12, 15, 16b).  The seed design's per-node
+  :class:`~repro.sketch.flat_node_sketch.FlatNodeSketch` blob store is
+  kept behind ``config.out_of_core_pool = "per_node"`` as the
+  reference baseline;
 * **legacy backend**: the original per-round CubeSketch bundles, kept
   as the bit-identical reference implementation.
+
+Either tensor pool makes the engine fully columnar: buffering (when
+configured) collects mixed-node update columns per page and emits
+:class:`~repro.buffering.base.PageBatch` objects that fold in one
+kernel pass per page, and connectivity queries always run the
+vectorized whole-round Boruvka driver over the pool -- one driver for
+in-RAM and out-of-core alike.
 """
 
 from __future__ import annotations
@@ -32,7 +43,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
-from repro.buffering.base import Batch, BufferingSystem, group_by_destination
+from repro.buffering.base import (
+    Batch,
+    BufferingSystem,
+    PageBatch,
+    group_by_destination,
+)
 from repro.buffering.gutter_tree import GutterTree
 from repro.buffering.leaf_gutters import LeafGutters
 from repro.core.boruvka import (
@@ -49,9 +65,10 @@ from repro.exceptions import ConfigurationError, InvalidStreamError
 from repro.memory.hybrid import HybridMemory, SketchStore
 from repro.memory.metrics import IOStats
 from repro.sketch.flat_node_sketch import FlatNodeSketch, merged_round_query
+from repro.sketch.paged_pool import PagedTensorPool
 from repro.sketch.sizes import node_sketch_size_bytes
 from repro.sketch.sketch_base import SampleResult
-from repro.sketch.tensor_pool import NodeTensorPool
+from repro.sketch.tensor_pool import NodeTensorPool, auto_num_shards, shard_bounds
 from repro.types import Edge, EdgeUpdate, UpdateType, canonical_edge
 
 
@@ -105,6 +122,18 @@ class GraphZeppelin:
                 graph_seed=self.config.seed,
                 delta=self.config.delta,
                 num_rounds=self.num_rounds,
+            )
+        elif self._backend == "flat" and self.config.out_of_core_pool == "paged":
+            # RAM budget: the same tensors in node-group pages behind
+            # the hybrid memory -- every layer stays columnar.
+            self._pool = PagedTensorPool(
+                self.num_nodes,
+                self.encoder,
+                memory=self.memory,
+                graph_seed=self.config.seed,
+                delta=self.config.delta,
+                num_rounds=self.num_rounds,
+                nodes_per_page=self.config.nodes_per_page,
             )
         else:
             if self._backend == "flat":
@@ -193,7 +222,8 @@ class GraphZeppelin:
         goes straight through the columnar fold kernel (buffering would
         only add copying); out-of-core configurations route the columns
         through the buffering structure's vectorised ``insert_batch`` so
-        per-node batches still amortise sketch page-ins.
+        per-page (or, for the per-node reference stores, per-node)
+        batches still amortise sketch page-ins.
 
         Like :meth:`edge_update`, each row is a toggle: inserting an
         absent edge and deleting a present one are the same operation
@@ -210,7 +240,13 @@ class GraphZeppelin:
         self._updates_processed += count
         self._cached_forest = None
 
-        if self._pool is not None:
+        if self._pool is not None and (
+            self._buffering is None or not self._pool.is_paged
+        ):
+            # In-RAM pools fold directly even when buffering is
+            # configured (the gutters would only copy); the paged pool
+            # keeps the buffering layer in front so small batches still
+            # amortise page pins.
             self._pool.apply_edges(
                 lo, hi, self.encoder.encode_canonical_pairs(lo, hi)
             )
@@ -220,8 +256,7 @@ class GraphZeppelin:
         dsts = np.concatenate([lo, hi])
         neighbors = np.concatenate([hi, lo])
         if self._buffering is not None:
-            for batch in self._buffering.insert_batch(dsts, neighbors):
-                self._apply_batch(batch)
+            self._apply_emitted(self._buffering.insert_batch(dsts, neighbors))
         else:
             self._apply_grouped(dsts, neighbors)
         return count
@@ -371,8 +406,7 @@ class GraphZeppelin:
         """Apply every buffered update to the node sketches."""
         if self._buffering is None:
             return
-        for batch in self._buffering.flush_all():
-            self._apply_batch(batch)
+        self._apply_emitted(self._buffering.flush_all())
 
     def node_sketch(self, node: int) -> Union[NodeSketch, FlatNodeSketch]:
         """The current sketch of one node (a copy-safe reference)."""
@@ -452,6 +486,23 @@ class GraphZeppelin:
             num_rounds=self.num_rounds,
         )
 
+    def _buffering_page_bounds(self) -> Optional[np.ndarray]:
+        """Node-group boundaries the buffering layer collects columns by.
+
+        Tensor-pool engines buffer per page: the paged pool's own page
+        boundaries out of core, and radix-span-sized node groups for
+        the in-RAM pool (so an emitted column folds through the
+        kernel's int16 fast path in one pass).  The legacy per-node
+        object stores keep per-node gutters (``None``).
+        """
+        if self._pool is None:
+            return None
+        if self._pool.is_paged:
+            return self._pool.page_bounds
+        return shard_bounds(
+            self.num_nodes, auto_num_shards(self.num_nodes, self._pool.num_rows)
+        )
+
     def _build_buffering(self) -> Optional[BufferingSystem]:
         mode = self.config.buffering
         if mode is BufferingMode.NONE:
@@ -462,12 +513,14 @@ class GraphZeppelin:
                 node_sketch_bytes=self._node_sketch_bytes,
                 fraction=self.config.gutter_fraction,
                 memory=self.memory,
+                page_bounds=self._buffering_page_bounds(),
             )
         if mode is BufferingMode.GUTTER_TREE:
             return GutterTree(
                 num_nodes=self.num_nodes,
                 node_sketch_bytes=self._node_sketch_bytes,
                 memory=self.memory,
+                page_bounds=self._buffering_page_bounds(),
             )
         raise ConfigurationError(f"unknown buffering mode {mode!r}")
 
@@ -482,8 +535,41 @@ class GraphZeppelin:
         for batch in self._buffering.insert_edge(u, v):
             self._apply_batch(batch)
 
-    def _apply_batch(self, batch: Batch) -> None:
+    def _apply_emitted(self, batches: Sequence[Union[Batch, PageBatch]]) -> None:
+        """Apply a list of emitted buffer batches, coalescing page columns.
+
+        A flush can emit hundreds of page batches at once (one per
+        gutter); folding them one by one would pay the kernel's fixed
+        cost per page.  Page columns bound for a tensor pool are
+        concatenated and handed to the pool as **one** mixed column --
+        the pool's fold planner then picks per-page radix folds or a
+        single combined fold, whichever is cheaper for the batch shape.
+        Per-node batches (legacy stores) apply individually as before.
+        """
+        page_batches = [
+            b for b in batches if isinstance(b, PageBatch) and len(b) > 0
+        ]
+        coalesce = self._pool is not None and len(page_batches) > 1
+        if coalesce:
+            dsts = np.concatenate([b.dsts for b in page_batches])
+            neighbors = np.concatenate([b.neighbors for b in page_batches])
+            self._cached_forest = None
+            lo = np.minimum(dsts, neighbors)
+            hi = np.maximum(dsts, neighbors)
+            self._pool.apply_updates(
+                dsts, self.encoder.encode_canonical_pairs(lo, hi)
+            )
+            self._batches_applied += len(page_batches)
+        for batch in batches:
+            if coalesce and isinstance(batch, PageBatch):
+                continue
+            self._apply_batch(batch)
+
+    def _apply_batch(self, batch: Union[Batch, PageBatch]) -> None:
         if len(batch) == 0:
+            return
+        if isinstance(batch, PageBatch):
+            self._apply_page_batch(batch)
             return
         # Also reached by the parallel ingestor's workers, which submit
         # batches without passing through the user-facing entry points.
@@ -494,6 +580,33 @@ class GraphZeppelin:
             sketch = self._store.get(batch.node)
             sketch.apply_batch(batch.neighbors)
             self._store.put(batch.node, sketch)
+        self._batches_applied += 1
+
+    def _apply_page_batch(self, batch: PageBatch) -> None:
+        """Fold one emitted page column into the sketch state.
+
+        The tensor-pool hot path: the whole mixed-node column encodes
+        vectorised and folds through
+        :meth:`~repro.sketch.tensor_pool.NodeTensorPool.fold_page_batch`
+        -- for a paged pool that is exactly one page pin.  Object-store
+        engines (which normally emit per-node batches) degrade to
+        grouping the column per destination.
+        """
+        self._cached_forest = None
+        if self._pool is not None:
+            lo = np.minimum(batch.dsts, batch.neighbors)
+            hi = np.maximum(batch.dsts, batch.neighbors)
+            self._pool.fold_page_batch(
+                batch.node_lo,
+                batch.node_hi,
+                batch.dsts,
+                self.encoder.encode_canonical_pairs(lo, hi),
+            )
+        else:
+            for node, chunk in group_by_destination(batch.dsts, batch.neighbors):
+                sketch = self._store.get(node)
+                sketch.apply_batch(chunk)
+                self._store.put(node, sketch)
         self._batches_applied += 1
 
     def _apply_grouped(self, dsts: np.ndarray, neighbors: np.ndarray) -> None:

@@ -93,6 +93,13 @@ class LRUCache:
         while self._entries:
             self._evict_one()
 
+    def resize(self, capacity_bytes: int) -> None:
+        """Change the byte budget, evicting immediately if it shrank."""
+        if capacity_bytes < 0:
+            raise StorageError("capacity_bytes must be non-negative")
+        self.capacity_bytes = int(capacity_bytes)
+        self._evict_to_budget()
+
     # ------------------------------------------------------------------
     def _evict_to_budget(self) -> None:
         while self._bytes_used > self.capacity_bytes and self._entries:

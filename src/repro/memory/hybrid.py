@@ -78,10 +78,45 @@ class HybridMemory:
             return cached
         if key not in self._allocations:
             raise KeyError(key)
-        start, num_blocks, length = self._allocations[key]
-        payload = self.device.read_blob(start, num_blocks)[:length]
+        start, _, length = self._allocations[key]
+        if length == 0:
+            return b""
+        # Read only the blocks the *current* payload spans -- after a
+        # smaller re-put the allocation keeps its original capacity, but
+        # the stale tail blocks are never touched.
+        payload = self.device.read_blob(start, -(-length // self.block_size))[:length]
         self._cache.put(key, payload)
         return payload
+
+    def load_range(self, key: Hashable, offset: int, length: int) -> bytes:
+        """Load ``length`` bytes at ``offset`` of ``key``'s payload.
+
+        The paged tensor pool's query path: one Boruvka round occupies a
+        contiguous byte range of a node-group page, so a spilled page
+        only pays the block reads covering that range instead of the
+        whole slab.  A RAM-cached payload is sliced for free (counted as
+        a cache hit); a spilled one reads exactly the blocks
+        ``[offset, offset + length)`` straddles and charges them to
+        :class:`~repro.memory.metrics.IOStats`.  Partial reads do *not*
+        populate the cache -- a fragment must never shadow the full
+        payload on a later :meth:`load`.
+        """
+        if offset < 0 or length < 0:
+            raise StorageError("offset and length must be non-negative")
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached[offset : offset + length]
+        if key not in self._allocations:
+            raise KeyError(key)
+        start, num_blocks, stored_length = self._allocations[key]
+        if offset >= stored_length or length == 0:
+            return b""
+        stop = min(offset + length, stored_length)
+        first = offset // self.block_size
+        last = min(-(-stop // self.block_size), num_blocks)
+        chunk = self.device.read_blob(start + first, last - first)
+        base = first * self.block_size
+        return chunk[offset - base : stop - base]
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._cache or key in self._allocations
@@ -100,6 +135,22 @@ class HybridMemory:
         for key, payload in self._cache.items():
             if key in self._dirty:
                 self._persist(key, payload)
+
+    def reserve(self, nbytes: int) -> int:
+        """Carve ``nbytes`` of the RAM budget out of the byte cache.
+
+        A component holding its own deserialised working set (the paged
+        tensor pool's pinned pages) claims that RAM here, so the byte
+        cache plus the component's working set never exceed the
+        configured budget.  Shrinking evicts (and write-backs) any
+        overflow immediately.  Returns the bytes actually reserved
+        (clamped to what the cache still had); a no-op when unbounded.
+        """
+        if self.is_unbounded:
+            return 0
+        taken = min(max(int(nbytes), 0), self._cache.capacity_bytes)
+        self._cache.resize(self._cache.capacity_bytes - taken)
+        return taken
 
     # ------------------------------------------------------------------
     # explicit accounting hooks for components (e.g. the gutter tree)
@@ -142,10 +193,15 @@ class HybridMemory:
         if allocation is None or allocation[1] < num_blocks:
             start = self._next_block
             self._next_block += num_blocks
+            capacity = num_blocks
         else:
-            start = allocation[0]
+            # Re-put inside an existing allocation: keep its full block
+            # capacity on record, so a payload that shrinks and later
+            # regrows (e.g. a recompacted page) stays in place instead
+            # of leaking a fresh allocation.
+            start, capacity = allocation[0], allocation[1]
         self.device.write_blob(start, payload)
-        self._allocations[key] = (start, num_blocks, len(payload))
+        self._allocations[key] = (start, capacity, len(payload))
         self._dirty.discard(key)
 
     @property

@@ -39,9 +39,18 @@ Two execution backends implement the fold step
 producer partitions batch ``k + 1`` while the workers are still
 folding batch ``k``.
 
+Out-of-core engines participate through a **page-affine** mode: when
+the engine holds a :class:`~repro.sketch.paged_pool.PagedTensorPool`,
+shard boundaries snap to the pool's node-group page boundaries, so one
+worker owns each page's fold (the pool's pin/evict bookkeeping
+serialises under its own lock while the fold kernels run concurrently
+on disjoint pages).  Page-affine mode runs on the threads backend --
+pages cannot migrate to shared memory -- and means ``--workers`` no
+longer falls back to the legacy pool for RAM-budgeted engines.
+
 The seed design -- a :class:`GraphWorkerPool` popping per-node
-``Batch`` objects through per-node locks -- is kept as the ``"legacy"``
-reference backend (:class:`ParallelIngestor`).
+``Batch`` objects through per-target locks -- is kept as the
+``"legacy"`` reference backend (:class:`ParallelIngestor`).
 """
 
 from __future__ import annotations
@@ -164,16 +173,21 @@ class ShardedIngestor:
     Parameters
     ----------
     engine:
-        The GraphZeppelin instance to ingest into.  Must be running the
-        in-RAM flat tensor-pool backend (the default); the buffering and
-        out-of-core paths keep the legacy worker pool.
+        The GraphZeppelin instance to ingest into.  Must hold a flat
+        tensor pool: the in-RAM :class:`NodeTensorPool` (the default)
+        or the out-of-core
+        :class:`~repro.sketch.paged_pool.PagedTensorPool` (page-affine
+        mode, threads backend only).  Only the legacy sketch backend's
+        per-node object store keeps the legacy worker pool.
     num_workers:
         Concurrent shard workers (default ``engine.config.num_workers``).
     num_shards:
         Node-range count (default ``engine.config.num_shards``, or an
         automatic count sized so every shard gets the fold kernel's
         int16 radix fast path).  May exceed ``num_workers``; workers
-        pick up shard groups as they free up.
+        pick up shard groups as they free up.  Over a paged pool shard
+        boundaries snap to page boundaries and the count is capped at
+        the page count.
     backend:
         ``"threads"`` or ``"processes"`` (default
         ``engine.config.parallel_backend``).
@@ -189,12 +203,13 @@ class ShardedIngestor:
         pool = engine.tensor_pool
         if pool is None:
             raise ConfigurationError(
-                "sharded parallel ingest requires the in-RAM flat tensor pool "
-                "(sketch_backend='flat' without a RAM budget); use the legacy "
-                "ParallelIngestor for buffered/out-of-core configurations"
+                "sharded parallel ingest requires a flat tensor pool (in-RAM "
+                "or paged); use the legacy ParallelIngestor for the legacy "
+                "sketch backend's per-node object store"
             )
         self.engine = engine
         self.pool: NodeTensorPool = pool
+        self.paged = pool.is_paged
         self.backend = backend if backend is not None else engine.config.parallel_backend
         if self.backend == "legacy":
             raise ConfigurationError(
@@ -206,18 +221,39 @@ class ShardedIngestor:
                 f"unknown parallel backend {self.backend!r} "
                 "(use 'threads', 'processes', or 'legacy')"
             )
+        if self.paged and self.backend == "processes":
+            raise ConfigurationError(
+                "page-affine sharded ingest over a paged pool runs on the "
+                "threads backend (pages cannot migrate to shared memory)"
+            )
         self.num_workers = int(
             num_workers if num_workers is not None else engine.config.num_workers
         )
         if self.num_workers < 1:
             raise ConfigurationError("num_workers must be at least 1")
         shards = num_shards if num_shards is not None else engine.config.num_shards
-        if shards is None:
+        if shards is None and not self.paged:
             shards = auto_num_shards(engine.num_nodes, pool.num_rows, self.num_workers)
-        self.num_shards = int(shards)
-        if self.num_shards < 1:
-            raise ConfigurationError("num_shards must be at least 1")
-        self.bounds = shard_bounds(engine.num_nodes, self.num_shards)
+        if self.paged:
+            # Page-affine mode: shard boundaries snap to the pool's page
+            # boundaries so each page is folded by exactly one worker
+            # (pages, not nodes, are the unit of slab ownership out of
+            # core).  A few shards per worker keeps the load balanced
+            # without flooding the executor with per-page tasks.
+            num_pages = pool.num_pages
+            if shards is None:
+                shards = min(num_pages, 4 * self.num_workers)
+            shards = max(1, min(int(shards), num_pages))
+            page_cuts = (
+                np.arange(shards + 1, dtype=np.int64) * np.int64(num_pages)
+            ) // np.int64(shards)
+            self.bounds = pool.page_bounds[page_cuts]
+            self.num_shards = int(shards)
+        else:
+            self.num_shards = int(shards)
+            if self.num_shards < 1:
+                raise ConfigurationError("num_shards must be at least 1")
+            self.bounds = shard_bounds(engine.num_nodes, self.num_shards)
         self._executor: Optional[ThreadPoolExecutor] = None
         self._proc_pool = None
         self._batches_ingested = 0
@@ -538,7 +574,7 @@ class GraphWorkerPool:
                 self.work_queue.task_done()
                 return
             try:
-                lock = self._lock_for(batch.node)
+                lock = self._lock_for(batch.lock_key)
                 with lock:
                     self.apply_batch(batch)
                 with self._counter_lock:
@@ -550,12 +586,13 @@ class GraphWorkerPool:
             finally:
                 self.work_queue.task_done()
 
-    def _lock_for(self, node: int) -> threading.Lock:
+    def _lock_for(self, key) -> threading.Lock:
+        """Lock serialising batches for one target (a node or a page)."""
         with self._node_locks_guard:
-            lock = self._node_locks.get(node)
+            lock = self._node_locks.get(key)
             if lock is None:
                 lock = threading.Lock()
-                self._node_locks[node] = lock
+                self._node_locks[key] = lock
             return lock
 
 

@@ -26,7 +26,12 @@ On top of the samplers sits the columnar sketch engine:
 * :class:`repro.sketch.tensor_pool.NodeTensorPool` -- the whole graph's
   sketch state in one tensor pair, able to fold mixed multi-node update
   columns in one kernel pass and answer Boruvka cut queries with one
-  gather + XOR reduction.
+  gather + XOR reduction;
+* :class:`repro.sketch.paged_pool.PagedTensorPool` -- the out-of-core
+  twin: the same round-major tensors partitioned into node-group pages
+  stored through the hybrid memory, with an LRU-pinned working set,
+  dirty write-back, per-page or combined folds, and round slabs
+  assembled via partial-range reads.
 """
 
 from repro.sketch.bucket import CubeBucket, StandardBucket
@@ -50,6 +55,7 @@ from repro.sketch.sizes import (
     standard_l0_num_buckets,
     standard_l0_size_bytes,
 )
+from repro.sketch.paged_pool import PagedTensorPool
 from repro.sketch.standard_l0 import StandardL0Sketch
 from repro.sketch.tensor_pool import NodeTensorPool
 
@@ -59,6 +65,7 @@ __all__ = [
     "FlatNodeSketch",
     "L0Sampler",
     "NodeTensorPool",
+    "PagedTensorPool",
     "merged_round_query",
     "query_bucket_arrays_batch",
     "SAMPLE_FAIL",

@@ -1,0 +1,839 @@
+"""The out-of-core tensor pool: round-major sketch state in node-group pages.
+
+:class:`PagedTensorPool` is the out-of-core twin of
+:class:`~repro.sketch.tensor_pool.NodeTensorPool`: the same round-major
+bucket tensors, but partitioned into contiguous node-range **pages** --
+node-group slabs whose serialised payload is a whole number of device
+blocks -- stored through :class:`~repro.memory.hybrid.HybridMemory` as
+raw byte payloads.  The pool keeps an **LRU-pinned working set** of
+deserialised pages; a fold pins its page (paging it in if needed), XORs
+through the shared columnar fold kernels, and marks it dirty, and dirty
+pages write back through the hybrid memory when the working set evicts
+them (paying modelled SSD I/O once per page instead of once per node).
+
+Layout.  A page covering nodes ``[lo, hi)`` is one C-order tensor of
+shape ``(num_rounds, hi - lo, cols, rows)`` (packed mode; wide mode
+keeps an alpha uint64 and gamma uint32 pair back to back).  Round-major
+*within the page* means one Boruvka round of the page is a contiguous
+byte range of the payload, so the query side rebuilds a whole round
+slab with **partial-range reads**
+(:meth:`~repro.memory.hybrid.HybridMemory.load_range`): a spilled page
+contributes only the blocks its round stripe straddles, roughly
+``1 / num_rounds`` of the page, instead of a whole-page (or per-node
+blob) round trip.  The assembled slab feeds the *unchanged*
+whole-round query machinery of the parent class -- the pool only
+overrides the slab/bundle accessors -- so
+:func:`~repro.core.boruvka.vectorized_spanning_forest` is the single
+query driver for in-RAM and out-of-core engines alike.
+
+Because every fold is the same hash + argsort + XOR kernel over the
+same seeds and XOR folding is order-independent, a paged pool fed any
+interleaving of the same updates holds buckets **bit-identical** to the
+in-RAM pool (property-tested across RAM budgets, page sizes, and
+buffering modes).
+
+RAM accounting.  The pinned working set's bytes are *reserved* out of
+the hybrid memory's byte cache, so pinned pages plus cached payloads
+stay inside the configured budget.  Query-side slab assembly is the
+one deliberate exception: a round's whole-graph slab
+(``1 / num_rounds`` of the pool -- exactly what the whole-round query
+engine scans, in RAM or out of core) is materialised as transient
+scratch outside the budget, mirroring the paper's round-at-a-time
+query scans; see the ROADMAP open item on charging query scratch.
+
+Concurrency: page pin/unpin/evict bookkeeping -- and with it all
+*fold-side* hybrid-memory traffic -- serialises under one lock, while
+the folds themselves (the expensive kernels) run outside it on
+disjoint pages.  A pinned page is never evicted, which is what lets
+the page-affine sharded ingest fold different pages from different
+worker threads.  Queries concurrent with folds are **not** supported
+(the read path's partial-range loads run outside the lock), matching
+the parent pool's contract: fold, publish, then query.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.edge_encoding import EdgeEncoder
+from repro.exceptions import ConfigurationError
+from repro.memory.hybrid import HybridMemory
+from repro.sketch.flat_node_sketch import (
+    fold_hashed,
+    hash_depths_checksums,
+    max_radix_dst_span,
+    validate_indices,
+)
+from repro.sketch.tensor_pool import NodeTensorPool, auto_fold_chunk
+
+#: Default target payload size of one page, in device blocks (16 KB
+#: blocks -> 256 KB pages).  Big enough that one page-in amortises over
+#: thousands of buffered updates, small enough that a handful of pages
+#: fit modest RAM budgets.
+DEFAULT_PAGE_TARGET_BLOCKS = 16
+
+#: Mean updates per touched page below which a fold batch runs through
+#: the *combined* kernel path (one fold over every page at once, split
+#: only for the scatter) instead of one int16-radix fold per page.  The
+#: radix path is ~2.5x faster per element, but each per-page call pays
+#: a fixed kernel setup cost, so sparse batches -- few updates landing
+#: on each page, the out-of-core common case -- win by folding once.
+COMBINED_FOLD_THRESHOLD = 256
+
+_LOW32 = np.uint64(0xFFFFFFFF)
+_SHIFT32 = np.uint64(32)
+
+
+def plan_page_bounds(
+    num_nodes: int,
+    node_bytes: int,
+    block_size: int,
+    num_rows: int,
+    nodes_per_page: Optional[int] = None,
+    target_blocks: int = DEFAULT_PAGE_TARGET_BLOCKS,
+) -> np.ndarray:
+    """Contiguous node-range page boundaries for a paged pool.
+
+    Pages hold ``nodes_per_page`` nodes (the tail page may be smaller).
+    The automatic size targets ``target_blocks`` device blocks of
+    payload per page and is clamped to
+    :func:`~repro.sketch.flat_node_sketch.max_radix_dst_span` so every
+    page-local fold stays on the kernel's int16 radix fast path.
+    Returns ``num_pages + 1`` ascending boundaries.
+    """
+    if nodes_per_page is None:
+        nodes_per_page = max(1, (target_blocks * block_size) // max(node_bytes, 1))
+    nodes_per_page = int(min(max(nodes_per_page, 1), max_radix_dst_span(num_rows)))
+    bounds = np.arange(0, num_nodes + nodes_per_page, nodes_per_page, dtype=np.int64)
+    bounds[-1] = num_nodes
+    if bounds.size >= 2 and bounds[-1] == bounds[-2]:
+        bounds = bounds[:-1]
+    return bounds
+
+
+class PagedTensorPool(NodeTensorPool):
+    """A :class:`NodeTensorPool` whose tensors live in out-of-core pages.
+
+    Parameters (beyond the parent's)
+    --------------------------------
+    memory:
+        The hybrid memory pages are stored through.  Must be
+        byte-budgeted (an unbounded memory means the plain in-RAM pool
+        should be used instead).
+    nodes_per_page:
+        Page granularity; ``None`` picks a size targeting
+        :data:`DEFAULT_PAGE_TARGET_BLOCKS` device blocks per page.
+    resident_pages:
+        Working-set budget: how many deserialised pages the pool keeps
+        pinned at once.  ``None`` sizes it to half the memory's RAM
+        budget, floored at one page -- a fold always needs a live
+        tensor to scatter into.  The working set's bytes are
+        **reserved** out of the hybrid memory's byte cache
+        (:meth:`~repro.memory.hybrid.HybridMemory.reserve`), so pinned
+        pages plus cached payloads stay inside the configured budget.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        encoder: EdgeEncoder,
+        memory: HybridMemory,
+        graph_seed: int = 0,
+        delta: float = 0.01,
+        num_rounds: Optional[int] = None,
+        force_wide: bool = False,
+        nodes_per_page: Optional[int] = None,
+        resident_pages: Optional[int] = None,
+    ) -> None:
+        if memory is None or memory.is_unbounded:
+            raise ConfigurationError(
+                "PagedTensorPool needs a byte-budgeted HybridMemory; "
+                "use NodeTensorPool when everything fits in RAM"
+            )
+        super().__init__(
+            num_nodes,
+            encoder,
+            graph_seed=graph_seed,
+            delta=delta,
+            num_rounds=num_rounds,
+            force_wide=force_wide,
+            _allocate=False,
+        )
+        self.memory = memory
+        bucket_bytes = 8 if self._packed else 12
+        self._node_payload_bytes = (
+            self.num_rounds * self.num_columns * self.num_rows * bucket_bytes
+        )
+        self.page_bounds = plan_page_bounds(
+            self.num_nodes,
+            self._node_payload_bytes,
+            memory.block_size,
+            self.num_rows,
+            nodes_per_page=nodes_per_page,
+        )
+        self.num_pages = int(self.page_bounds.size - 1)
+        self.nodes_per_page = int(self.page_bounds[1] - self.page_bounds[0])
+        # Pages are *uniform*: the tail page's tensor is padded to the
+        # full node count (unused node rows stay zero).  Uniform shapes
+        # keep the combined fold's affine target mapping exact and make
+        # every payload the same whole number of device blocks.
+        raw_bytes = self.nodes_per_page * self._node_payload_bytes
+        block = memory.block_size
+        self._page_bytes = -(-raw_bytes // block) * block
+        if resident_pages is None:
+            budget = (memory.ram_bytes or 0) // 2
+            resident_pages = budget // max(self._page_bytes, 1)
+        self.resident_pages = int(min(max(resident_pages, 1), self.num_pages))
+        # The working set's RAM comes out of the shared budget: reserve
+        # it from the hybrid memory's byte cache so pinned pages plus
+        # cached payloads never exceed ``ram_bytes`` combined.
+        memory.reserve(self.resident_pages * self._page_bytes)
+        # Combined-fold segment mapping (see _fold_columns): remapped
+        # destination d' = (d // npp) * rounds * npp + d % npp makes the
+        # page-pool-flat bucket offset affine in d', so one kernel call
+        # covers updates for every page.
+        slots = np.arange(self.num_slots, dtype=np.int64)
+        self._combined_offsets = (slots // self.num_columns) * (
+            self.nodes_per_page * self.num_columns
+        ) + (slots % self.num_columns)
+        self._page_elems = (
+            self.num_rounds * self.nodes_per_page * self.num_columns * self.num_rows
+        )
+
+        self._lock = threading.RLock()
+        #: page -> bucket tensor (packed) or (alpha, gamma) pair (wide);
+        #: insertion order doubles as LRU recency (moved on access).
+        self._resident: Dict[int, Tuple[np.ndarray, ...]] = {}
+        self._pins: Dict[int, int] = {}
+        self._dirty: set = set()
+        #: per-key one-slot cache of the last assembled round slab.
+        self._assembled: Dict[str, Tuple[int, int, np.ndarray]] = {}
+        # Working-set telemetry (page_ins counts misses that had to
+        # deserialise; partial_reads counts query-side round stripes
+        # served by byte-range loads).
+        self.page_ins = 0
+        self.page_writebacks = 0
+        self.partial_reads = 0
+
+    # ------------------------------------------------------------------
+    # page geometry
+    # ------------------------------------------------------------------
+    @property
+    def is_paged(self) -> bool:
+        return True
+
+    def page_of(self, node: int) -> int:
+        """The page owning ``node``."""
+        return int(np.searchsorted(self.page_bounds, node, side="right") - 1)
+
+    def page_span(self, page: int) -> Tuple[int, int]:
+        """Node range ``[lo, hi)`` of one page."""
+        if not 0 <= page < self.num_pages:
+            raise ValueError(f"page {page} outside [0, {self.num_pages})")
+        return int(self.page_bounds[page]), int(self.page_bounds[page + 1])
+
+    def _page_nodes(self, page: int) -> int:
+        """Nodes actually owned by one page (tail pages own fewer)."""
+        return int(self.page_bounds[page + 1] - self.page_bounds[page])
+
+    def page_payload_bytes(self, page: int) -> int:
+        """Serialised page size: uniform, a whole number of device blocks."""
+        return self._page_bytes
+
+    def _round_stripe(self, key: str, round_index: int) -> Tuple[int, int]:
+        """Byte range of one round's stripe inside a page payload."""
+        stripe64 = self.nodes_per_page * self.num_columns * self.num_rows * 8
+        if key in ("packed", "alpha"):
+            return round_index * stripe64, stripe64
+        stripe32 = stripe64 // 2
+        return self.num_rounds * stripe64 + round_index * stripe32, stripe32
+
+    def _page_key(self, page: int) -> Tuple[str, int]:
+        return ("sketch-page", page)
+
+    def _page_shape(self) -> Tuple[int, int, int, int]:
+        return (self.num_rounds, self.nodes_per_page, self.num_columns, self.num_rows)
+
+    # ------------------------------------------------------------------
+    # the LRU-pinned working set
+    # ------------------------------------------------------------------
+    def _materialize(self, page: int) -> Tuple[np.ndarray, ...]:
+        """Deserialise a page from the hybrid memory (zeros if untouched)."""
+        shape = self._page_shape()
+        key = self._page_key(page)
+        if key not in self.memory:
+            # Never-written pages are implicitly all-zero: sketches are
+            # allocated lazily, so construction does not spill V pages.
+            if self._packed:
+                return (np.zeros(shape, dtype=np.uint64),)
+            return (np.zeros(shape, dtype=np.uint64), np.zeros(shape, dtype=np.uint32))
+        payload = self.memory.load(key)
+        self.page_ins += 1
+        count = int(np.prod(shape))
+        if self._packed:
+            return (np.frombuffer(payload, dtype=np.uint64, count=count).reshape(shape).copy(),)
+        alpha = np.frombuffer(payload, dtype=np.uint64, count=count).reshape(shape).copy()
+        gamma = (
+            np.frombuffer(payload, dtype=np.uint32, offset=count * 8, count=count)
+            .reshape(shape)
+            .copy()
+        )
+        return alpha, gamma
+
+    def _serialize_page(self, page: int, entry: Tuple[np.ndarray, ...]) -> bytes:
+        raw = b"".join(tensor.tobytes(order="C") for tensor in entry)
+        if len(raw) == self._page_bytes:
+            return raw
+        return raw.ljust(self._page_bytes, b"\0")
+
+    def _write_back(self, page: int, entry: Tuple[np.ndarray, ...]) -> None:
+        self.memory.store(self._page_key(page), self._serialize_page(page, entry))
+        self.page_writebacks += 1
+
+    def _pin(self, page: int) -> Tuple[np.ndarray, ...]:
+        """Pin a page into the working set; pair with :meth:`_unpin`."""
+        with self._lock:
+            entry = self._resident.get(page)
+            if entry is None:
+                entry = self._materialize(page)
+                self._resident[page] = entry
+                # Pin BEFORE evicting: when every other resident page is
+                # pinned (concurrent page-affine folds on a tiny working
+                # set), the eviction sweep must not pick the page we just
+                # brought in -- its upcoming fold would land in an
+                # orphaned tensor and silently vanish.
+                self._pins[page] = self._pins.get(page, 0) + 1
+                self._evict_to_budget()
+            else:
+                # Refresh recency: dict order is the LRU order.
+                self._resident[page] = self._resident.pop(page)
+                self._pins[page] = self._pins.get(page, 0) + 1
+            return entry
+
+    def _unpin(self, page: int) -> None:
+        with self._lock:
+            remaining = self._pins.get(page, 0) - 1
+            if remaining <= 0:
+                self._pins.pop(page, None)
+            else:
+                self._pins[page] = remaining
+
+    def _evict_to_budget(self) -> None:
+        """Evict least-recently-used unpinned pages, writing back dirty ones.
+
+        Called with the lock held.  If every resident page is pinned the
+        budget is allowed to overflow -- evicting a page mid-fold would
+        lose its updates -- and pressure resolves at the next unpinned
+        eviction opportunity.
+        """
+        while len(self._resident) > self.resident_pages:
+            victim = next(
+                (p for p in self._resident if not self._pins.get(p)), None
+            )
+            if victim is None:
+                return
+            entry = self._resident.pop(victim)
+            if victim in self._dirty:
+                self._write_back(victim, entry)
+                self._dirty.discard(victim)
+
+    def sync(self) -> None:
+        """Write every dirty resident page back to the hybrid memory.
+
+        The working set stays resident (and clean); serialisation and
+        benchmarks call this to make the byte tier authoritative.
+        """
+        with self._lock:
+            for page in sorted(self._dirty):
+                entry = self._resident.get(page)
+                if entry is not None:
+                    self._write_back(page, entry)
+            self._dirty.clear()
+
+    def resident_page_count(self) -> int:
+        with self._lock:
+            return len(self._resident)
+
+    # ------------------------------------------------------------------
+    # folds (updates)
+    # ------------------------------------------------------------------
+    def _split_by_page(
+        self,
+        dsts: np.ndarray,
+        columns: Sequence[np.ndarray],
+        pages: Optional[np.ndarray] = None,
+    ) -> List[Tuple[int, List[np.ndarray]]]:
+        """Group update columns by the page owning each destination.
+
+        Returns ``(page, [dsts_group, *column_groups])`` tuples; one
+        radix argsort of the (small-int) page ids groups the whole
+        batch, mirroring the sharded partition step.
+        """
+        if pages is None:
+            pages = np.searchsorted(self.page_bounds, dsts, side="right") - 1
+        if self.num_pages <= np.iinfo(np.int16).max:
+            order = np.argsort(pages.astype(np.int16), kind="stable")
+        else:
+            order = np.argsort(pages, kind="stable")
+        sorted_pages = pages[order]
+        cuts = np.flatnonzero(
+            np.concatenate([[True], sorted_pages[1:] != sorted_pages[:-1]])
+        )
+        ends = np.append(cuts[1:], dsts.size)
+        groups = []
+        for start, stop in zip(cuts.tolist(), ends.tolist()):
+            rows = order[start:stop]
+            groups.append(
+                (int(sorted_pages[start]), [dsts[rows]] + [col[rows] for col in columns])
+            )
+        return groups
+
+    def _scatter_into_page(
+        self,
+        entry: Tuple[np.ndarray, ...],
+        targets: np.ndarray,
+        alpha_vals: np.ndarray,
+        gamma_vals: np.ndarray,
+    ) -> None:
+        if self._packed:
+            flat = entry[0].reshape(-1)
+            flat[targets] ^= (alpha_vals << _SHIFT32) | gamma_vals
+        else:
+            entry[0].reshape(-1)[targets] ^= alpha_vals
+            entry[1].reshape(-1)[targets] ^= gamma_vals.astype(np.uint32)
+
+    def _fold_into_page(
+        self,
+        page: int,
+        dsts: np.ndarray,
+        indices: np.ndarray,
+        depths: Optional[np.ndarray] = None,
+        checksums: Optional[np.ndarray] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        """Pin one page and fold a mixed-node column into it.
+
+        The *dense* fold path: the whole column targets one page, so
+        its node-local destination span fits the kernel's int16 radix
+        fast path.  ``indices`` must already be validated uint64 edge
+        slots inside the page's node range.  When ``depths`` /
+        ``checksums`` are given the hash phase is assumed done (the
+        sharded thread path); otherwise each chunk hashes inline.
+        """
+        node_lo = int(self.page_bounds[page])
+        local = dsts - np.int64(node_lo)
+        chunk = (
+            int(chunk_size) if chunk_size else auto_fold_chunk(self.num_slots, dsts.size)
+        )
+        entry = self._pin(page)
+        try:
+            for start in range(0, dsts.size, chunk):
+                sl = slice(start, start + chunk)
+                if depths is None:
+                    chunk_depths, chunk_checksums = hash_depths_checksums(
+                        indices[sl], self._mixed_membership, self._mixed_checksum,
+                        self.num_rows,
+                    )
+                else:
+                    chunk_depths, chunk_checksums = depths[sl], checksums[sl]
+                targets, alpha_vals, gamma_vals = fold_hashed(
+                    indices[sl],
+                    chunk_depths,
+                    chunk_checksums,
+                    self.num_rows,
+                    dsts=local[sl],
+                    dst_stride=self.num_columns,
+                    slot_offsets=self._combined_offsets,
+                )
+                self._scatter_into_page(entry, targets, alpha_vals, gamma_vals)
+            with self._lock:
+                self._dirty.add(page)
+        finally:
+            self._unpin(page)
+
+    def _fold_combined(
+        self,
+        dsts: np.ndarray,
+        indices: np.ndarray,
+        depths: Optional[np.ndarray] = None,
+        checksums: Optional[np.ndarray] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        """Fold a mixed **multi-page** column in one kernel call per chunk.
+
+        Pages are uniform, so the page-pool-flat offset of bucket
+        ``(dst, slot)`` is affine in the remapped destination
+        ``d' = (dst // npp) * rounds * npp + dst % npp`` with the
+        combined slot offsets -- the fold kernel emits global paged
+        offsets directly, exactly as the in-RAM pool's round-major
+        mapping does.  Emitted targets ascend by segment, so one
+        boundary scan splits them per page and each page is pinned only
+        for its own scatter.  This is the *sparse* fold path: one
+        kernel invocation replaces hundreds of tiny per-page folds when
+        a flush spreads few updates over many pages.
+        """
+        npp = np.int64(self.nodes_per_page)
+        remapped = (dsts // npp) * np.int64(self.num_rounds) * npp + dsts % npp
+        chunk = (
+            int(chunk_size) if chunk_size else auto_fold_chunk(self.num_slots, dsts.size)
+        )
+        for start in range(0, dsts.size, chunk):
+            sl = slice(start, start + chunk)
+            if depths is None:
+                chunk_depths, chunk_checksums = hash_depths_checksums(
+                    indices[sl], self._mixed_membership, self._mixed_checksum,
+                    self.num_rows,
+                )
+            else:
+                chunk_depths, chunk_checksums = depths[sl], checksums[sl]
+            targets, alpha_vals, gamma_vals = fold_hashed(
+                indices[sl],
+                chunk_depths,
+                chunk_checksums,
+                self.num_rows,
+                dsts=remapped[sl],
+                dst_stride=self.num_columns,
+                slot_offsets=self._combined_offsets,
+            )
+            page_ids = targets // np.int64(self._page_elems)
+            cuts = np.flatnonzero(
+                np.concatenate([[True], page_ids[1:] != page_ids[:-1]])
+            )
+            ends = np.append(cuts[1:], targets.size)
+            for cut, end in zip(cuts.tolist(), ends.tolist()):
+                page = int(page_ids[cut])
+                entry = self._pin(page)
+                try:
+                    self._scatter_into_page(
+                        entry,
+                        targets[cut:end] - page * self._page_elems,
+                        alpha_vals[cut:end],
+                        gamma_vals[cut:end],
+                    )
+                    with self._lock:
+                        self._dirty.add(page)
+                finally:
+                    self._unpin(page)
+
+    def _fold_columns(
+        self,
+        dsts: np.ndarray,
+        indices: np.ndarray,
+        depths: Optional[np.ndarray] = None,
+        checksums: Optional[np.ndarray] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        """Fold a validated mixed column, picking the cheaper strategy.
+
+        Dense batches (many updates per touched page) run one
+        int16-radix fold per page; sparse batches fold once across all
+        pages (:data:`COMBINED_FOLD_THRESHOLD`).
+        """
+        pages = np.searchsorted(self.page_bounds, dsts, side="right") - 1
+        touched = int(np.unique(pages).size)
+        if dsts.size >= COMBINED_FOLD_THRESHOLD * touched:
+            for page, (page_dsts, rows) in self._split_by_page(
+                dsts, [np.arange(dsts.size)], pages=pages
+            ):
+                self._fold_into_page(
+                    page,
+                    page_dsts,
+                    indices[rows],
+                    depths=None if depths is None else depths[rows],
+                    checksums=None if checksums is None else checksums[rows],
+                    chunk_size=chunk_size,
+                )
+        else:
+            self._fold_combined(
+                dsts, indices, depths=depths, checksums=checksums, chunk_size=chunk_size
+            )
+
+    def fold_shard(
+        self,
+        dsts: np.ndarray,
+        indices: np.ndarray,
+        node_lo: int,
+        node_hi: int,
+        chunk_size: Optional[int] = None,
+    ) -> int:
+        """Fold a shard's mixed-node column, one owned page at a time.
+
+        Same contract as the parent (destinations inside
+        ``[node_lo, node_hi)``, no version/counter updates -- the caller
+        publishes); the shard range spans whole pages, each of which is
+        pinned, folded, and marked dirty in turn.  Shard ranges that
+        snap to page boundaries (the page-affine planner guarantees it)
+        make concurrent calls touch disjoint pages.
+        """
+        dsts = np.asarray(dsts)
+        if dsts.shape != np.shape(indices) or dsts.ndim != 1:
+            raise ValueError("dsts and indices must be matching one-dimensional arrays")
+        if not 0 <= node_lo <= node_hi <= self.num_nodes:
+            raise ValueError(
+                f"shard range [{node_lo}, {node_hi}) outside [0, {self.num_nodes})"
+            )
+        idx = validate_indices(indices, self.encoder.vector_length)
+        if idx is None:
+            return 0
+        if ((dsts < node_lo) | (dsts >= node_hi)).any():
+            raise ValueError(
+                f"destination node outside shard range [{node_lo}, {node_hi})"
+            )
+        self._fold_columns(
+            dsts.astype(np.int64, copy=False), idx, chunk_size=chunk_size
+        )
+        return int(idx.size)
+
+    def fold_shard_hashed(
+        self,
+        dsts: np.ndarray,
+        edge_rows: np.ndarray,
+        indices: np.ndarray,
+        depths: np.ndarray,
+        checksums: np.ndarray,
+        node_lo: int,
+        node_hi: int,
+        chunk_size: Optional[int] = None,
+    ) -> int:
+        """:meth:`fold_shard` with the hash phase hoisted (thread backend)."""
+        dsts = np.asarray(dsts)
+        if dsts.shape != np.shape(edge_rows) or dsts.ndim != 1:
+            raise ValueError("dsts and edge_rows must be matching one-dimensional arrays")
+        if not 0 <= node_lo <= node_hi <= self.num_nodes:
+            raise ValueError(
+                f"shard range [{node_lo}, {node_hi}) outside [0, {self.num_nodes})"
+            )
+        if dsts.size == 0:
+            return 0
+        if ((dsts < node_lo) | (dsts >= node_hi)).any():
+            raise ValueError(
+                f"destination node outside shard range [{node_lo}, {node_hi})"
+            )
+        self._fold_columns(
+            dsts.astype(np.int64, copy=False),
+            indices[edge_rows],
+            depths=depths[edge_rows],
+            checksums=checksums[edge_rows],
+            chunk_size=chunk_size,
+        )
+        return int(dsts.size)
+
+    def apply_updates(
+        self,
+        dsts: np.ndarray,
+        indices: np.ndarray,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        """Fold a mixed multi-node batch, grouped per page (serial entry)."""
+        dsts = np.asarray(dsts)
+        if dsts.shape != np.shape(indices) or dsts.ndim != 1:
+            raise ValueError("dsts and indices must be matching one-dimensional arrays")
+        idx = validate_indices(indices, self.encoder.vector_length)
+        if idx is None:
+            return
+        self._check_destinations(dsts)
+        self._fold_columns(
+            dsts.astype(np.int64, copy=False), idx, chunk_size=chunk_size
+        )
+        self._version += 1
+        self._updates_applied += int(idx.size)
+
+    def apply_edges(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        indices: np.ndarray,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        """Fold both directions of a canonical edge batch, per page.
+
+        The hash matrices depend only on the edge slot, so the batch is
+        hashed **once** and both mirrored halves gather their rows from
+        the shared matrices -- the paged counterpart of the parent's
+        shared-hash mirror fold.
+        """
+        if not (np.shape(indices) == np.shape(lo) == np.shape(hi)) or np.ndim(indices) != 1:
+            raise ValueError("lo, hi and indices must be matching one-dimensional arrays")
+        idx = validate_indices(indices, self.encoder.vector_length)
+        if idx is None:
+            return
+        lo = np.asarray(lo)
+        hi = np.asarray(hi)
+        self._check_destinations(lo)
+        self._check_destinations(hi)
+        depths, checksums = hash_depths_checksums(
+            idx, self._mixed_membership, self._mixed_checksum, self.num_rows
+        )
+        dsts = np.concatenate([lo, hi]).astype(np.int64, copy=False)
+        two_rows = np.concatenate([np.arange(idx.size)] * 2)
+        self._fold_columns(
+            dsts,
+            idx[two_rows],
+            depths=depths[two_rows],
+            checksums=checksums[two_rows],
+            chunk_size=chunk_size,
+        )
+        self._version += 1
+        self._updates_applied += 2 * int(idx.size)
+
+    def apply_node_batch(self, node: int, neighbors) -> None:
+        """Fold a single node's neighbor batch through its page."""
+        indices = self.encoder.encode_batch(node, neighbors)
+        if indices.size == 0:
+            return
+        page = self.page_of(node)
+        dsts = np.full(indices.size, node, dtype=np.int64)
+        self._fold_into_page(page, dsts, indices.astype(np.uint64, copy=False))
+        self._version += 1
+        self._updates_applied += int(indices.size)
+
+    # ------------------------------------------------------------------
+    # query-side slab assembly
+    # ------------------------------------------------------------------
+    def _page_round_array(self, page: int, key: str, round_index: int) -> np.ndarray:
+        """One page's ``(page_nodes, cols, rows)`` stripe of a round.
+
+        A resident page serves its live tensor; a spilled page pays a
+        partial-range read covering only this round's bytes.  Queries
+        deliberately do not promote pages into the working set -- a
+        round scan touching every page would evict the fold path's hot
+        pages for read-only data.  Tail pages return only the node rows
+        they actually own (the padding stays internal).
+        """
+        nodes = self._page_nodes(page)
+        with self._lock:
+            entry = self._resident.get(page)
+            if entry is not None:
+                tensor = entry[0] if key in ("packed", "alpha") else entry[1]
+                return tensor[round_index, :nodes]
+        shape = (self.nodes_per_page, self.num_columns, self.num_rows)
+        memory_key = self._page_key(page)
+        dtype = np.uint32 if key == "gamma" else np.uint64
+        if memory_key not in self.memory:
+            return np.zeros((nodes,) + shape[1:], dtype=dtype)
+        offset, length = self._round_stripe(key, round_index)
+        payload = self.memory.load_range(memory_key, offset, length)
+        self.partial_reads += 1
+        return np.frombuffer(payload, dtype=dtype).reshape(shape)[:nodes]
+
+    def _round_view(self, key: str, round_index: int) -> np.ndarray:
+        """Assemble one round's whole-graph slab from its page stripes.
+
+        The slab (``1 / num_rounds`` of the pool, exactly what the
+        whole-round query engine scans) is memoised per key until the
+        next fold, so a round's phase-1 / phase-2 decodes and the
+        complement trick's whole-slab total share one assembly.
+        """
+        with self._lock:
+            cached = self._assembled.get(key)
+            if cached is not None and cached[0] == round_index and cached[1] == self._version:
+                return cached[2]
+            version = self._version
+        parts = [
+            self._page_round_array(page, key, round_index)
+            for page in range(self.num_pages)
+        ]
+        slab = np.concatenate(parts, axis=0)
+        with self._lock:
+            self._assembled[key] = (round_index, version, slab)
+        return slab
+
+    # ------------------------------------------------------------------
+    # per-node views
+    # ------------------------------------------------------------------
+    def _node_round_arrays(self, node: int, round_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """One node's round arrays from its page stripe alone."""
+        page = self.page_of(node)
+        local = node - int(self.page_bounds[page])
+        if self._packed:
+            packed = self._page_round_array(page, "packed", round_index)[local]
+            return packed >> _SHIFT32, packed & _LOW32
+        return (
+            self._page_round_array(page, "alpha", round_index)[local],
+            self._page_round_array(page, "gamma", round_index)[local].astype(np.uint64),
+        )
+
+    def _node_bundle_arrays(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        page = self.page_of(node)
+        local = node - int(self.page_bounds[page])
+        entry = self._pin(page)
+        try:
+            if self._packed:
+                packed = entry[0][:, local]
+                return packed >> _SHIFT32, packed & _LOW32
+            return (
+                np.ascontiguousarray(entry[0][:, local]),
+                entry[1][:, local].astype(np.uint64),
+            )
+        finally:
+            self._unpin(page)
+
+    def _write_node_bundle(self, node: int, alpha: np.ndarray, gamma: np.ndarray) -> None:
+        page = self.page_of(node)
+        local = node - int(self.page_bounds[page])
+        entry = self._pin(page)
+        try:
+            if self._packed:
+                entry[0][:, local] = (alpha << _SHIFT32) | gamma
+            else:
+                entry[0][:, local] = alpha
+                entry[1][:, local] = gamma.astype(np.uint32)
+            with self._lock:
+                self._dirty.add(page)
+        finally:
+            self._unpin(page)
+
+    # ------------------------------------------------------------------
+    # whole-pool views and unsupported parent features
+    # ------------------------------------------------------------------
+    def raw_tensors(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Materialise the full ``(rounds, nodes, cols, rows)`` tensors.
+
+        Assembles every round slab -- the whole pool in RAM -- so this
+        is for equivalence tests and small graphs, not the hot path.
+        """
+        slabs = [
+            np.stack(
+                [self._round_view(key, r) for r in range(self.num_rounds)]
+            )
+            for key in (("packed",) if self._packed else ("alpha", "gamma"))
+        ]
+        if self._packed:
+            alpha, gamma = slabs[0] >> _SHIFT32, slabs[0] & _LOW32
+        else:
+            alpha, gamma = slabs
+        alpha.flags.writeable = False
+        gamma.flags.writeable = False
+        return alpha, gamma
+
+    def to_shared_memory(self) -> None:
+        raise ConfigurationError(
+            "a paged pool cannot migrate to shared memory; page-affine "
+            "sharded ingest runs on the threads backend"
+        )
+
+    def page_stats(self) -> Dict[str, int]:
+        """Working-set telemetry for reports and the CLI."""
+        with self._lock:
+            return {
+                "num_pages": self.num_pages,
+                "nodes_per_page": self.nodes_per_page,
+                "page_payload_bytes": self.page_payload_bytes(0),
+                "page_blocks": self.page_payload_bytes(0) // self.memory.block_size,
+                "resident_pages": len(self._resident),
+                "resident_budget": self.resident_pages,
+                "page_ins": self.page_ins,
+                "page_writebacks": self.page_writebacks,
+                "partial_reads": self.partial_reads,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"PagedTensorPool(num_nodes={self.num_nodes}, rounds={self.num_rounds}, "
+            f"pages={self.num_pages}x{self.nodes_per_page}, "
+            f"page_bytes={self.page_payload_bytes(0)}, "
+            f"resident={self.resident_pages}, packed={self._packed})"
+        )

@@ -491,6 +491,28 @@ class NodeTensorPool:
             self._scatter(targets, alpha_vals, gamma_vals, bump_version=False)
         return int(dsts.size)
 
+    def fold_page_batch(
+        self,
+        node_lo: int,
+        node_hi: int,
+        dsts: np.ndarray,
+        indices: np.ndarray,
+        chunk_size: Optional[int] = None,
+    ) -> int:
+        """Serial entry point for one page's mixed-node update column.
+
+        What the engine calls when the buffering layer emits a
+        :class:`~repro.buffering.base.PageBatch`: folds the column
+        through :meth:`fold_shard` (whose node-range contract the page
+        bounds satisfy) and then publishes the effects -- version bump
+        and update counter -- exactly like a direct fold would.  The
+        sharded parallel path keeps calling :meth:`fold_shard` raw and
+        publishing once per batch barrier instead.
+        """
+        count = self.fold_shard(dsts, indices, node_lo, node_hi, chunk_size=chunk_size)
+        self.mark_external_updates(count)
+        return count
+
     def mark_external_updates(self, count: int) -> None:
         """Record updates folded outside :meth:`apply_updates`'s accounting.
 
@@ -514,14 +536,34 @@ class NodeTensorPool:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    @property
+    def is_paged(self) -> bool:
+        """Whether the pool's tensors live in out-of-core pages."""
+        return False
+
+    def _round_view(self, key: str, round_index: int) -> np.ndarray:
+        """One round's ``(num_nodes, cols, rows)`` slab for a bucket tensor.
+
+        ``key`` selects the backing tensor (``"packed"``, ``"alpha"``,
+        or ``"gamma"``).  Every query-side reduction reaches bucket
+        state through this accessor, which is what lets the paged pool
+        substitute slabs assembled from node-group pages without
+        touching the query algorithms.
+        """
+        if key == "packed":
+            return self._buckets[round_index]
+        if key == "alpha":
+            return self._alpha[round_index]
+        return self._gamma[round_index]
+
     def _node_round_arrays(self, node: int, round_index: int) -> Tuple[np.ndarray, np.ndarray]:
         """One node's ``(cols, rows)`` alpha/gamma arrays for a round."""
         if self._packed:
-            packed = self._buckets[round_index, node]
+            packed = self._round_view("packed", round_index)[node]
             return packed >> _SHIFT32, packed & _LOW32
         return (
-            self._alpha[round_index, node],
-            self._gamma[round_index, node].astype(np.uint64),
+            self._round_view("alpha", round_index)[node],
+            self._round_view("gamma", round_index)[node].astype(np.uint64),
         )
 
     def query_round(self, node: int, round_index: int) -> SampleResult:
@@ -551,12 +593,16 @@ class NodeTensorPool:
             return self.query_round(int(member_array[0]), round_index)
         if self._packed:
             packed = np.bitwise_xor.reduce(
-                self._buckets[round_index, member_array], axis=0
+                self._round_view("packed", round_index)[member_array], axis=0
             )
             alpha, gamma = packed >> _SHIFT32, packed & _LOW32
         else:
-            alpha = np.bitwise_xor.reduce(self._alpha[round_index, member_array], axis=0)
-            gamma = np.bitwise_xor.reduce(self._gamma[round_index, member_array], axis=0)
+            alpha = np.bitwise_xor.reduce(
+                self._round_view("alpha", round_index)[member_array], axis=0
+            )
+            gamma = np.bitwise_xor.reduce(
+                self._round_view("gamma", round_index)[member_array], axis=0
+            )
         base = round_index * self.num_columns
         return query_bucket_arrays(
             alpha.T,
@@ -692,21 +738,21 @@ class NodeTensorPool:
         """
         if self._packed:
             merged = self._segment_round_xor(
-                self._buckets, "packed", sorted_nodes, seg_starts,
+                "packed", sorted_nodes, seg_starts,
                 excluded_nodes, round_index, col_start, col_stop,
             )
             return merged >> _SHIFT32, merged & _LOW32
         alpha = self._segment_round_xor(
-            self._alpha, "alpha", sorted_nodes, seg_starts,
+            "alpha", sorted_nodes, seg_starts,
             excluded_nodes, round_index, col_start, col_stop,
         )
         gamma = self._segment_round_xor(
-            self._gamma, "gamma", sorted_nodes, seg_starts,
+            "gamma", sorted_nodes, seg_starts,
             excluded_nodes, round_index, col_start, col_stop,
         )
         return alpha, gamma
 
-    def _round_slab_total(self, tensor: np.ndarray, key: str, round_index: int) -> np.ndarray:
+    def _round_slab_total(self, key: str, round_index: int) -> np.ndarray:
         """Cached XOR of *all* nodes' buckets for one round.
 
         One contiguous whole-slab reduction, memoised until the next
@@ -716,13 +762,12 @@ class NodeTensorPool:
         cached = self._slab_cache.get((round_index, key))
         if cached is not None and cached[0] == self._version:
             return cached[1]
-        total = np.bitwise_xor.reduce(tensor[round_index], axis=0)
+        total = np.bitwise_xor.reduce(self._round_view(key, round_index), axis=0)
         self._slab_cache[(round_index, key)] = (self._version, total)
         return total
 
     def _segment_round_xor(
         self,
-        tensor: np.ndarray,
         key: str,
         sorted_nodes: np.ndarray,
         seg_starts: np.ndarray,
@@ -731,7 +776,7 @@ class NodeTensorPool:
         col_start: int,
         col_stop: int,
     ) -> np.ndarray:
-        """Per-segment XOR of ``tensor[round_index, :, col_start:col_stop]``.
+        """Per-segment XOR of the ``key`` round slab's column span.
 
         ``sorted_nodes`` is grouped into segments by ``seg_starts``;
         ``excluded_nodes`` are the slab rows outside the query entirely
@@ -743,6 +788,7 @@ class NodeTensorPool:
         the excluded rows -- XOR's self-inverse turns one contiguous
         slab scan into the giant's sum without gathering its rows.
         """
+        slab = self._round_view(key, round_index)
         total = sorted_nodes.size
         width = (col_stop - col_start) * self.num_rows
         seg_sizes = np.diff(np.append(seg_starts, total))
@@ -760,7 +806,7 @@ class NodeTensorPool:
             slab_cost + 2 * excluded_nodes.size * width
         )
         if not use_complement:
-            gathered = tensor[round_index, sorted_nodes, col_start:col_stop]
+            gathered = slab[sorted_nodes, col_start:col_stop]
             return segmented_xor(gathered.reshape(total, width), seg_starts)
 
         lo = int(seg_starts[largest])
@@ -769,13 +815,11 @@ class NodeTensorPool:
         other_starts = np.delete(seg_starts, largest)
         other_starts[largest:] -= largest_size
         other_sums = segmented_xor(
-            tensor[round_index, other_nodes, col_start:col_stop].reshape(
-                other_nodes.size, width
-            ),
+            slab[other_nodes, col_start:col_stop].reshape(other_nodes.size, width),
             other_starts,
         )
         largest_sum = (
-            self._round_slab_total(tensor, key, round_index)[col_start:col_stop]
+            self._round_slab_total(key, round_index)[col_start:col_stop]
             .reshape(width)
             .copy()
         )
@@ -783,12 +827,12 @@ class NodeTensorPool:
             largest_sum ^= np.bitwise_xor.reduce(other_sums, axis=0)
         if excluded_nodes.size:
             largest_sum ^= np.bitwise_xor.reduce(
-                tensor[round_index, excluded_nodes, col_start:col_stop].reshape(
+                slab[excluded_nodes, col_start:col_stop].reshape(
                     excluded_nodes.size, width
                 ),
                 axis=0,
             )
-        merged = np.empty((seg_starts.size, width), dtype=tensor.dtype)
+        merged = np.empty((seg_starts.size, width), dtype=slab.dtype)
         merged[:largest] = other_sums[:largest]
         merged[largest] = largest_sum
         merged[largest + 1 :] = other_sums[largest:]
@@ -926,6 +970,23 @@ class NodeTensorPool:
     # ------------------------------------------------------------------
     # per-node views
     # ------------------------------------------------------------------
+    def _node_bundle_arrays(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        """One node's ``(rounds, cols, rows)`` uint64 alpha/gamma bundle."""
+        if self._packed:
+            packed = self._buckets[:, node]
+            return packed >> _SHIFT32, packed & _LOW32
+        return np.ascontiguousarray(self._alpha[:, node]), self._gamma[:, node].astype(
+            np.uint64
+        )
+
+    def _write_node_bundle(self, node: int, alpha: np.ndarray, gamma: np.ndarray) -> None:
+        """Overwrite one node's buckets with uint64 alpha/gamma tensors."""
+        if self._packed:
+            self._buckets[:, node] = (alpha << _SHIFT32) | gamma
+        else:
+            self._alpha[:, node] = alpha
+            self._gamma[:, node] = gamma.astype(np.uint32)
+
     def node_sketch(self, node: int) -> FlatNodeSketch:
         """Materialise one node's bundle as a standalone FlatNodeSketch."""
         self._check_node(node)
@@ -936,13 +997,7 @@ class NodeTensorPool:
             delta=self.delta,
             num_rounds=self.num_rounds,
         )
-        if self._packed:
-            packed = self._buckets[:, node]
-            sketch._alpha = packed >> _SHIFT32
-            sketch._gamma = packed & _LOW32
-        else:
-            sketch._alpha = np.ascontiguousarray(self._alpha[:, node])
-            sketch._gamma = self._gamma[:, node].astype(np.uint64)
+        sketch._alpha, sketch._gamma = self._node_bundle_arrays(node)
         return sketch
 
     def load_node_sketch(self, sketch: FlatNodeSketch) -> None:
@@ -956,18 +1011,13 @@ class NodeTensorPool:
             raise ValueError("sketch geometry/seed does not match the pool")
         if not 0 <= sketch.node < self.num_nodes:
             raise ValueError(f"sketch node {sketch.node} outside [0, {self.num_nodes})")
-        if self._packed:
-            self._buckets[:, sketch.node] = (sketch._alpha << _SHIFT32) | sketch._gamma
-        else:
-            self._alpha[:, sketch.node] = sketch._alpha
-            self._gamma[:, sketch.node] = sketch._gamma.astype(np.uint32)
+        self._write_node_bundle(sketch.node, sketch._alpha, sketch._gamma)
         self._version += 1
 
     def node_is_empty(self, node: int) -> bool:
         self._check_node(node)
-        if self._packed:
-            return not self._buckets[:, node].any()
-        return not self._alpha[:, node].any() and not self._gamma[:, node].any()
+        alpha, gamma = self._node_bundle_arrays(node)
+        return not alpha.any() and not gamma.any()
 
     def _check_node(self, node: int) -> None:
         """Reject node ids the flat tensors would silently wrap."""

@@ -203,3 +203,68 @@ def test_gutter_tree_validation():
     tree = make_tree()
     with pytest.raises(ValueError):
         tree.insert(0, 999)
+
+
+# ----------------------------------------------------------------------
+# Page mode: gutters keyed per node group, emitting PageBatch columns
+# ----------------------------------------------------------------------
+import numpy as np
+
+from repro.buffering.base import PageBatch
+
+
+def test_page_batch_len_size_and_lock_key():
+    batch = PageBatch(
+        page=2, node_lo=8, node_hi=12,
+        dsts=np.asarray([8, 9, 8]), neighbors=np.asarray([1, 2, 3]),
+    )
+    assert len(batch) == 3
+    assert batch.size_bytes == 3 * BYTES_PER_BUFFERED_UPDATE
+    assert batch.lock_key == ("page", 2)
+    assert Batch(node=4).lock_key == ("node", 4)
+
+
+def test_leaf_gutters_page_mode_emits_mixed_node_columns():
+    bounds = np.asarray([0, 4, 8, 10])
+    gutters = LeafGutters(num_nodes=10, capacity_updates=2, page_bounds=bounds)
+    assert gutters.page_mode
+    # Page 0 holds nodes 0-3 with capacity 2 * 4 = 8 updates.
+    emitted = []
+    for i in range(7):
+        emitted.extend(gutters.insert(i % 4, 9))
+    assert emitted == []
+    assert gutters.pending_for(0) == 2
+    emitted.extend(gutters.insert(3, 9))  # 8th update fills page 0
+    assert len(emitted) == 1
+    batch = emitted[0]
+    assert isinstance(batch, PageBatch)
+    assert (batch.page, batch.node_lo, batch.node_hi) == (0, 0, 4)
+    assert batch.dsts.tolist() == [0, 1, 2, 3, 0, 1, 2, 3]
+    assert gutters.pending_updates() == 0
+
+
+def test_leaf_gutters_page_mode_insert_batch_and_flush():
+    bounds = np.asarray([0, 4, 8, 10])
+    gutters = LeafGutters(num_nodes=10, capacity_updates=100, page_bounds=bounds)
+    gutters.insert_batch(np.asarray([0, 5, 9, 1]), np.asarray([2, 6, 3, 7]))
+    assert gutters.pending_updates() == 4
+    batches = gutters.flush_all()
+    assert [b.page for b in batches] == [0, 1, 2]
+    assert batches[0].dsts.tolist() == [0, 1]       # insertion order kept
+    assert batches[0].neighbors.tolist() == [2, 7]
+    assert batches[2].dsts.tolist() == [9]
+    assert gutters.pending_updates() == 0
+
+
+def test_gutter_tree_page_mode_emits_page_batches():
+    bounds = np.asarray([0, 8, 16])
+    tree = make_tree(num_nodes=16, page_bounds=bounds)
+    emitted = []
+    for i in range(200):
+        emitted.extend(tree.insert(i % 16, (i + 3) % 16))
+    emitted.extend(tree.flush_all())
+    assert all(isinstance(b, PageBatch) for b in emitted)
+    assert sum(len(b) for b in emitted) == 200
+    assert tree.pending_updates() == 0
+    for batch in emitted:
+        assert ((batch.dsts >= batch.node_lo) & (batch.dsts < batch.node_hi)).all()

@@ -111,7 +111,26 @@ def test_components_parallel_backends_match_reference(tmp_path, capsys, backend)
     assert "matches exact reference: True" in output
 
 
-def test_components_workers_with_ram_budget_falls_back_to_legacy(tmp_path, capsys):
+def test_components_workers_with_ram_budget_runs_page_affine_sharded(tmp_path, capsys):
+    """Out-of-core engines no longer fall back to the legacy worker pool."""
+    stream_path = tmp_path / "small.stream"
+    main(["generate", "kron13", str(stream_path), "--scale-reduction", "8"])
+    capsys.readouterr()
+    assert main(
+        [
+            "components", str(stream_path), "--verify",
+            "--workers", "2", "--ram-budget-mib", "0.25",
+        ]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "legacy worker pool" not in output
+    assert "(threads x" in output
+    assert "page size        :" in output
+    assert "RAM-tier hit rate:" in output
+    assert "matches exact reference: True" in output
+
+
+def test_components_ram_budget_with_processes_coerces_to_threads(tmp_path, capsys):
     stream_path = tmp_path / "small.stream"
     main(["generate", "kron13", str(stream_path), "--scale-reduction", "8"])
     capsys.readouterr()
@@ -119,8 +138,9 @@ def test_components_workers_with_ram_budget_falls_back_to_legacy(tmp_path, capsy
         [
             "components", str(stream_path),
             "--workers", "2", "--ram-budget-mib", "0.25",
+            "--parallel-backend", "processes",
         ]
     ) == 0
     output = capsys.readouterr().out
-    assert "legacy worker pool" in output
-    assert "(legacy x2)" in output
+    assert "using the threads backend" in output
+    assert "(threads x" in output

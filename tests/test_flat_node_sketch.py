@@ -18,10 +18,13 @@ from repro.core.edge_encoding import EdgeEncoder
 from repro.core.node_sketch import NodeSketch, merged_round_sketch
 from repro.exceptions import IncompatibleSketchError, StreamFormatError
 from repro.sketch.flat_node_sketch import (
+    _XOR_BLOCK_ROWS,
     FlatNodeSketch,
+    _segmented_xor_blocked,
     columnar_fold,
     flat_seed_matrices,
     merged_round_query,
+    segmented_xor,
 )
 from repro.sketch.serialization import (
     flat_node_sketch_from_bytes,
@@ -245,3 +248,47 @@ def test_columnar_fold_targets_are_unique():
     assert targets.size == np.unique(targets).size
     assert targets.size == alpha_vals.size == gamma_vals.size
     assert int(targets.max()) < NUM_NODES * sketch.num_slots * sketch.num_rows
+
+
+# ----------------------------------------------------------------------
+# segmented XOR: the blocked two-level path must match plain reduceat
+# ----------------------------------------------------------------------
+@given(
+    num_rows=st.integers(min_value=1, max_value=6 * _XOR_BLOCK_ROWS),
+    width=st.integers(min_value=1, max_value=12),
+    num_segments=st.integers(min_value=1, max_value=12),
+    dtype=st.sampled_from([np.uint64, np.uint32]),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_segmented_xor_blocked_is_bit_identical(
+    num_rows, width, num_segments, dtype, seed
+):
+    rng = np.random.default_rng(seed)
+    num_segments = min(num_segments, num_rows)
+    starts = np.sort(
+        rng.choice(num_rows, size=num_segments, replace=False)
+    ).astype(np.int64)
+    starts[0] = 0
+    info = np.iinfo(dtype)
+    values = rng.integers(0, info.max, size=(num_rows, width), dtype=dtype)
+    reference = np.bitwise_xor.reduceat(values, starts, axis=0)
+    # The public entry point (whichever path its gate picks)...
+    assert np.array_equal(reference, segmented_xor(values, starts))
+    # ...and the blocked path forced, including segments inside a single
+    # block, straddling blocks, and past the blocked prefix of the array.
+    ends = np.append(starts[1:], num_rows)
+    assert np.array_equal(reference, _segmented_xor_blocked(values, starts, ends))
+
+
+def test_segmented_xor_gate_picks_blocked_on_large_segments():
+    rng = np.random.default_rng(1)
+    values = rng.integers(
+        0, 1 << 63, size=(16 * _XOR_BLOCK_ROWS, 4), dtype=np.uint64
+    )
+    starts = np.array([0, values.shape[0] // 2], dtype=np.int64)
+    reference = np.bitwise_xor.reduceat(values, starts, axis=0)
+    assert np.array_equal(reference, segmented_xor(values, starts))
+    # Single-row segments still short-circuit to the input itself.
+    one_row = np.arange(values.shape[0], dtype=np.int64)
+    assert segmented_xor(values, one_row) is values

@@ -206,6 +206,105 @@ def test_keys_lists_cached_and_spilled():
     assert set(memory.keys()) == {"a", "b"}
 
 
+def test_zero_ram_budget_routes_everything_through_device():
+    """ram_bytes=0: every store persists immediately, every load reads disk."""
+    memory = HybridMemory(ram_bytes=0, block_size=16)
+    memory.store("a", b"A" * 40)
+    assert memory.stats.block_writes == 3  # ceil(40 / 16)
+    assert memory.load("a") == b"A" * 40
+    assert memory.stats.block_reads == 3
+    # Nothing is ever cached, so a repeat load pays the reads again.
+    assert memory.load("a") == b"A" * 40
+    assert memory.stats.block_reads == 6
+    assert memory.cached_bytes == 0
+
+
+def test_dirty_eviction_write_back_ordering():
+    """LRU evictions persist dirty payloads oldest-first, and only once."""
+    writes = []
+    memory = HybridMemory(ram_bytes=32, block_size=16)
+    original_persist = memory._persist
+
+    def recording_persist(key, payload):
+        writes.append(key)
+        original_persist(key, payload)
+
+    memory._persist = recording_persist
+    memory.store("a", b"A" * 16)
+    memory.store("b", b"B" * 16)
+    assert writes == []           # both fit: nothing written back yet
+    memory.store("c", b"C" * 16)  # budget is 2 payloads: evicts "a"
+    memory.store("d", b"D" * 16)  # evicts "b"
+    assert writes == ["a", "b"]   # write-back follows LRU order
+    memory.flush()                # persists the remaining dirty entries
+    assert writes == ["a", "b", "c", "d"]
+    memory.flush()                # clean entries are not re-written
+    assert writes == ["a", "b", "c", "d"]
+    assert memory.load("a") == b"A" * 16
+
+
+def test_smaller_reput_over_spilled_allocation():
+    """Shrinking a spilled payload reuses its allocation and reads back exactly."""
+    memory = HybridMemory(ram_bytes=0, block_size=16)
+    memory.store("k", b"X" * 60)            # 4 blocks on the device
+    start_before = memory._allocations["k"][0]
+    memory.store("k", b"y" * 20)            # 2 blocks, re-put in place
+    start_after, capacity, length = memory._allocations["k"]
+    assert start_after == start_before      # no new allocation
+    assert (capacity, length) == (4, 20)    # span kept, length updated
+    reads_before = memory.stats.block_reads
+    assert memory.load("k") == b"y" * 20    # stale tail blocks never leak
+    assert memory.stats.block_reads - reads_before == 2  # ...nor get read
+    memory.store("k", b"Z" * 33)            # regrow within the original span
+    assert memory._allocations["k"][0] == start_before
+    assert memory.load("k") == b"Z" * 33
+
+
+def test_load_range_slices_cached_payload_without_io():
+    memory = HybridMemory(ram_bytes=1024, block_size=16)
+    memory.store("k", bytes(range(64)))
+    reads_before = memory.stats.block_reads
+    assert memory.load_range("k", 10, 5) == bytes(range(10, 15))
+    assert memory.stats.block_reads == reads_before
+    assert memory.stats.cache_hits >= 1
+
+
+def test_load_range_reads_only_straddled_blocks():
+    memory = HybridMemory(ram_bytes=0, block_size=16)
+    payload = bytes(range(64))  # 4 blocks, never cached (zero budget)
+    memory.store("k", payload)
+    stats_before = memory.stats.snapshot()
+    # Range [20, 40) straddles blocks 1 and 2 only.
+    assert memory.load_range("k", 20, 20) == payload[20:40]
+    assert memory.stats.block_reads - stats_before["block_reads"] == 2
+    assert memory.stats.bytes_read - stats_before["bytes_read"] == 32
+    # A one-block range costs one read; a full-range read costs all four.
+    assert memory.load_range("k", 0, 16) == payload[:16]
+    assert memory.load_range("k", 0, 64) == payload
+    assert memory.stats.block_reads - stats_before["block_reads"] == 2 + 1 + 4
+
+
+def test_load_range_edge_cases():
+    memory = HybridMemory(ram_bytes=0, block_size=16)
+    memory.store("k", b"q" * 20)
+    assert memory.load_range("k", 0, 0) == b""
+    assert memory.load_range("k", 25, 8) == b""      # past the payload
+    assert memory.load_range("k", 16, 100) == b"qqqq"  # clamped to length
+    with pytest.raises(KeyError):
+        memory.load_range("missing", 0, 4)
+    with pytest.raises(StorageError):
+        memory.load_range("k", -1, 4)
+
+
+def test_load_range_does_not_populate_cache():
+    """A partial read must never shadow the full payload."""
+    memory = HybridMemory(ram_bytes=64, block_size=16)
+    memory.store("a", b"A" * 48)
+    memory.store("b", b"B" * 48)  # evicts "a" (written back dirty)
+    assert memory.load_range("a", 0, 8) == b"A" * 8
+    assert memory.load("a") == b"A" * 48
+
+
 # ----------------------------------------------------------------------
 # SketchStore
 # ----------------------------------------------------------------------

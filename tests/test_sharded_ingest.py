@@ -409,12 +409,30 @@ def test_engine_factory_resolves_backends():
 
 
 def test_sharded_ingestor_requires_tensor_pool():
+    # Only the legacy sketch backend (per-node object store) and the
+    # per-node out-of-core reference lack a pool now.
+    for config in (
+        GraphZeppelinConfig(seed=1, sketch_backend="legacy"),
+        GraphZeppelinConfig(seed=1, ram_budget_bytes=1024, out_of_core_pool="per_node"),
+    ):
+        engine = GraphZeppelin(16, config=config)
+        with pytest.raises(ConfigurationError):
+            ShardedIngestor(engine)
+
+
+def test_sharded_ingestor_paged_pool_snaps_to_pages_and_rejects_processes():
     engine = GraphZeppelin(
-        16,
-        config=GraphZeppelinConfig(seed=1, ram_budget_bytes=1024),
+        64,
+        config=GraphZeppelinConfig(seed=1, ram_budget_bytes=1024, nodes_per_page=8),
     )
+    pool = engine.tensor_pool
+    assert pool is not None and pool.is_paged
     with pytest.raises(ConfigurationError):
-        ShardedIngestor(engine)
+        ShardedIngestor(engine, backend="processes")
+    ingestor = ShardedIngestor(engine, backend="threads", num_workers=2)
+    # Every shard boundary is a page boundary.
+    assert set(ingestor.bounds.tolist()) <= set(pool.page_bounds.tolist())
+    assert ingestor.num_shards <= pool.num_pages
 
 
 def test_sharded_ingestor_rejects_bad_backend():

@@ -202,7 +202,24 @@ def test_vectorized_driver_via_scalar_adapter_matches_reference():
 
 
 def test_out_of_core_engine_uses_vectorized_driver_via_adapter():
-    """A RAM-budgeted engine (no tensor pool) still answers identically."""
+    """The per-node reference store (no tensor pool) answers identically."""
+    edges = [(0, 1), (1, 2), (3, 4), (5, 6), (2, 3)]
+    in_ram = _engine(33, "vectorized", edges)
+    budgeted = GraphZeppelin(
+        NUM_NODES,
+        config=GraphZeppelinConfig.out_of_core(
+            ram_budget_bytes=64 * 1024, seed=33, query_backend="vectorized",
+            out_of_core_pool="per_node",
+        ),
+    )
+    for u, v in edges:
+        budgeted.edge_update(u, v)
+    assert budgeted._pool is None  # really exercising the adapter path
+    assert budgeted.list_spanning_forest().edges == in_ram.list_spanning_forest().edges
+
+
+def test_out_of_core_paged_engine_runs_the_pool_query_driver():
+    """The default RAM-budgeted engine holds a paged pool, no adapter."""
     edges = [(0, 1), (1, 2), (3, 4), (5, 6), (2, 3)]
     in_ram = _engine(33, "vectorized", edges)
     budgeted = GraphZeppelin(
@@ -213,7 +230,7 @@ def test_out_of_core_engine_uses_vectorized_driver_via_adapter():
     )
     for u, v in edges:
         budgeted.edge_update(u, v)
-    assert budgeted._pool is None  # really exercising the adapter path
+    assert budgeted._pool is not None and budgeted._pool.is_paged
     assert budgeted.list_spanning_forest().edges == in_ram.list_spanning_forest().edges
 
 
