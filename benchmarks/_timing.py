@@ -1,0 +1,55 @@
+"""Shared timing loop for the benchmark ledgers.
+
+Every system-level ledger in this directory times multi-second
+workloads on shared (often single-vCPU) CI hosts, where one-shot
+timings swing 2-3x with host load.  The robust recipe, used identically
+by the parallel, out-of-core, and distributed benchmarks:
+
+* **median** of several repetitions -- the minimum would chase each
+  path's luckiest run, the mean is dragged by a single load spike;
+* repetitions **interleaved** across paths (every path once, then every
+  path again) so a load spike degrades one repetition of *every* path
+  instead of permanently deflating whichever row it landed on;
+* the first repetition also absorbs allocator/page-cache warm-up.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Default timed repetitions; the median is recorded.
+TIMING_REPS = 3
+
+
+def interleaved_medians(
+    specs: Sequence[Tuple[str, Callable[[], object]]],
+    reps: int = TIMING_REPS,
+    on_result: Optional[Callable[[str, int, object], None]] = None,
+    on_rep_end: Optional[Callable[[int], None]] = None,
+) -> Dict[str, float]:
+    """Time every spec ``reps`` times, interleaved; return median seconds.
+
+    ``specs`` is a sequence of ``(label, run)`` thunks.  After each
+    timed run, ``on_result(label, rep, result)`` receives the run's
+    return value and *owns* it -- correctness checks against other
+    rows, and freeing (benchmark engines can hold pools of hundreds of
+    megabytes), happen there so results never accumulate across the
+    loop.  ``on_rep_end(rep)`` fires after each full interleaved pass,
+    for state that must survive one whole repetition (e.g. a baseline
+    engine the other rows are bit-compared against).
+    """
+    timings: Dict[str, List[float]] = {label: [] for label, _ in specs}
+    for rep in range(reps):
+        for label, run in specs:
+            start = time.perf_counter()
+            result = run()
+            timings[label].append(max(time.perf_counter() - start, 1e-9))
+            if on_result is not None:
+                on_result(label, rep, result)
+            del result
+        if on_rep_end is not None:
+            on_rep_end(rep)
+    return {label: float(np.median(values)) for label, values in timings.items()}

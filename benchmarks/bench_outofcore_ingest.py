@@ -36,10 +36,10 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from pathlib import Path
 
 import numpy as np
+from _timing import TIMING_REPS, interleaved_medians
 from conftest import print_table
 
 from repro.analysis.tables import render_table
@@ -66,12 +66,6 @@ MIN_SPILL_FRACTION = 0.5
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_outofcore.json"
 
 SEED = 13
-
-#: Interleaved timed repetitions per engine; the median is recorded
-#: (single-vCPU CI containers time-slice against their host, so
-#: one-shot timings swing 2-3x; the first repetition also absorbs
-#: allocator warm-up for the ~GB simulated device).
-TIMING_REPS = 3
 
 
 def _ram_budget() -> int:
@@ -110,17 +104,19 @@ def test_outofcore_ingest_ledger():
     count = int(edges.shape[0])
 
     specs = ["in_ram", "paged", "per_node"]
-    timings = {kind: [] for kind in specs}
     engines = {}
-    for rep in range(TIMING_REPS):
-        for kind in specs:
-            start = time.perf_counter()
-            engine = _ingest(kind, edges)
-            timings[kind].append(max(time.perf_counter() - start, 1e-9))
-            if rep == 0:
-                engines[kind] = engine
-            else:
-                del engine
+
+    def on_result(kind: str, rep: int, engine: GraphZeppelin) -> None:
+        # The first repetition's engines are kept for the correctness
+        # half of the ledger below; later repetitions are timing-only.
+        if rep == 0:
+            engines[kind] = engine
+
+    medians = interleaved_medians(
+        [(kind, (lambda kind=kind: _ingest(kind, edges))) for kind in specs],
+        reps=TIMING_REPS,
+        on_result=on_result,
+    )
 
     # Correctness half of the ledger: both out-of-core engines answer
     # with the in-RAM forest, and the paged pool's bucket tensors are
@@ -148,7 +144,7 @@ def test_outofcore_ingest_ledger():
         ("paged", "paged columnar (PagedTensorPool)"),
         ("per_node", "per-node blob store (seed design)"),
     ]:
-        seconds = float(np.median(timings[kind]))
+        seconds = medians[kind]
         row = {
             "path": label,
             "seconds": round(seconds, 4),

@@ -33,10 +33,10 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from pathlib import Path
 
 import numpy as np
+from _timing import TIMING_REPS, interleaved_medians
 from conftest import print_table
 
 from repro.analysis.tables import render_table
@@ -66,16 +66,6 @@ SEED = 9
 
 def _engine() -> GraphZeppelin:
     return GraphZeppelin(NUM_NODES, config=GraphZeppelinConfig(seed=SEED))
-
-
-#: Timed repetitions per path; the median is recorded.  A single-vCPU
-#: CI container time-slices against its host, so one-shot timings swing
-#: 2-3x; for multi-second workloads on shared hosts the median is the
-#: robust estimator (the minimum chases each path's luckiest run), and
-#: the repetitions are *interleaved* across paths (all paths once, then
-#: again) so a load spike degrades one rep of every path instead of
-#: permanently deflating whichever row it happened to land on.
-TIMING_REPS = 3
 
 
 def _release(engine: GraphZeppelin) -> None:
@@ -138,33 +128,38 @@ def test_parallel_ingest_ledger():
     # pool tensors imply identical forests, but both are checked so the
     # ledger records the user-visible guarantee.  Engines are verified
     # and freed as soon as possible -- the pools are hundreds of
-    # megabytes at full scale.
-    timings = {label: [] for label, _, _ in specs}
+    # megabytes at full scale -- except the baseline, which is kept
+    # through the first interleaved pass for the comparisons.
     row_identical = {}
-    baseline, base_forest = None, None
-    for rep in range(TIMING_REPS):
-        for label, _, run in specs:
-            start = time.perf_counter()
-            engine = run()
-            elapsed = max(time.perf_counter() - start, 1e-9)
-            timings[label].append(elapsed)
-            if rep == 0 and label.startswith("serial"):
-                baseline = engine  # kept through the first repetition
-                base_forest = engine.list_spanning_forest().partition_signature()
-                continue
-            if rep == 0 and label.startswith("sharded"):
-                row_identical[label] = bool(
-                    _pools_equal(baseline, engine)
-                    and engine.list_spanning_forest().partition_signature()
-                    == base_forest
-                )
-            _release(engine)
+    reference = {}
+
+    def on_result(label: str, rep: int, engine: GraphZeppelin) -> None:
+        if rep == 0 and label.startswith("serial"):
+            reference["engine"] = engine
+            reference["forest"] = engine.list_spanning_forest().partition_signature()
+            return
+        if rep == 0 and label.startswith("sharded"):
+            row_identical[label] = bool(
+                _pools_equal(reference["engine"], engine)
+                and engine.list_spanning_forest().partition_signature()
+                == reference["forest"]
+            )
+        _release(engine)
+
+    def on_rep_end(rep: int) -> None:
         if rep == 0:
-            _release(baseline)
+            _release(reference.pop("engine"))
+
+    medians = interleaved_medians(
+        [(label, run) for label, _, run in specs],
+        reps=TIMING_REPS,
+        on_result=on_result,
+        on_rep_end=on_rep_end,
+    )
 
     rows = []
     for label, updates, _ in specs:
-        seconds = float(np.median(timings[label]))
+        seconds = medians[label]
         row = {
             "path": label,
             "updates": updates,

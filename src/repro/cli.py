@@ -16,7 +16,24 @@ Four subcommands cover the everyday workflow:
 ``repro-graph components <stream>``
     Ingest a stream file with GraphZeppelin and print the connected
     components (optionally comparing against the exact in-memory
-    reference with ``--verify``).
+    reference with ``--verify``).  ``--distributed K`` splits the
+    stream round-robin across K ingestor processes and XOR-merges
+    their pool snapshots -- bit-identical to serial ingestion.
+
+Three more cover the snapshot/merge plane:
+
+``repro-graph snapshot <stream> <out.snap>``
+    Ingest a stream (or its ``--up-to N`` prefix) and checkpoint the
+    engine's pool to a snapshot file.
+
+``repro-graph resume <snapshot> <stream>``
+    Reload a checkpoint, continue ingesting the stream from the
+    recorded offset, and print the components -- the crash-recovery
+    path, bit-identical to an uninterrupted run.
+
+``repro-graph merge <output> <input> [<input> ...]``
+    XOR-combine snapshots of disjoint sub-streams into one snapshot
+    (by sketch linearity, the snapshot of their union).
 
 The module is also importable: :func:`main` takes an ``argv`` list,
 which is how the tests drive it.
@@ -110,11 +127,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend of the parallel ingest layer (default threads)",
     )
     components_parser.add_argument(
+        "--distributed", type=int, default=None, metavar="K",
+        help="split the stream round-robin across K ingestor processes and "
+             "XOR-merge their pool snapshots (bit-identical to serial ingest)",
+    )
+    components_parser.add_argument(
         "--verify", action="store_true",
         help="also ingest into an exact adjacency matrix and compare answers",
     )
     components_parser.add_argument(
         "--show", type=int, default=10, help="how many components to print (largest first)"
+    )
+
+    snapshot_parser = subparsers.add_parser(
+        "snapshot", help="ingest a stream (prefix) and checkpoint the pool to a file"
+    )
+    snapshot_parser.add_argument("stream", type=Path)
+    snapshot_parser.add_argument("output", type=Path)
+    snapshot_parser.add_argument(
+        "--text", action="store_true", help="the stream file is in the text format"
+    )
+    snapshot_parser.add_argument("--seed", type=int, default=0)
+    snapshot_parser.add_argument(
+        "--up-to", type=int, default=None, metavar="N",
+        help="only ingest the first N updates (default: the whole stream); "
+             "the snapshot records the offset so 'resume' continues there",
+    )
+    snapshot_parser.add_argument(
+        "--ram-budget-mib", type=float, default=None,
+        help="optional RAM budget; the checkpoint streams page by page",
+    )
+    # Engine flags the snapshot command does not expose follow the
+    # components subcommand's defaults; set once so they cannot drift.
+    snapshot_parser.set_defaults(
+        buffering=BufferingMode.LEAF_GUTTERS.value, query_backend="vectorized",
+        workers=1, parallel_backend="threads",
+    )
+
+    resume_parser = subparsers.add_parser(
+        "resume", help="reload a checkpoint, finish the stream, print components"
+    )
+    resume_parser.add_argument("snapshot", type=Path)
+    resume_parser.add_argument("stream", type=Path)
+    resume_parser.add_argument(
+        "--text", action="store_true", help="the stream file is in the text format"
+    )
+    resume_parser.add_argument(
+        "--ram-budget-mib", type=float, default=None,
+        help="optional RAM budget for the resumed engine",
+    )
+    resume_parser.add_argument(
+        "--show", type=int, default=10, help="how many components to print (largest first)"
+    )
+
+    merge_parser = subparsers.add_parser(
+        "merge", help="XOR-combine pool snapshots of disjoint sub-streams"
+    )
+    merge_parser.add_argument("output", type=Path)
+    merge_parser.add_argument("inputs", type=Path, nargs="+")
+    merge_parser.add_argument(
+        "--ram-budget-mib", type=float, default=None,
+        help="merge through a RAM-budgeted paged pool instead of in RAM",
     )
     return parser
 
@@ -127,6 +200,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generate": _cmd_generate,
         "validate": _cmd_validate,
         "components": _cmd_components,
+        "snapshot": _cmd_snapshot,
+        "resume": _cmd_resume,
+        "merge": _cmd_merge,
     }
     return handlers[args.command](args)
 
@@ -182,19 +258,79 @@ def _cmd_validate(args) -> int:
     return 0
 
 
-def _cmd_components(args) -> int:
-    stream = _read_stream(args.stream, args.text)
-    ram_budget = (
-        int(args.ram_budget_mib * 1024 * 1024) if args.ram_budget_mib is not None else None
-    )
-    config = GraphZeppelinConfig(
+def _print_forest(engine, num_nodes: int, ingest_mode: str, show: int) -> None:
+    """The shared tail of every component-printing command."""
+    forest = engine.list_spanning_forest()
+    components = sorted(forest.components(), key=len, reverse=True)
+    print(f"nodes            : {num_nodes}")
+    print(f"updates ingested : {engine.updates_processed} ({ingest_mode})")
+    print(f"components       : {forest.num_components}")
+    print(f"sketch space     : {format_bytes(engine.sketch_bytes())}")
+    pool = engine.tensor_pool
+    if pool is not None and pool.is_paged:
+        page_info = pool.page_stats()
+        print(f"page size        : {page_info['nodes_per_page']} nodes / "
+              f"{format_bytes(page_info['page_payload_bytes'])} "
+              f"({page_info['page_blocks']} blocks)")
+        stats = engine.io_stats
+        lookups = stats.cache_hits + stats.cache_misses
+        print(f"RAM-tier hit rate: {stats.cache_hit_rate:.1%} "
+              f"({stats.cache_hits}/{lookups} lookups, "
+              f"{page_info['resident_pages']}/{page_info['num_pages']} pages resident)")
+    if engine.io_stats is not None:
+        print(f"modelled disk I/O: {engine.io_stats.total_ios} block accesses, "
+              f"{engine.io_stats.modelled_seconds:.3f}s")
+    for position, component in enumerate(components[:show], start=1):
+        members = sorted(component)
+        preview = ", ".join(map(str, members[:12]))
+        suffix = ", ..." if len(members) > 12 else ""
+        print(f"  component {position:3d} (size {len(members):5d}): {preview}{suffix}")
+
+
+def _ram_budget_bytes(args) -> Optional[int]:
+    """The --ram-budget-mib flag as bytes (None = everything in RAM)."""
+    if args.ram_budget_mib is None:
+        return None
+    return int(args.ram_budget_mib * 1024 * 1024)
+
+
+def _engine_config(args, **overrides) -> GraphZeppelinConfig:
+    """Build an engine config from the flags shared by stream commands.
+
+    Subcommands that do not expose every engine flag supply the shared
+    defaults via ``parser.set_defaults`` at parser-construction time.
+    """
+    settings = dict(
         buffering=BufferingMode(args.buffering),
-        ram_budget_bytes=ram_budget,
+        ram_budget_bytes=_ram_budget_bytes(args),
         seed=args.seed,
         query_backend=args.query_backend,
         num_workers=max(args.workers, 1),
         parallel_backend=args.parallel_backend,
     )
+    settings.update(overrides)
+    return GraphZeppelinConfig(**settings)
+
+
+def _cmd_components(args) -> int:
+    stream = _read_stream(args.stream, args.text)
+    config = _engine_config(args)
+    if args.distributed is not None:
+        from repro.distributed.multi_ingestor import distributed_ingest
+
+        engine, report = distributed_ingest(
+            stream.edge_array(),
+            stream.num_nodes,
+            config=config,
+            num_ingestors=max(args.distributed, 1),
+        )
+        ingest_mode = (
+            f"distributed x{report.num_ingestors} "
+            f"(ingest {report.ingest_seconds:.2f}s, merge {report.merge_seconds:.2f}s, "
+            f"snapshots {format_bytes(report.snapshot_bytes)})"
+        )
+        _print_forest(engine, stream.num_nodes, ingest_mode, args.show)
+        return _verify_components(args, stream, engine)
     engine = GraphZeppelin(stream.num_nodes, config=config)
     if args.workers > 1:
         backend = args.parallel_backend
@@ -219,43 +355,86 @@ def _cmd_components(args) -> int:
     else:
         engine.ingest(stream)
         ingest_mode = "serial"
-    forest = engine.list_spanning_forest()
+    _print_forest(engine, stream.num_nodes, ingest_mode, args.show)
+    return _verify_components(args, stream, engine)
 
-    components = sorted(forest.components(), key=len, reverse=True)
-    print(f"nodes            : {stream.num_nodes}")
-    print(f"updates ingested : {engine.updates_processed} ({ingest_mode})")
-    print(f"components       : {forest.num_components}")
-    print(f"sketch space     : {format_bytes(engine.sketch_bytes())}")
-    pool = engine.tensor_pool
-    if pool is not None and pool.is_paged:
-        page_info = pool.page_stats()
-        print(f"page size        : {page_info['nodes_per_page']} nodes / "
-              f"{format_bytes(page_info['page_payload_bytes'])} "
-              f"({page_info['page_blocks']} blocks)")
-        stats = engine.io_stats
-        lookups = stats.cache_hits + stats.cache_misses
-        print(f"RAM-tier hit rate: {stats.cache_hit_rate:.1%} "
-              f"({stats.cache_hits}/{lookups} lookups, "
-              f"{page_info['resident_pages']}/{page_info['num_pages']} pages resident)")
-    if engine.io_stats is not None:
-        print(f"modelled disk I/O: {engine.io_stats.total_ios} block accesses, "
-              f"{engine.io_stats.modelled_seconds:.3f}s")
-    for position, component in enumerate(components[: args.show], start=1):
-        members = sorted(component)
-        preview = ", ".join(map(str, members[:12]))
-        suffix = ", ..." if len(members) > 12 else ""
-        print(f"  component {position:3d} (size {len(members):5d}): {preview}{suffix}")
 
-    if args.verify:
-        reference = AdjacencyMatrixGraph(stream.num_nodes, strict=False)
-        for update in stream:
-            reference.apply_update(update)
-        matches = (
-            reference.spanning_forest().partition_signature()
-            == forest.partition_signature()
+def _verify_components(args, stream, engine) -> int:
+    if not getattr(args, "verify", False):
+        return 0
+    reference = AdjacencyMatrixGraph(stream.num_nodes, strict=False)
+    for update in stream:
+        reference.apply_update(update)
+    matches = (
+        reference.spanning_forest().partition_signature()
+        == engine.list_spanning_forest().partition_signature()
+    )
+    print(f"matches exact reference: {matches}")
+    return 0 if matches else 2
+
+
+def _cmd_snapshot(args) -> int:
+    stream = _read_stream(args.stream, args.text)
+    config = _engine_config(args)
+    engine = GraphZeppelin(stream.num_nodes, config=config)
+    limit = len(stream) if args.up_to is None else min(max(args.up_to, 0), len(stream))
+    engine.ingest_batch(stream.edge_array()[:limit])
+    meta = engine.save_snapshot(args.output, stream_offset=limit)
+    print(f"wrote {args.output}: {meta.num_nodes} nodes, "
+          f"{meta.pool_updates} folded updates, stream offset {meta.stream_offset}, "
+          f"{format_bytes(args.output.stat().st_size)}")
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from repro.distributed.snapshot import read_snapshot_meta
+
+    meta = read_snapshot_meta(args.snapshot)
+    if meta.merged:
+        # A merged snapshot holds a *union* of sub-streams, not a
+        # stream prefix; re-ingesting a stream on top of it would
+        # XOR-cancel the updates it already folded.
+        print(f"error: {args.snapshot} is a merged snapshot, not a resumable "
+              "checkpoint (its state is a union of sub-streams, not a stream "
+              "prefix); query it via 'merge'/'components' instead")
+        return 1
+    stream = _read_stream(args.stream, args.text)
+    ram_budget = _ram_budget_bytes(args)
+    config = None
+    if ram_budget is not None:
+        config = GraphZeppelinConfig(
+            seed=meta.graph_seed, delta=meta.delta, ram_budget_bytes=ram_budget
         )
-        print(f"matches exact reference: {matches}")
-        return 0 if matches else 2
+    engine = GraphZeppelin.load_snapshot(args.snapshot, config=config)
+    offset = engine.resume_offset
+    remaining = stream.edge_array(start=offset)
+    engine.ingest_batch(remaining)
+    mode = f"resumed at offset {offset} (+{remaining.shape[0]} updates)"
+    _print_forest(engine, stream.num_nodes, mode, args.show)
+    return 0
+
+
+def _cmd_merge(args) -> int:
+    from repro.distributed.snapshot import merge_snapshots, save_pool_snapshot
+
+    ram_budget = _ram_budget_bytes(args)
+    memory = None
+    if ram_budget is not None:
+        from repro.memory.hybrid import HybridMemory
+
+        memory = HybridMemory(ram_bytes=ram_budget)
+    pool, meta = merge_snapshots(args.inputs, memory=memory)
+    save_pool_snapshot(
+        pool,
+        args.output,
+        stream_offset=meta.stream_offset,
+        engine_updates=meta.engine_updates,
+        fingerprint=meta.fingerprint,
+        merged=True,
+    )
+    print(f"merged {len(args.inputs)} snapshots -> {args.output}: "
+          f"{meta.num_nodes} nodes, {meta.pool_updates} folded updates, "
+          f"{format_bytes(args.output.stat().st_size)}")
     return 0
 
 

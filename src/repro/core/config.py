@@ -148,6 +148,31 @@ class GraphZeppelinConfig:
         if isinstance(self.buffering, str):
             self.buffering = BufferingMode(self.buffering)
 
+    def sketch_fingerprint(self) -> int:
+        """A 64-bit digest of every field that shapes sketch *state*.
+
+        Two engines whose configs share this fingerprint build
+        bit-identical sketch state from the same update stream: the
+        hash functions (``seed``), the geometry (``delta``), and the
+        bucket layout family (``sketch_backend``) all enter the digest,
+        while fields that only change *how* the state is computed
+        (buffering, RAM budget, workers, page size) deliberately do
+        not -- a snapshot written by an in-RAM engine must load into an
+        out-of-core one.  Snapshots store the fingerprint and refuse to
+        load under a config that would silently misinterpret the
+        buckets.
+        """
+        from repro.hashing.xxhash64 import xxhash64
+
+        # The seed enters masked to 64 bits: hash derivation is
+        # mod-2^64 invariant (property-checked in the snapshot tests)
+        # and snapshot headers store the masked seed, so a checkpoint
+        # written under seed=-1 must fingerprint-match the config
+        # rebuilt from its header.
+        masked_seed = self.seed & 0xFFFFFFFFFFFFFFFF
+        blob = f"{self.delta!r}|{masked_seed}|{self.sketch_backend}".encode("ascii")
+        return xxhash64(blob, seed=0x5A45_5050)
+
     @classmethod
     def in_memory(cls, **overrides) -> "GraphZeppelinConfig":
         """Everything-in-RAM configuration (the Figure 13 setting)."""

@@ -61,7 +61,11 @@ from repro.core.config import BufferingMode, GraphZeppelinConfig
 from repro.core.edge_encoding import EdgeEncoder
 from repro.core.node_sketch import NodeSketch, merged_round_sketch, num_boruvka_rounds
 from repro.core.spanning_forest import SpanningForest
-from repro.exceptions import ConfigurationError, InvalidStreamError
+from repro.exceptions import (
+    ConfigurationError,
+    InvalidStreamError,
+    StreamFormatError,
+)
 from repro.memory.hybrid import HybridMemory, SketchStore
 from repro.memory.metrics import IOStats
 from repro.sketch.flat_node_sketch import FlatNodeSketch, merged_round_query
@@ -166,6 +170,9 @@ class GraphZeppelin:
         # it is cached between queries and invalidated whenever an
         # update touches the sketches (directly or via the buffers).
         self._cached_forest: Optional[SpanningForest] = None
+        # Stream position recorded by the snapshot this engine was
+        # loaded from (0 for a fresh engine): resume ingestion there.
+        self._resume_offset = 0
 
     # ------------------------------------------------------------------
     # stream ingestion (user API)
@@ -398,6 +405,93 @@ class GraphZeppelin:
     def is_connected(self, u: int, v: int) -> bool:
         """Whether ``u`` and ``v`` are currently in the same component."""
         return self.list_spanning_forest().connected(u, v)
+
+    # ------------------------------------------------------------------
+    # snapshots (the distributed plane)
+    # ------------------------------------------------------------------
+    def save_snapshot(self, path, stream_offset: Optional[int] = None):
+        """Checkpoint the engine's sketch state to a snapshot file.
+
+        Buffered updates are flushed first, so the snapshot captures
+        exactly the updates processed so far; the pool (flat or paged)
+        then streams to disk in the versioned format of
+        :mod:`repro.distributed.snapshot`, stamped with this engine's
+        config fingerprint, update counters, and ``stream_offset`` --
+        how far into the input stream this state corresponds to
+        (defaults to ``updates_processed``, which is the position when
+        the stream is consumed sequentially).  Ingestion can continue
+        afterwards; a crash loses only the post-snapshot suffix, which
+        :meth:`load_snapshot` + re-ingesting from the recorded offset
+        replays bit-identically.  Returns the written metadata.
+        """
+        if self._pool is None:
+            raise ConfigurationError(
+                "snapshots require a tensor-pool engine (the flat sketch "
+                "backend); the legacy object stores do not snapshot"
+            )
+        from repro.distributed.snapshot import save_pool_snapshot
+
+        self.flush()
+        offset = self._updates_processed if stream_offset is None else int(stream_offset)
+        return save_pool_snapshot(
+            self._pool,
+            path,
+            stream_offset=offset,
+            engine_updates=self._updates_processed,
+            fingerprint=self.config.sketch_fingerprint(),
+        )
+
+    @classmethod
+    def load_snapshot(
+        cls,
+        path,
+        config: Optional[GraphZeppelinConfig] = None,
+        memory: Optional[HybridMemory] = None,
+    ) -> "GraphZeppelin":
+        """Rebuild an engine from a snapshot written by :meth:`save_snapshot`.
+
+        With no ``config`` the snapshot's own seed and delta are used
+        (everything-in-RAM); a supplied config may change *how* state is
+        held (RAM budget, buffering, workers) but must match the
+        snapshot's sketch fingerprint -- buckets interpreted under
+        different hash functions silently fail every query, so a
+        mismatch raises instead.  The loaded engine's
+        :attr:`resume_offset` is the recorded stream position:
+        re-ingesting the stream from there yields final state
+        bit-identical to a run that never stopped.
+        """
+        from repro.distributed.snapshot import load_snapshot_into, read_snapshot_meta
+
+        meta = read_snapshot_meta(path)
+        if config is None:
+            config = GraphZeppelinConfig(seed=meta.graph_seed, delta=meta.delta)
+        if config.validate_stream:
+            raise ConfigurationError(
+                "cannot resume with validate_stream: the tracked edge set is "
+                "not part of a snapshot"
+            )
+        if meta.fingerprint and config.sketch_fingerprint() != meta.fingerprint:
+            raise StreamFormatError(
+                f"snapshot was written under config fingerprint "
+                f"{meta.fingerprint:#x}, supplied config has "
+                f"{config.sketch_fingerprint():#x}"
+            )
+        engine = cls(meta.num_nodes, config=config, memory=memory)
+        if engine._pool is None:
+            raise ConfigurationError(
+                "snapshot loading requires a tensor-pool engine (the flat "
+                "sketch backend)"
+            )
+        load_snapshot_into(path, engine._pool)
+        engine._updates_processed = meta.engine_updates
+        engine._resume_offset = meta.stream_offset
+        engine._cached_forest = None
+        return engine
+
+    @property
+    def resume_offset(self) -> int:
+        """Stream position of the snapshot this engine was loaded from."""
+        return self._resume_offset
 
     # ------------------------------------------------------------------
     # maintenance

@@ -1,0 +1,533 @@
+"""Pool snapshots: a whole tensor pool as one versioned binary blob.
+
+The on-disk format (version 1, all integers little-endian)::
+
+    header (12 fields, 96 bytes):
+        magic        uint64  "SNAP" + format version in the low word
+        flags        uint64  bit 0: packed buckets; bit 1: written by a
+                             paged pool (informational)
+        num_nodes    uint64
+        graph_seed   uint64  (masked to 64 bits, as the sketch blobs do)
+        num_rounds   uint64
+        num_rows     uint64
+        num_columns  uint64
+        delta        float64
+        pool_updates uint64  the pool's updates_applied counter
+        stream_offset uint64 how many stream updates produced this state
+        engine_updates uint64 the engine's updates_processed counter
+        fingerprint  uint64  GraphZeppelinConfig.sketch_fingerprint()
+    payload:
+        the round-major ``(rounds, nodes, cols, rows)`` bucket tensor in
+        C order -- the packed uint64 tensor, or the uint64 alpha tensor
+        followed by the uint32 gamma tensor in wide mode.
+
+Round-major payload order is what makes snapshots cheap for *both* pool
+flavours: a flat :class:`~repro.sketch.tensor_pool.NodeTensorPool`
+writes its tensors as a straight memory dump, while a
+:class:`~repro.sketch.paged_pool.PagedTensorPool` streams one page's
+round stripe at a time through :class:`~repro.memory.hybrid.HybridMemory`
+(resident pages serve live tensors, spilled pages pay partial-range
+reads) -- the whole pool is never materialised in RAM, going in either
+direction.
+
+Because sketches are linear, snapshots are also the unit of
+*distribution*: :func:`merge_snapshots` XOR-combines the pools of K
+disjoint sub-streams into the pool of their union, bit-identically to
+serial ingestion.  Every loader validates the full header -- and, for
+merges, pairwise compatibility of every input -- before a single bucket
+is touched, so a bad file raises a clear
+:class:`~repro.exceptions.StreamFormatError` and leaves the target pool
+unmutated.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import BinaryIO, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.edge_encoding import EdgeEncoder
+from repro.exceptions import StreamFormatError
+from repro.memory.hybrid import HybridMemory
+from repro.sketch.paged_pool import PagedTensorPool
+from repro.sketch.serialization import check_magic, check_payload_length
+from repro.sketch.tensor_pool import NodeTensorPool
+
+PathLike = Union[str, Path]
+
+#: Magic identifying a pool snapshot ("SNAP" + format version 1).
+SNAPSHOT_MAGIC = 0x534E4150_00000001
+
+_FLAG_PACKED = 1 << 0
+_FLAG_PAGED_ORIGIN = 1 << 1
+#: Set on snapshots produced by merging: their state is a *union* of
+#: sub-streams, not a prefix of any one stream, so resuming a stream on
+#: top of one would XOR-cancel the already-folded updates.
+_FLAG_MERGED = 1 << 2
+
+_HEADER = struct.Struct("<7QdQQQQ")
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+#: Elements per chunk of the streaming flat read/XOR loop (uint64 ->
+#: 8 MiB per chunk).
+_CHUNK_ELEMS = 1 << 20
+
+
+@dataclass(frozen=True)
+class SnapshotMeta:
+    """Everything a snapshot header records about the pool it holds."""
+
+    num_nodes: int
+    graph_seed: int
+    delta: float
+    num_rounds: int
+    num_rows: int
+    num_columns: int
+    packed: bool
+    paged_origin: bool
+    pool_updates: int
+    stream_offset: int
+    engine_updates: int
+    fingerprint: int
+    #: True for snapshots produced by a merge: a union of sub-streams,
+    #: not a resumable stream prefix (``stream_offset`` is meaningless).
+    merged: bool = False
+
+    @property
+    def tensor_elems(self) -> int:
+        return self.num_rounds * self.num_nodes * self.num_columns * self.num_rows
+
+    @property
+    def payload_bytes(self) -> int:
+        """Exact payload length implied by the geometry."""
+        if self.packed:
+            return self.tensor_elems * 8
+        return self.tensor_elems * 12  # uint64 alpha + uint32 gamma
+
+    def section_offset(self, key: str) -> int:
+        """Byte offset of a tensor section inside the snapshot file."""
+        if key in ("packed", "alpha"):
+            return _HEADER.size
+        return _HEADER.size + self.tensor_elems * 8
+
+
+def _pool_meta(
+    pool: NodeTensorPool,
+    stream_offset: int,
+    engine_updates: int,
+    fingerprint: int,
+) -> SnapshotMeta:
+    return SnapshotMeta(
+        num_nodes=pool.num_nodes,
+        graph_seed=pool.graph_seed & _MASK64,
+        delta=pool.delta,
+        num_rounds=pool.num_rounds,
+        num_rows=pool.num_rows,
+        num_columns=pool.num_columns,
+        packed=pool._packed,
+        paged_origin=pool.is_paged,
+        pool_updates=pool.updates_applied,
+        stream_offset=int(stream_offset),
+        engine_updates=int(engine_updates),
+        fingerprint=int(fingerprint) & _MASK64,
+    )
+
+
+def _pack_header(meta: SnapshotMeta) -> bytes:
+    flags = (
+        (_FLAG_PACKED if meta.packed else 0)
+        | (_FLAG_PAGED_ORIGIN if meta.paged_origin else 0)
+        | (_FLAG_MERGED if meta.merged else 0)
+    )
+    return _HEADER.pack(
+        SNAPSHOT_MAGIC,
+        flags,
+        meta.num_nodes,
+        meta.graph_seed,
+        meta.num_rounds,
+        meta.num_rows,
+        meta.num_columns,
+        meta.delta,
+        meta.pool_updates,
+        meta.stream_offset,
+        meta.engine_updates,
+        meta.fingerprint,
+    )
+
+
+def _section_keys(packed: bool) -> Tuple[str, ...]:
+    return ("packed",) if packed else ("alpha", "gamma")
+
+
+def _flat_tensors(pool: NodeTensorPool) -> List[np.ndarray]:
+    if pool._packed:
+        return [pool._buckets]
+    return [pool._alpha, pool._gamma]
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+def save_pool_snapshot(
+    pool: NodeTensorPool,
+    path: PathLike,
+    stream_offset: int = 0,
+    engine_updates: int = 0,
+    fingerprint: int = 0,
+    merged: bool = False,
+) -> SnapshotMeta:
+    """Serialise a whole pool -- flat or paged -- to ``path``.
+
+    The file is written to a temporary sibling and atomically renamed
+    into place, so a crash mid-snapshot never leaves a half-written
+    checkpoint where a resumable one is expected.  A paged pool is
+    streamed one page round stripe at a time (never materialised);
+    ``stream_offset`` / ``engine_updates`` / ``fingerprint`` are the
+    engine-level metadata stamped into the header.  Returns the
+    metadata written.
+    """
+    path = Path(path)
+    meta = replace(
+        _pool_meta(pool, stream_offset, engine_updates, fingerprint), merged=merged
+    )
+    tmp_path = path.with_name(path.name + ".tmp")
+    with tmp_path.open("wb") as handle:
+        handle.write(_pack_header(meta))
+        if pool.is_paged:
+            for key in _section_keys(meta.packed):
+                for round_index in range(meta.num_rounds):
+                    for page in range(pool.num_pages):
+                        stripe = pool._page_round_array(page, key, round_index)
+                        handle.write(np.ascontiguousarray(stripe).tobytes(order="C"))
+        else:
+            for tensor in _flat_tensors(pool):
+                handle.write(np.ascontiguousarray(tensor).tobytes(order="C"))
+    os.replace(tmp_path, path)
+    return meta
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+def read_snapshot_meta(path: PathLike) -> SnapshotMeta:
+    """Read and fully validate a snapshot's header (not its payload).
+
+    Checks the magic (which embeds the format version), and that the
+    file holds *exactly* the payload the geometry implies -- truncated
+    or padded files fail here, before any loader mutates a pool.
+    """
+    path = Path(path)
+    file_bytes = path.stat().st_size
+    if file_bytes < _HEADER.size:
+        raise StreamFormatError(f"{path}: too short to contain a snapshot header")
+    with path.open("rb") as handle:
+        header = handle.read(_HEADER.size)
+    (
+        magic,
+        flags,
+        num_nodes,
+        graph_seed,
+        num_rounds,
+        num_rows,
+        num_columns,
+        delta,
+        pool_updates,
+        stream_offset,
+        engine_updates,
+        fingerprint,
+    ) = _HEADER.unpack(header)
+    check_magic(magic, SNAPSHOT_MAGIC, "snapshot")
+    meta = SnapshotMeta(
+        num_nodes=int(num_nodes),
+        graph_seed=int(graph_seed),
+        delta=float(delta),
+        num_rounds=int(num_rounds),
+        num_rows=int(num_rows),
+        num_columns=int(num_columns),
+        packed=bool(flags & _FLAG_PACKED),
+        paged_origin=bool(flags & _FLAG_PAGED_ORIGIN),
+        merged=bool(flags & _FLAG_MERGED),
+        pool_updates=int(pool_updates),
+        stream_offset=int(stream_offset),
+        engine_updates=int(engine_updates),
+        fingerprint=int(fingerprint),
+    )
+    check_payload_length(
+        file_bytes - _HEADER.size, meta.payload_bytes, f"{path} snapshot payload"
+    )
+    return meta
+
+
+def _check_pool_matches(meta: SnapshotMeta, pool: NodeTensorPool, what: str) -> None:
+    """Reject a snapshot/pool pairing before any bucket is touched."""
+    mismatches = []
+    for field, pool_value in (
+        ("num_nodes", pool.num_nodes),
+        ("num_rounds", pool.num_rounds),
+        ("num_rows", pool.num_rows),
+        ("num_columns", pool.num_columns),
+    ):
+        if getattr(meta, field) != pool_value:
+            mismatches.append(f"{field} {getattr(meta, field)} vs {pool_value}")
+    if mismatches:
+        raise StreamFormatError(f"{what}: geometry mismatch ({'; '.join(mismatches)})")
+    if meta.graph_seed != pool.graph_seed & _MASK64:
+        raise StreamFormatError(
+            f"{what}: written under graph seed {meta.graph_seed}, "
+            f"pool uses {pool.graph_seed & _MASK64}"
+        )
+    if meta.packed != pool._packed:
+        raise StreamFormatError(
+            f"{what}: bucket mode mismatch "
+            f"({'packed' if meta.packed else 'wide'} snapshot, "
+            f"{'packed' if pool._packed else 'wide'} pool)"
+        )
+
+
+def _apply_flat(handle: BinaryIO, pool: NodeTensorPool, xor: bool) -> None:
+    """Stream a snapshot payload into a flat pool's tensors, chunked."""
+    for tensor in _flat_tensors(pool):
+        flat = tensor.reshape(-1)
+        position = 0
+        while position < flat.size:
+            count = min(_CHUNK_ELEMS, flat.size - position)
+            data = handle.read(count * flat.itemsize)
+            if len(data) != count * flat.itemsize:
+                raise StreamFormatError("snapshot payload truncated mid-read")
+            chunk = np.frombuffer(data, dtype=flat.dtype, count=count)
+            if xor:
+                flat[position : position + count] ^= chunk
+            else:
+                flat[position : position + count] = chunk
+            position += count
+
+
+def _read_page_tensors(
+    handle: BinaryIO, meta: SnapshotMeta, pool: PagedTensorPool, page: int
+) -> Tuple[np.ndarray, ...]:
+    """Read one page's ``(rounds, page_nodes, cols, rows)`` tensors.
+
+    Gathers the page's node-range stripe of every round from the
+    round-major payload with seeks -- the paged counterpart of the flat
+    memory dump, sized at one page regardless of pool size.  Tail pages
+    come back zero-padded to the uniform page shape.
+    """
+    lo, hi = pool.page_span(page)
+    nodes = hi - lo
+    row_elems = meta.num_columns * meta.num_rows
+    tensors = []
+    for key, dtype in (
+        (("packed", np.uint64),) if meta.packed else (("alpha", np.uint64), ("gamma", np.uint32))
+    ):
+        itemsize = np.dtype(dtype).itemsize
+        tensor = np.zeros(pool._page_shape(), dtype=dtype)
+        base = meta.section_offset(key)
+        for round_index in range(meta.num_rounds):
+            offset = base + (
+                (round_index * meta.num_nodes + lo) * row_elems
+            ) * itemsize
+            handle.seek(offset)
+            data = handle.read(nodes * row_elems * itemsize)
+            if len(data) != nodes * row_elems * itemsize:
+                raise StreamFormatError("snapshot payload truncated mid-read")
+            tensor[round_index, :nodes] = np.frombuffer(data, dtype=dtype).reshape(
+                nodes, meta.num_columns, meta.num_rows
+            )
+        tensors.append(tensor)
+    return tuple(tensors)
+
+
+def _apply_paged(
+    handle: BinaryIO, meta: SnapshotMeta, pool: PagedTensorPool, xor: bool
+) -> None:
+    """Stream a snapshot payload into a paged pool, one page at a time.
+
+    ``xor=False`` (loading) stores each non-zero page's payload through
+    the hybrid memory -- all-zero pages stay implicitly lazy, and the
+    working set is not polluted with read-only loads.  ``xor=True``
+    (merging) pins each page and XOR-folds in place, so the merge runs
+    under the pool's normal working-set budget.
+    """
+    for page in range(pool.num_pages):
+        tensors = _read_page_tensors(handle, meta, pool, page)
+        if xor:
+            entry = pool._pin(page)
+            try:
+                for target, source in zip(entry, tensors):
+                    target ^= source
+                with pool._lock:
+                    pool._dirty.add(page)
+            finally:
+                pool._unpin(page)
+        else:
+            if not any(tensor.any() for tensor in tensors):
+                continue
+            pool.memory.store(pool._page_key(page), pool._serialize_page(page, tensors))
+
+
+def load_snapshot_into(path: PathLike, pool: NodeTensorPool) -> SnapshotMeta:
+    """Fill an *untouched* pool with a snapshot's bucket state.
+
+    The pool (flat or paged, either bucket mode) must have been built
+    with the same geometry and seed the snapshot records -- validated,
+    along with the payload length, before anything is written.  Returns
+    the snapshot's metadata; the pool's update counter is restored from
+    it.
+    """
+    path = Path(path)
+    meta = read_snapshot_meta(path)
+    _check_pool_matches(meta, pool, str(path))
+    with path.open("rb") as handle:
+        if pool.is_paged:
+            _apply_paged(handle, meta, pool, xor=False)
+        else:
+            handle.seek(_HEADER.size)
+            _apply_flat(handle, pool, xor=False)
+    pool._updates_applied = meta.pool_updates
+    pool._version += 1
+    return meta
+
+
+def _build_pool(
+    meta: SnapshotMeta,
+    memory: Optional[HybridMemory],
+    nodes_per_page: Optional[int],
+) -> NodeTensorPool:
+    """Construct an empty pool matching a snapshot's geometry."""
+    encoder = EdgeEncoder(meta.num_nodes)
+    if memory is not None:
+        pool: NodeTensorPool = PagedTensorPool(
+            meta.num_nodes,
+            encoder,
+            memory=memory,
+            graph_seed=meta.graph_seed,
+            delta=meta.delta,
+            num_rounds=meta.num_rounds,
+            force_wide=not meta.packed,
+            nodes_per_page=nodes_per_page,
+        )
+    else:
+        pool = NodeTensorPool(
+            meta.num_nodes,
+            encoder,
+            graph_seed=meta.graph_seed,
+            delta=meta.delta,
+            num_rounds=meta.num_rounds,
+            force_wide=not meta.packed,
+        )
+    # The derived geometry (rows from the node count, columns from
+    # delta) must reproduce the recorded one, or the snapshot was
+    # written by an incompatible build.
+    _check_pool_matches(meta, pool, "snapshot geometry")
+    return pool
+
+
+def load_pool_snapshot(
+    path: PathLike,
+    memory: Optional[HybridMemory] = None,
+    nodes_per_page: Optional[int] = None,
+) -> Tuple[NodeTensorPool, SnapshotMeta]:
+    """Reconstruct a pool from a snapshot file.
+
+    With ``memory`` (a byte-budgeted
+    :class:`~repro.memory.hybrid.HybridMemory`) the result is an
+    out-of-core :class:`~repro.sketch.paged_pool.PagedTensorPool` --
+    pages stream through the memory as they are read, so a pool far
+    larger than RAM loads under the budget.  Without it the result is
+    an in-RAM :class:`~repro.sketch.tensor_pool.NodeTensorPool`.  The
+    snapshot's own origin does not matter: flat snapshots load paged
+    and vice versa.
+    """
+    meta = read_snapshot_meta(path)
+    pool = _build_pool(meta, memory, nodes_per_page)
+    load_snapshot_into(path, pool)
+    return pool, meta
+
+
+# ----------------------------------------------------------------------
+# merging
+# ----------------------------------------------------------------------
+def _check_snapshots_compatible(paths: Sequence[Path], metas: Sequence[SnapshotMeta]) -> None:
+    """All-pairs compatibility, checked before any payload is read."""
+    first_path, first = paths[0], metas[0]
+    for path, meta in zip(paths[1:], metas[1:]):
+        for field in ("num_nodes", "num_rounds", "num_rows", "num_columns", "packed"):
+            if getattr(meta, field) != getattr(first, field):
+                raise StreamFormatError(
+                    f"{path}: {field} {getattr(meta, field)} does not match "
+                    f"{first_path}'s {getattr(first, field)}"
+                )
+        if meta.graph_seed != first.graph_seed:
+            raise StreamFormatError(
+                f"{path}: graph seed {meta.graph_seed} does not match "
+                f"{first_path}'s {first.graph_seed}; XOR of sketches under "
+                "different hash functions is meaningless"
+            )
+        if meta.fingerprint != first.fingerprint:
+            raise StreamFormatError(
+                f"{path}: config fingerprint {meta.fingerprint:#x} does not "
+                f"match {first_path}'s {first.fingerprint:#x}"
+            )
+
+
+def merge_snapshots_into(
+    paths: Sequence[PathLike], pool: NodeTensorPool
+) -> SnapshotMeta:
+    """XOR every snapshot's buckets into ``pool``; returns merged metadata.
+
+    The distributed driver's merge step: ``pool`` is typically a fresh
+    engine's (all-zero) pool, so the XOR of K snapshots built from
+    disjoint sub-streams leaves it bit-identical to serially ingesting
+    the concatenated stream.  Every header -- and all-pairs
+    compatibility -- is validated *before* the first payload byte is
+    applied, so a bad input leaves the pool unmutated.  Update counters
+    sum; the merged ``stream_offset`` is zero (a union of sub-streams
+    is not a prefix of any one stream).
+    """
+    if not paths:
+        raise ValueError("merge_snapshots_into needs at least one snapshot path")
+    paths = [Path(p) for p in paths]
+    metas = [read_snapshot_meta(p) for p in paths]
+    for path, meta in zip(paths, metas):
+        _check_pool_matches(meta, pool, str(path))
+    _check_snapshots_compatible(paths, metas)
+    for path, meta in zip(paths, metas):
+        with path.open("rb") as handle:
+            if pool.is_paged:
+                _apply_paged(handle, meta, pool, xor=True)
+            else:
+                handle.seek(_HEADER.size)
+                _apply_flat(handle, pool, xor=True)
+    pool.mark_external_updates(sum(meta.pool_updates for meta in metas))
+    return replace(
+        metas[0],
+        pool_updates=sum(meta.pool_updates for meta in metas),
+        engine_updates=sum(meta.engine_updates for meta in metas),
+        stream_offset=0,
+        merged=True,
+    )
+
+
+def merge_snapshots(
+    paths: Sequence[PathLike],
+    memory: Optional[HybridMemory] = None,
+    nodes_per_page: Optional[int] = None,
+) -> Tuple[NodeTensorPool, SnapshotMeta]:
+    """Build one pool holding the XOR of several snapshots.
+
+    By linearity this is the pool of the *union* of the snapshots'
+    update streams -- bit-identical to serially ingesting their
+    concatenation.  ``memory`` selects a paged result (merged page by
+    page under the RAM budget); otherwise the merge lands in an in-RAM
+    pool.
+    """
+    if not paths:
+        raise ValueError("merge_snapshots needs at least one snapshot path")
+    pool = _build_pool(read_snapshot_meta(paths[0]), memory, nodes_per_page)
+    meta = merge_snapshots_into(paths, pool)
+    return pool, meta

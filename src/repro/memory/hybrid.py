@@ -139,12 +139,14 @@ class HybridMemory:
     def reserve(self, nbytes: int) -> int:
         """Carve ``nbytes`` of the RAM budget out of the byte cache.
 
-        A component holding its own deserialised working set (the paged
-        tensor pool's pinned pages) claims that RAM here, so the byte
-        cache plus the component's working set never exceed the
-        configured budget.  Shrinking evicts (and write-backs) any
-        overflow immediately.  Returns the bytes actually reserved
-        (clamped to what the cache still had); a no-op when unbounded.
+        A component holding its own deserialised RAM claims it here, so
+        the byte cache plus every reservation never exceed the
+        configured budget.  Two callers today: the paged tensor pool's
+        pinned page working set (at construction) and its query-side
+        round-slab buffers (at the first query).  Shrinking evicts (and
+        write-backs) any overflow immediately.  Returns the bytes
+        actually reserved (clamped to what the cache still had); a
+        no-op when unbounded.
         """
         if self.is_unbounded:
             return 0

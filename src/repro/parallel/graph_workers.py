@@ -138,7 +138,7 @@ def _fold_shard_task(task: Tuple[int, int, np.ndarray, np.ndarray]) -> int:
     return _WORKER_POOL.fold_shard(dsts, indices, node_lo, node_hi)
 
 
-def _process_context():
+def process_context():
     """Fork on Linux (cheap startup); spawn everywhere else.
 
     Workers attach to the pool by segment name rather than relying on
@@ -146,6 +146,9 @@ def _process_context():
     offers fork but CPython defaults it to spawn there for a reason
     (forking after ObjC/Accelerate initialisation can crash children),
     so fork is only taken where it is the platform default anyway.
+    Shared with the distributed multi-ingestor, whose workers are
+    likewise self-contained (they receive their sub-stream by value and
+    hand results back through snapshot files).
     """
     use_fork = (
         sys.platform.startswith("linux")
@@ -287,7 +290,7 @@ class ShardedIngestor:
                 # Workers attach to the pool tensors by shared-memory
                 # segment name and fold in place.
                 self.pool.to_shared_memory()
-                self._proc_pool = _process_context().Pool(
+                self._proc_pool = process_context().Pool(
                     processes=workers,
                     initializer=_init_shard_worker,
                     initargs=(self.pool.shared_meta(),),

@@ -34,12 +34,14 @@ buffering modes).
 
 RAM accounting.  The pinned working set's bytes are *reserved* out of
 the hybrid memory's byte cache, so pinned pages plus cached payloads
-stay inside the configured budget.  Query-side slab assembly is the
-one deliberate exception: a round's whole-graph slab
+stay inside the configured budget.  Query-side slab assembly is
+charged the same way: each round's whole-graph slab
 (``1 / num_rounds`` of the pool -- exactly what the whole-round query
-engine scans, in RAM or out of core) is materialised as transient
-scratch outside the budget, mirroring the paper's round-at-a-time
-query scans; see the ROADMAP open item on charging query scratch.
+engine scans, in RAM or out of core) is assembled into a persistent
+per-tensor buffer whose bytes are reserved from the byte cache at the
+first query, making the budget a hard ceiling for queries too.  The
+one remaining floor: a budget smaller than a single round slab still
+allocates the buffer, mirroring the one-page working-set floor.
 
 Concurrency: page pin/unpin/evict bookkeeping -- and with it all
 *fold-side* hybrid-memory traffic -- serialises under one lock, while
@@ -209,8 +211,16 @@ class PagedTensorPool(NodeTensorPool):
         self._resident: Dict[int, Tuple[np.ndarray, ...]] = {}
         self._pins: Dict[int, int] = {}
         self._dirty: set = set()
-        #: per-key one-slot cache of the last assembled round slab.
-        self._assembled: Dict[str, Tuple[int, int, np.ndarray]] = {}
+        #: Persistent query-slab scratch, one whole-graph round slab per
+        #: bucket tensor, allocated lazily at the first query and
+        #: *reserved* out of the hybrid memory's byte cache -- query
+        #: scratch is charged against the RAM budget like the fold-side
+        #: working set, not stacked on top of it.
+        self._slab_bufs: Optional[Dict[str, np.ndarray]] = None
+        self._slab_reserved_bytes = 0
+        #: per-key ``(round, version)`` tag of the slab currently held
+        #: in the reusable buffer above.
+        self._assembled: Dict[str, Tuple[int, int]] = {}
         # Working-set telemetry (page_ins counts misses that had to
         # deserialise; partial_reads counts query-side round stripes
         # served by byte-range loads).
@@ -719,27 +729,56 @@ class PagedTensorPool(NodeTensorPool):
         self.partial_reads += 1
         return np.frombuffer(payload, dtype=dtype).reshape(shape)[:nodes]
 
+    def _slab_buffer(self, key: str) -> np.ndarray:
+        """The persistent whole-graph round-slab buffer for one tensor key.
+
+        Allocated once, at the first query, and its bytes are reserved
+        out of the hybrid memory's byte cache
+        (:meth:`~repro.memory.hybrid.HybridMemory.reserve`) -- so the
+        RAM budget is a hard ceiling for queries too, not just folds.
+        Like the one-page working-set floor, a budget smaller than a
+        single round slab still allocates the buffer (a whole-round
+        query cannot scan less than one round); the reservation then
+        simply claims whatever cache capacity remained.
+        """
+        with self._lock:
+            if self._slab_bufs is None:
+                shape = (self.num_nodes, self.num_columns, self.num_rows)
+                if self._packed:
+                    bufs = {"packed": np.empty(shape, dtype=np.uint64)}
+                else:
+                    bufs = {
+                        "alpha": np.empty(shape, dtype=np.uint64),
+                        "gamma": np.empty(shape, dtype=np.uint32),
+                    }
+                self._slab_reserved_bytes = self.memory.reserve(
+                    sum(buf.nbytes for buf in bufs.values())
+                )
+                self._slab_bufs = bufs
+            return self._slab_bufs[key]
+
     def _round_view(self, key: str, round_index: int) -> np.ndarray:
         """Assemble one round's whole-graph slab from its page stripes.
 
         The slab (``1 / num_rounds`` of the pool, exactly what the
-        whole-round query engine scans) is memoised per key until the
+        whole-round query engine scans) is assembled into the
+        budget-reserved reusable buffer and memoised per key until the
         next fold, so a round's phase-1 / phase-2 decodes and the
-        complement trick's whole-slab total share one assembly.
+        complement trick's whole-slab total share one assembly.  The
+        returned array is *reused* by the next round's assembly --
+        callers that outlive the round (``raw_tensors``) must copy.
         """
+        buf = self._slab_buffer(key)
         with self._lock:
-            cached = self._assembled.get(key)
-            if cached is not None and cached[0] == round_index and cached[1] == self._version:
-                return cached[2]
+            if self._assembled.get(key) == (round_index, self._version):
+                return buf
             version = self._version
-        parts = [
-            self._page_round_array(page, key, round_index)
-            for page in range(self.num_pages)
-        ]
-        slab = np.concatenate(parts, axis=0)
+        for page in range(self.num_pages):
+            lo, hi = self.page_span(page)
+            buf[lo:hi] = self._page_round_array(page, key, round_index)
         with self._lock:
-            self._assembled[key] = (round_index, version, slab)
-        return slab
+            self._assembled[key] = (round_index, version)
+        return buf
 
     # ------------------------------------------------------------------
     # per-node views
@@ -794,10 +833,12 @@ class PagedTensorPool(NodeTensorPool):
 
         Assembles every round slab -- the whole pool in RAM -- so this
         is for equivalence tests and small graphs, not the hot path.
+        Each round is copied out of the reusable slab buffer before the
+        next round's assembly overwrites it.
         """
         slabs = [
             np.stack(
-                [self._round_view(key, r) for r in range(self.num_rounds)]
+                [self._round_view(key, r).copy() for r in range(self.num_rounds)]
             )
             for key in (("packed",) if self._packed else ("alpha", "gamma"))
         ]
@@ -815,6 +856,64 @@ class PagedTensorPool(NodeTensorPool):
             "sharded ingest runs on the threads backend"
         )
 
+    def merge_from(self, other) -> None:
+        """XOR another pool into this one, one page at a time.
+
+        The out-of-core counterpart of
+        :meth:`~repro.sketch.tensor_pool.NodeTensorPool.merge_from`:
+        each own page is pinned, XORed with the other pool's matching
+        node range, and marked dirty, so the merge never holds more
+        than the working set in RAM.  The source may be a paged pool
+        with the same page geometry (pages pair up one to one), a flat
+        pool (its round slabs are sliced by view), or -- the rare
+        fallback -- a paged pool with *different* page bounds, which is
+        read one assembled round slab at a time.
+        """
+        self._check_mergeable(other)
+        mismatched_paged = other.is_paged and not np.array_equal(
+            self.page_bounds, other.page_bounds
+        )
+        keys = ("packed",) if self._packed else ("alpha", "gamma")
+        if mismatched_paged:
+            # Round-major outer loop: the source assembles one round
+            # slab per (key, round) instead of once per page.
+            for round_index in range(self.num_rounds):
+                slabs = [other._round_view(key, round_index) for key in keys]
+                for page in range(self.num_pages):
+                    lo, hi = self.page_span(page)
+                    entry = self._pin(page)
+                    try:
+                        for tensor, slab in zip(entry, slabs):
+                            tensor[round_index, : hi - lo] ^= slab[lo:hi]
+                        with self._lock:
+                            self._dirty.add(page)
+                    finally:
+                        self._unpin(page)
+        else:
+            for page in range(self.num_pages):
+                lo, hi = self.page_span(page)
+                entry = self._pin(page)
+                try:
+                    if other.is_paged:
+                        other_entry = other._pin(page)
+                        try:
+                            for tensor, source in zip(entry, other_entry):
+                                tensor ^= source
+                        finally:
+                            other._unpin(page)
+                    else:
+                        for key, tensor in zip(keys, entry):
+                            for round_index in range(self.num_rounds):
+                                tensor[round_index, : hi - lo] ^= other._round_view(
+                                    key, round_index
+                                )[lo:hi]
+                    with self._lock:
+                        self._dirty.add(page)
+                finally:
+                    self._unpin(page)
+        self._version += 1
+        self._updates_applied += other._updates_applied
+
     def page_stats(self) -> Dict[str, int]:
         """Working-set telemetry for reports and the CLI."""
         with self._lock:
@@ -828,6 +927,7 @@ class PagedTensorPool(NodeTensorPool):
                 "page_ins": self.page_ins,
                 "page_writebacks": self.page_writebacks,
                 "partial_reads": self.partial_reads,
+                "query_slab_reserved_bytes": self._slab_reserved_bytes,
             }
 
     def __repr__(self) -> str:

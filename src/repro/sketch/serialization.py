@@ -49,6 +49,26 @@ _FLAT_HEADER_STRUCT = struct.Struct("<7Q")
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 
 
+def check_magic(actual: int, expected: int, what: str) -> None:
+    """Raise a uniform :class:`StreamFormatError` on a magic mismatch.
+
+    Shared by every binary format in the repo (sketch blobs here, pool
+    snapshots in :mod:`repro.distributed.snapshot`): the version is
+    embedded in the magic's low word, so an old reader rejecting a new
+    format -- or a corrupted header -- fails the same way.
+    """
+    if actual != expected:
+        raise StreamFormatError(f"bad {what} magic {actual:#x} (expected {expected:#x})")
+
+
+def check_payload_length(actual: int, expected: int, what: str) -> None:
+    """Raise a uniform :class:`StreamFormatError` on a truncated/padded blob."""
+    if actual != expected:
+        raise StreamFormatError(
+            f"{what} length {actual} does not match expected {expected}"
+        )
+
+
 def cubesketch_to_bytes(sketch: CubeSketch) -> bytes:
     """Serialise a CubeSketch to a compact byte string."""
     alpha, gamma = sketch.raw_arrays()
@@ -73,14 +93,10 @@ def cubesketch_from_bytes(payload: bytes, delta: float = 0.01) -> CubeSketch:
     if len(payload) < _HEADER_STRUCT.size:
         raise StreamFormatError("payload too short to contain a sketch header")
     magic, vector_length, rows, cols, seed = _HEADER_STRUCT.unpack_from(payload)
-    if magic != CUBESKETCH_MAGIC:
-        raise StreamFormatError(f"bad sketch magic {magic:#x}")
-
-    expected = _HEADER_STRUCT.size + 2 * rows * cols * 8
-    if len(payload) != expected:
-        raise StreamFormatError(
-            f"payload length {len(payload)} does not match expected {expected}"
-        )
+    check_magic(magic, CUBESKETCH_MAGIC, "sketch")
+    check_payload_length(
+        len(payload), _HEADER_STRUCT.size + 2 * rows * cols * 8, "sketch payload"
+    )
 
     body = np.frombuffer(payload, dtype=np.uint64, offset=_HEADER_STRUCT.size)
     alpha = body[: rows * cols].reshape(rows, cols)
@@ -145,8 +161,7 @@ def flat_node_sketch_from_bytes(
     magic, node, rounds, rows, cols, num_nodes, stored_seed = (
         _FLAT_HEADER_STRUCT.unpack_from(payload)
     )
-    if magic != FLAT_NODE_SKETCH_MAGIC:
-        raise StreamFormatError(f"bad flat-sketch magic {magic:#x}")
+    check_magic(magic, FLAT_NODE_SKETCH_MAGIC, "flat-sketch")
     if num_nodes != encoder.num_nodes:
         raise StreamFormatError(
             f"flat sketch was built for {num_nodes} nodes, encoder has {encoder.num_nodes}"
@@ -158,11 +173,11 @@ def flat_node_sketch_from_bytes(
         )
 
     tensor_elems = rounds * rows * cols
-    expected = _FLAT_HEADER_STRUCT.size + 2 * tensor_elems * 8
-    if len(payload) != expected:
-        raise StreamFormatError(
-            f"payload length {len(payload)} does not match expected {expected}"
-        )
+    check_payload_length(
+        len(payload),
+        _FLAT_HEADER_STRUCT.size + 2 * tensor_elems * 8,
+        "flat-sketch payload",
+    )
 
     body = np.frombuffer(payload, dtype=np.uint64, offset=_FLAT_HEADER_STRUCT.size)
 

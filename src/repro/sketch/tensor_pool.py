@@ -48,7 +48,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.edge_encoding import EdgeEncoder
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, IncompatibleSketchError
 from repro.sketch.flat_node_sketch import (
     BATCH_CHUNK,
     FlatNodeSketch,
@@ -523,6 +523,64 @@ class NodeTensorPool:
         """
         self._version += 1
         self._updates_applied += int(count)
+
+    # ------------------------------------------------------------------
+    # merging (the distributed plane)
+    # ------------------------------------------------------------------
+    def _check_mergeable(self, other: "NodeTensorPool") -> None:
+        """Reject pools whose XOR would not be the sketch of a stream union.
+
+        Linearity only holds for sketches built under identical hash
+        functions and geometry, and the packed/wide layouts are not
+        byte-compatible, so every one of those parameters must match.
+        Raised *before* any bucket is touched -- a failed merge leaves
+        both pools exactly as they were.
+        """
+        if other is self:
+            raise IncompatibleSketchError(
+                "merging a pool into itself would zero it (XOR is self-inverse)"
+            )
+        if (
+            self.num_nodes != other.num_nodes
+            or self.num_rounds != other.num_rounds
+            or self.num_rows != other.num_rows
+            or self.num_columns != other.num_columns
+        ):
+            raise IncompatibleSketchError(
+                f"pool geometry mismatch: {self!r} cannot merge {other!r}"
+            )
+        if self.graph_seed != other.graph_seed:
+            raise IncompatibleSketchError(
+                f"pool seeds differ ({self.graph_seed} vs {other.graph_seed}); "
+                "XOR of sketches under different hash functions is meaningless"
+            )
+        if self._packed != other._packed:
+            raise IncompatibleSketchError(
+                "packed and wide pools are not byte-compatible; merge like with like"
+            )
+
+    def merge_from(self, other: "NodeTensorPool") -> None:
+        """XOR another pool's buckets into this one (``self ^= other``).
+
+        Sketches are linear: the XOR of two pools built from disjoint
+        update sub-streams is bit-identical to the pool of the
+        concatenated stream, which is what lets independent ingestors
+        each fold a slice of a heavy stream and combine afterwards.
+        ``other`` may be any pool flavour with matching geometry/seed
+        (a paged source is read one round slab at a time); it is not
+        modified.  Update accounting is summed and the slab cache is
+        invalidated, exactly as if the other pool's stream had been
+        folded here.
+        """
+        self._check_mergeable(other)
+        for round_index in range(self.num_rounds):
+            if self._packed:
+                self._buckets[round_index] ^= other._round_view("packed", round_index)
+            else:
+                self._alpha[round_index] ^= other._round_view("alpha", round_index)
+                self._gamma[round_index] ^= other._round_view("gamma", round_index)
+        self._version += 1
+        self._updates_applied += other._updates_applied
 
     def _check_destinations(self, dsts: np.ndarray) -> None:
         """Reject out-of-range destinations before they index the pool.

@@ -41,22 +41,26 @@ class GraphStream:
     def extend(self, updates: Sequence[EdgeUpdate]) -> None:
         self.updates.extend(updates)
 
-    def edge_array(self) -> np.ndarray:
+    def edge_array(self, start: int = 0) -> np.ndarray:
         """The stream's endpoints as an ``(N, 2)`` int64 array.
 
         Over Z_2 an insertion and a deletion are the same toggle, so the
         update-type column is not needed for sketch ingestion; this is
         the columnar input
         :meth:`~repro.core.graph_zeppelin.GraphZeppelin.ingest_batch`
-        consumes.
+        consumes.  ``start`` skips a stream prefix -- the resume path
+        seeks to a snapshot's recorded offset and ingests only the
+        remaining updates.
         """
-        if not self.updates:
+        if start >= len(self.updates):
             return np.empty((0, 2), dtype=np.int64)
         return np.asarray(
-            [(update.u, update.v) for update in self.updates], dtype=np.int64
+            [(update.u, update.v) for update in self.updates[start:]], dtype=np.int64
         )
 
-    def edge_array_chunks(self, chunk_size: int = 1 << 14) -> Iterator[np.ndarray]:
+    def edge_array_chunks(
+        self, chunk_size: int = 1 << 14, start: int = 0
+    ) -> Iterator[np.ndarray]:
         """The stream as consecutive ``(chunk_size, 2)`` edge arrays.
 
         The input side of the sharded ingest pipeline
@@ -64,13 +68,14 @@ class GraphStream:
         the producer partitions chunk ``k + 1`` while the shard workers
         fold chunk ``k``.  The final chunk may be shorter; chunks are
         views of one materialised edge array, so iterating costs no
-        per-chunk copies.
+        per-chunk copies.  ``start`` seeks past a stream prefix (resume
+        from a snapshot offset).
         """
         if chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
-        array = self.edge_array()
-        for start in range(0, array.shape[0], chunk_size):
-            yield array[start : start + chunk_size]
+        array = self.edge_array(start=start)
+        for position in range(0, array.shape[0], chunk_size):
+            yield array[position : position + chunk_size]
 
     # ------------------------------------------------------------------
     def final_edges(self) -> Set[Edge]:
@@ -99,6 +104,19 @@ class GraphStream:
             num_nodes=self.num_nodes,
             updates=list(self.updates[:position]),
             name=name or f"{self.name}[:{position}]",
+        )
+
+    def suffix(self, position: int, name: Optional[str] = None) -> "GraphStream":
+        """The stream from update ``position`` onward.
+
+        The complement of :meth:`prefix`: a snapshot taken at stream
+        offset ``k`` resumes by ingesting ``suffix(k)``, and
+        ``prefix(k)`` + ``suffix(k)`` replay the whole stream.
+        """
+        return GraphStream(
+            num_nodes=self.num_nodes,
+            updates=list(self.updates[position:]),
+            name=name or f"{self.name}[{position}:]",
         )
 
     def counts(self) -> Tuple[int, int]:

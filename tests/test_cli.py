@@ -144,3 +144,97 @@ def test_components_ram_budget_with_processes_coerces_to_threads(tmp_path, capsy
     output = capsys.readouterr().out
     assert "using the threads backend" in output
     assert "(threads x" in output
+
+
+def test_snapshot_resume_roundtrip(tmp_path, capsys):
+    """Kill-and-resume through the CLI matches the uninterrupted run."""
+    stream_path = tmp_path / "kron13.stream"
+    main(["generate", "kron13", str(stream_path), "--scale-reduction", "8", "--seed", "3"])
+    capsys.readouterr()
+    assert main(["components", str(stream_path), "--seed", "5"]) == 0
+    uninterrupted = capsys.readouterr().out
+
+    snap_path = tmp_path / "mid.snap"
+    assert main(
+        ["snapshot", str(stream_path), str(snap_path), "--up-to", "100", "--seed", "5"]
+    ) == 0
+    wrote = capsys.readouterr().out
+    assert "stream offset 100" in wrote
+    assert snap_path.exists()
+
+    assert main(["resume", str(snap_path), str(stream_path)]) == 0
+    resumed = capsys.readouterr().out
+    assert "resumed at offset 100" in resumed
+    # Same components, same counts -- only the ingest-mode line differs.
+    strip = lambda text: [
+        line for line in text.splitlines()
+        if not line.startswith("updates ingested")
+    ]
+    assert strip(resumed) == strip(uninterrupted)
+
+
+def test_cli_merge_snapshots_of_disjoint_substreams(tmp_path, capsys):
+    from repro.core.config import GraphZeppelinConfig
+    from repro.core.graph_zeppelin import GraphZeppelin
+    from repro.distributed.snapshot import load_pool_snapshot
+    from repro.streaming.io import read_stream_binary as read_binary
+    import numpy as np
+
+    stream_path = tmp_path / "kron13.stream"
+    main(["generate", "kron13", str(stream_path), "--scale-reduction", "8", "--seed", "3"])
+    stream = read_binary(stream_path)
+    # Two disjoint sub-streams, written as their own stream files.
+    half_paths = []
+    for part in range(2):
+        sub = GraphStream(
+            num_nodes=stream.num_nodes, updates=stream.updates[part::2], name=f"h{part}"
+        )
+        half_paths.append(tmp_path / f"half{part}.stream")
+        write_stream_binary(sub, half_paths[-1])
+        assert main(
+            ["snapshot", str(half_paths[-1]), str(tmp_path / f"half{part}.snap"),
+             "--seed", "5"]
+        ) == 0
+    capsys.readouterr()
+    merged_path = tmp_path / "merged.snap"
+    assert main(
+        ["merge", str(merged_path),
+         str(tmp_path / "half0.snap"), str(tmp_path / "half1.snap")]
+    ) == 0
+    assert "merged 2 snapshots" in capsys.readouterr().out
+
+    serial = GraphZeppelin(stream.num_nodes, config=GraphZeppelinConfig(seed=5))
+    serial.ingest_batch(stream.edge_array())
+    pool, meta = load_pool_snapshot(merged_path)
+    assert np.array_equal(serial.tensor_pool._buckets, pool._buckets)
+    assert meta.engine_updates == serial.updates_processed
+
+
+def test_components_distributed_matches_reference(tmp_path, capsys):
+    stream_path = tmp_path / "kron13.stream"
+    main(["generate", "kron13", str(stream_path), "--scale-reduction", "8", "--seed", "3"])
+    capsys.readouterr()
+    assert main(
+        ["components", str(stream_path), "--verify", "--seed", "5",
+         "--distributed", "2"]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "distributed x2" in output
+    assert "merge" in output
+    assert "matches exact reference: True" in output
+
+
+def test_resume_refuses_merged_snapshot(tmp_path, capsys):
+    stream_path = tmp_path / "kron13.stream"
+    main(["generate", "kron13", str(stream_path), "--scale-reduction", "8", "--seed", "3"])
+    for part in ("a", "b"):
+        assert main(
+            ["snapshot", str(stream_path), str(tmp_path / f"{part}.snap"), "--seed", "5"]
+        ) == 0
+    merged = tmp_path / "merged.snap"
+    assert main(
+        ["merge", str(merged), str(tmp_path / "a.snap"), str(tmp_path / "b.snap")]
+    ) == 0
+    capsys.readouterr()
+    assert main(["resume", str(merged), str(stream_path)]) == 1
+    assert "merged snapshot" in capsys.readouterr().out
