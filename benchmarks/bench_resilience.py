@@ -1,0 +1,251 @@
+"""Resilience benchmark: checkpoint overhead, recovery time, kill-recovery.
+
+The repo's performance ledger for the fault-tolerance plane (ISSUE 6).
+Four numbers over the same random multi-graph stream:
+
+* ``serial baseline``: chunked ``ingest_batch``, no checkpointing --
+  what the checkpoint overhead is measured against;
+* ``checkpointed``: the same ingest with a
+  :class:`~repro.resilience.checkpoint.Checkpointer` attached at the
+  default interval (every 100k updates, rotating ``keep=2``
+  generations).  Acceptance: **overhead <= 15%** over the baseline;
+* ``recovery``: :func:`~repro.resilience.checkpoint.recover_latest`
+  over the checkpointed run's directory -- how long a crash-restart
+  takes to get back to a queryable engine;
+* ``distributed x3`` fault-free vs ``kill 1-of-3``: supervised
+  distributed ingest where a seeded
+  :class:`~repro.resilience.faults.FaultPlan` SIGKILLs one worker
+  mid-slice; the supervisor re-dispatches it and the merged engine is
+  checked **bit-identical** to the serial baseline -- the self-healing
+  property the plane rests on.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, CI) shrinks the workload and only
+asserts the correctness properties (checkpoints written, recovery
+bit-identity, kill-recovery bit-identity) -- overhead ratios are
+meaningless at smoke scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+from _timing import TIMING_REPS, interleaved_medians
+from conftest import print_table
+
+from repro.analysis.tables import render_table
+from repro.core.config import GraphZeppelinConfig
+from repro.core.graph_zeppelin import GraphZeppelin
+from repro.distributed.multi_ingestor import distributed_ingest
+from repro.generators.random_graphs import random_multigraph_edges
+from repro.parallel.cost_model import usable_cores
+from repro.resilience import CheckpointPolicy, FaultPlan, FaultSpec, recover_latest
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+NUM_NODES = 400 if SMOKE else 2_000
+NUM_EDGES = 2_000 if SMOKE else 300_000
+CHUNK = 1 << 15
+#: The default policy interval (smoke shrinks it so checkpoints happen).
+CHECKPOINT_EVERY = 500 if SMOKE else 250_000
+#: ISSUE 6 acceptance: checkpointing at the default interval may cost at
+#: most this fraction of ingest time.
+MAX_CHECKPOINT_OVERHEAD = 0.15
+#: Which batch the killed worker dies on.  Mid-slice at full scale; the
+#: smoke workload's slices only span one chunk, so the kill lands there.
+KILL_AT_BATCH = 1 if SMOKE else 2
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_resilience.json"
+
+SEED = 23
+
+
+def _pools_equal(a: GraphZeppelin, b: GraphZeppelin) -> bool:
+    return all(
+        np.array_equal(np.asarray(x, dtype=np.uint64), np.asarray(y, dtype=np.uint64))
+        for x, y in zip(a.tensor_pool.raw_tensors(), b.tensor_pool.raw_tensors())
+    )
+
+
+def test_resilience_ledger():
+    edges = random_multigraph_edges(NUM_NODES, NUM_EDGES, seed=5)
+    count = int(edges.shape[0])
+    config = GraphZeppelinConfig(seed=SEED)
+    policy = CheckpointPolicy(every_n_updates=CHECKPOINT_EVERY, keep=2)
+    workroot = Path(tempfile.mkdtemp(prefix="repro-bench-resilience-"))
+
+    def serial():
+        engine = GraphZeppelin(NUM_NODES, config=config)
+        for start in range(0, count, CHUNK):
+            engine.ingest_batch(edges[start : start + CHUNK])
+        return engine, None
+
+    def checkpointed():
+        directory = workroot / f"ckpt-{time.monotonic_ns()}"
+        engine = GraphZeppelin(NUM_NODES, config=config)
+        checkpointer = engine.attach_checkpointer(directory, policy=policy)
+        for start in range(0, count, CHUNK):
+            engine.ingest_batch(edges[start : start + CHUNK])
+        return engine, checkpointer
+
+    kill_plan = FaultPlan(
+        [FaultSpec(site="worker", worker=1, at=KILL_AT_BATCH, mode="kill")],
+        seed=SEED,
+    )
+
+    def distributed(fault_plan):
+        def run():
+            return distributed_ingest(
+                edges,
+                NUM_NODES,
+                config=config,
+                num_ingestors=3,
+                chunk_size=CHUNK,
+                fault_plan=fault_plan,
+            )
+
+        return run
+
+    specs = [
+        ("serial baseline (no checkpoints)", serial),
+        (f"checkpointed (every {CHECKPOINT_EVERY})", checkpointed),
+        ("distributed x3 (fault-free)", distributed(None)),
+        ("distributed x3 (1 worker killed)", distributed(kill_plan)),
+    ]
+
+    reference = {}
+    checkpoints_written = {}
+    checkpoint_dirs = []
+    identical = {}
+    retries = {}
+
+    def on_result(label: str, rep: int, result) -> None:
+        engine, extra = result
+        if label.startswith("serial"):
+            if rep == 0:
+                reference["engine"] = engine
+                reference["forest"] = (
+                    engine.list_spanning_forest().partition_signature()
+                )
+            return
+        if rep == 0:
+            identical[label] = bool(
+                _pools_equal(reference["engine"], engine)
+                and engine.list_spanning_forest().partition_signature()
+                == reference["forest"]
+            )
+        if label.startswith("checkpointed") and extra is not None:
+            checkpoints_written[label] = extra.checkpoints_written
+            checkpoint_dirs.append(extra.directory)
+        if label.startswith("distributed") and extra is not None:
+            retries.setdefault(label, extra.worker_retries)
+
+    def on_rep_end(rep: int) -> None:
+        if rep == TIMING_REPS - 1:
+            reference.pop("engine", None)
+
+    try:
+        medians = interleaved_medians(
+            specs, reps=TIMING_REPS, on_result=on_result, on_rep_end=on_rep_end
+        )
+
+        # Recovery time: newest valid generation back to a queryable
+        # engine (median across the checkpointed runs' directories).
+        recovery_times = []
+        recovered_ok = True
+        for directory in checkpoint_dirs[:TIMING_REPS]:
+            start = time.perf_counter()
+            engine, _path, _skipped = recover_latest(directory, config=config)
+            recovery_times.append(time.perf_counter() - start)
+            engine.ingest_batch(edges[engine.resume_offset :])
+            recovered_ok = recovered_ok and (
+                engine.list_spanning_forest().partition_signature()
+                == reference["forest"]
+            )
+        recovery_seconds = float(np.median(recovery_times))
+    finally:
+        shutil.rmtree(workroot, ignore_errors=True)
+
+    baseline = medians["serial baseline (no checkpoints)"]
+    checkpointed_label = f"checkpointed (every {CHECKPOINT_EVERY})"
+    overhead = medians[checkpointed_label] / baseline - 1.0
+
+    rows = []
+    for label, _ in specs:
+        seconds = medians[label]
+        row = {
+            "path": label,
+            "updates": count,
+            "seconds": round(seconds, 4),
+            "updates_per_sec": round(count / seconds, 1),
+        }
+        if label == checkpointed_label:
+            row["checkpoints"] = checkpoints_written[label]
+            row["overhead_vs_baseline"] = round(overhead, 4)
+        if label in identical:
+            row["bit_identical"] = identical[label]
+        if label in retries:
+            row["worker_retries"] = retries[label]
+        rows.append(row)
+    rows.append(
+        {
+            "path": "recovery (recover_latest)",
+            "updates": count,
+            "seconds": round(recovery_seconds, 4),
+            "bit_identical": recovered_ok,
+        }
+    )
+
+    print_table(
+        render_table(
+            rows,
+            title=(
+                f"Fault-tolerance plane ({NUM_NODES} nodes, {count} edge "
+                f"updates, {usable_cores()} cores{', smoke' if SMOKE else ''})"
+            ),
+        )
+    )
+
+    payload = {
+        "num_nodes": NUM_NODES,
+        "num_edge_updates": count,
+        "cores": usable_cores(),
+        "smoke": SMOKE,
+        "checkpoint_every": CHECKPOINT_EVERY,
+        "checkpoint_overhead": round(overhead, 4),
+        "max_checkpoint_overhead": MAX_CHECKPOINT_OVERHEAD,
+        "recovery_seconds": round(recovery_seconds, 4),
+        "kill_recovery_bit_identical": identical[
+            "distributed x3 (1 worker killed)"
+        ],
+        "rows": rows,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+
+    assert checkpoints_written[checkpointed_label] >= 1, (
+        "the checkpointed run never checkpointed; the overhead number is vacuous"
+    )
+    assert recovered_ok, "recovery + suffix re-ingest diverged from the baseline"
+    assert all(identical.values()), (
+        f"a resilience path diverged from serial ingest: {identical}"
+    )
+    assert retries["distributed x3 (1 worker killed)"] >= 1, (
+        "the kill plan injected nothing; the recovery row measured a "
+        "fault-free run"
+    )
+    if SMOKE:
+        return
+    assert overhead <= MAX_CHECKPOINT_OVERHEAD, (
+        f"checkpointing at the default interval costs {overhead:.1%} "
+        f"(acceptance: <= {MAX_CHECKPOINT_OVERHEAD:.0%})"
+    )
+
+
+if __name__ == "__main__":
+    test_resilience_ledger()

@@ -138,6 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
     components_parser.add_argument(
         "--show", type=int, default=10, help="how many components to print (largest first)"
     )
+    components_parser.add_argument(
+        "--checkpoint-dir", type=Path, default=None, metavar="DIR",
+        help="write rotating generation-numbered checkpoints into DIR during "
+             "ingest; 'resume DIR <stream>' recovers from the newest valid one",
+    )
+    components_parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="checkpoint every N ingested updates (default 250000); "
+             "requires --checkpoint-dir",
+    )
 
     snapshot_parser = subparsers.add_parser(
         "snapshot", help="ingest a stream (prefix) and checkpoint the pool to a file"
@@ -167,7 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
     resume_parser = subparsers.add_parser(
         "resume", help="reload a checkpoint, finish the stream, print components"
     )
-    resume_parser.add_argument("snapshot", type=Path)
+    resume_parser.add_argument(
+        "snapshot", type=Path,
+        help="a snapshot file, or a checkpoint directory (the newest valid "
+             "generation is recovered, falling back across corrupt ones)",
+    )
     resume_parser.add_argument("stream", type=Path)
     resume_parser.add_argument(
         "--text", action="store_true", help="the stream file is in the text format"
@@ -312,9 +326,36 @@ def _engine_config(args, **overrides) -> GraphZeppelinConfig:
     return GraphZeppelinConfig(**settings)
 
 
+def _attach_cli_checkpointer(args, engine):
+    """Wire --checkpoint-dir/--checkpoint-every onto an engine (or None)."""
+    if args.checkpoint_dir is None:
+        return None
+    from repro.resilience.checkpoint import DEFAULT_EVERY_N_UPDATES, CheckpointPolicy
+
+    every = args.checkpoint_every or DEFAULT_EVERY_N_UPDATES
+    return engine.attach_checkpointer(
+        args.checkpoint_dir, policy=CheckpointPolicy(every_n_updates=every)
+    )
+
+
+def _print_checkpointer(checkpointer) -> None:
+    if checkpointer is None:
+        return
+    print(f"checkpoints      : {checkpointer.checkpoints_written} written to "
+          f"{checkpointer.directory} (generation {checkpointer.generation}, "
+          f"{checkpointer.checkpoint_failures} failed)")
+
+
 def _cmd_components(args) -> int:
     stream = _read_stream(args.stream, args.text)
     config = _engine_config(args)
+    if args.checkpoint_every is not None and args.checkpoint_dir is None:
+        print("error: --checkpoint-every requires --checkpoint-dir")
+        return 1
+    if args.checkpoint_dir is not None and args.distributed is not None:
+        print("error: --checkpoint-dir does not combine with --distributed "
+              "(worker snapshots already checkpoint each slice)")
+        return 1
     if args.distributed is not None:
         from repro.distributed.multi_ingestor import distributed_ingest
 
@@ -332,6 +373,7 @@ def _cmd_components(args) -> int:
         _print_forest(engine, stream.num_nodes, ingest_mode, args.show)
         return _verify_components(args, stream, engine)
     engine = GraphZeppelin(stream.num_nodes, config=config)
+    checkpointer = _attach_cli_checkpointer(args, engine)
     if args.workers > 1:
         backend = args.parallel_backend
         pool = engine.tensor_pool
@@ -356,6 +398,7 @@ def _cmd_components(args) -> int:
         engine.ingest(stream)
         ingest_mode = "serial"
     _print_forest(engine, stream.num_nodes, ingest_mode, args.show)
+    _print_checkpointer(checkpointer)
     return _verify_components(args, stream, engine)
 
 
@@ -388,25 +431,64 @@ def _cmd_snapshot(args) -> int:
 
 def _cmd_resume(args) -> int:
     from repro.distributed.snapshot import read_snapshot_meta
+    from repro.exceptions import RecoveryError, StreamFormatError
 
-    meta = read_snapshot_meta(args.snapshot)
-    if meta.merged:
-        # A merged snapshot holds a *union* of sub-streams, not a
-        # stream prefix; re-ingesting a stream on top of it would
-        # XOR-cancel the updates it already folded.
-        print(f"error: {args.snapshot} is a merged snapshot, not a resumable "
-              "checkpoint (its state is a union of sub-streams, not a stream "
-              "prefix); query it via 'merge'/'components' instead")
-        return 1
     stream = _read_stream(args.stream, args.text)
     ram_budget = _ram_budget_bytes(args)
-    config = None
-    if ram_budget is not None:
-        config = GraphZeppelinConfig(
-            seed=meta.graph_seed, delta=meta.delta, ram_budget_bytes=ram_budget
+    if args.snapshot.is_dir():
+        # A checkpoint directory: auto-recover from the newest valid
+        # generation, falling back across torn/corrupt ones.
+        from repro.resilience.checkpoint import recover_latest
+
+        memory = None
+        if ram_budget is not None:
+            from repro.memory.hybrid import HybridMemory
+
+            memory = HybridMemory(ram_bytes=ram_budget)
+        try:
+            engine, snapshot_path, skipped = recover_latest(
+                args.snapshot, memory=memory
+            )
+        except RecoveryError as exc:
+            print(f"error: {exc}")
+            return 1
+        for rejected, reason in skipped:
+            print(f"note: skipped {rejected.name}: {reason}")
+        print(f"recovered from {snapshot_path}")
+    else:
+        snapshot_path = args.snapshot
+        meta = read_snapshot_meta(snapshot_path)
+        if meta.merged:
+            # A merged snapshot holds a *union* of sub-streams, not a
+            # stream prefix; re-ingesting a stream on top of it would
+            # XOR-cancel the updates it already folded.
+            print(f"error: {snapshot_path} is a merged snapshot, not a resumable "
+                  "checkpoint (its state is a union of sub-streams, not a stream "
+                  "prefix); query it via 'merge'/'components' instead")
+            return 1
+        config = None
+        if ram_budget is not None:
+            config = GraphZeppelinConfig(
+                seed=meta.graph_seed, delta=meta.delta, ram_budget_bytes=ram_budget
+            )
+        engine = GraphZeppelin.load_snapshot(snapshot_path, config=config)
+
+    # The checkpoint must actually belong to this stream: a recorded
+    # offset past the end (or a node-count mismatch) means the stream
+    # file is not the one the checkpoint was taken from -- silently
+    # ingesting the empty suffix would "succeed" with wrong state.
+    if engine.num_nodes != stream.num_nodes:
+        raise StreamFormatError(
+            f"checkpoint {snapshot_path} was taken over {engine.num_nodes} "
+            f"nodes, but {args.stream} declares {stream.num_nodes}"
         )
-    engine = GraphZeppelin.load_snapshot(args.snapshot, config=config)
     offset = engine.resume_offset
+    if offset > len(stream):
+        raise StreamFormatError(
+            f"checkpoint {snapshot_path} records stream offset {offset}, but "
+            f"{args.stream} holds only {len(stream)} updates; the stream file "
+            "does not match the one the checkpoint was taken from"
+        )
     remaining = stream.edge_array(start=offset)
     engine.ingest_batch(remaining)
     mode = f"resumed at offset {offset} (+{remaining.shape[0]} updates)"

@@ -89,6 +89,13 @@ class GraphZeppelinConfig:
         both backends are bit-identical under the same seed (the
         property tests assert this), so legacy exists for comparison
         benchmarks and as the reference implementation.
+    io_retry_attempts:
+        Total tries for each hybrid-memory device read/write before the
+        ``OSError`` surfaces (1 = no retry, the default).  Transient
+        device failures -- the kind the fault-injection tests replay --
+        are absorbed by retries; persistent ones still raise.
+    io_retry_backoff_seconds:
+        Base backoff between device-call retries (doubles per retry).
     query_backend:
         ``"vectorized"`` (default) runs connectivity queries through the
         whole-round Boruvka driver: one segmented XOR-reduce plus one
@@ -112,6 +119,8 @@ class GraphZeppelinConfig:
     seed: int = 0
     sketch_backend: str = "flat"
     query_backend: str = "vectorized"
+    io_retry_attempts: int = 1
+    io_retry_backoff_seconds: float = 0.01
 
     def __post_init__(self) -> None:
         if not 0 < self.delta < 1:
@@ -145,6 +154,10 @@ class GraphZeppelinConfig:
             )
         if self.nodes_per_page is not None and self.nodes_per_page < 1:
             raise ConfigurationError("nodes_per_page must be at least 1 or None")
+        if self.io_retry_attempts < 1:
+            raise ConfigurationError("io_retry_attempts must be at least 1")
+        if self.io_retry_backoff_seconds < 0:
+            raise ConfigurationError("io_retry_backoff_seconds must be non-negative")
         if isinstance(self.buffering, str):
             self.buffering = BufferingMode(self.buffering)
 

@@ -109,7 +109,17 @@ class GraphZeppelin:
         if memory is not None:
             self.memory: Optional[HybridMemory] = memory
         elif self.config.ram_budget_bytes is not None:
-            self.memory = HybridMemory(ram_bytes=self.config.ram_budget_bytes)
+            retry = None
+            if self.config.io_retry_attempts > 1:
+                from repro.memory.hybrid import RetryPolicy
+
+                retry = RetryPolicy(
+                    attempts=self.config.io_retry_attempts,
+                    backoff_seconds=self.config.io_retry_backoff_seconds,
+                )
+            self.memory = HybridMemory(
+                ram_bytes=self.config.ram_budget_bytes, retry=retry
+            )
         else:
             self.memory = None
 
@@ -173,6 +183,9 @@ class GraphZeppelin:
         # Stream position recorded by the snapshot this engine was
         # loaded from (0 for a fresh engine): resume ingestion there.
         self._resume_offset = 0
+        # Policy-driven checkpointing, attached via attach_checkpointer;
+        # every ingest entry point notifies it.
+        self._checkpointer = None
 
     # ------------------------------------------------------------------
     # stream ingestion (user API)
@@ -258,6 +271,7 @@ class GraphZeppelin:
                 lo, hi, self.encoder.encode_canonical_pairs(lo, hi)
             )
             self._batches_applied += 1
+            self._note_checkpoint_progress(count)
             return count
 
         dsts = np.concatenate([lo, hi])
@@ -266,6 +280,7 @@ class GraphZeppelin:
             self._apply_emitted(self._buffering.insert_batch(dsts, neighbors))
         else:
             self._apply_grouped(dsts, neighbors)
+        self._note_checkpoint_progress(count)
         return count
 
     def _canonical_edge_columns(self, edges):
@@ -351,6 +366,8 @@ class GraphZeppelin:
         self._cached_forest = None
         if self._pool is not None:
             self._pool.mark_external_updates(2 * int(count))
+        if count:
+            self._note_checkpoint_progress(int(count))
 
     # ------------------------------------------------------------------
     # queries (user API)
@@ -494,6 +511,71 @@ class GraphZeppelin:
         return self._resume_offset
 
     # ------------------------------------------------------------------
+    # checkpointing (the fault-tolerance plane)
+    # ------------------------------------------------------------------
+    def attach_checkpointer(
+        self,
+        directory,
+        policy=None,
+        fault_plan=None,
+        clock=None,
+    ):
+        """Attach a policy-driven :class:`~repro.resilience.checkpoint.Checkpointer`.
+
+        Once attached, every ingest entry point (per-edge, batched, and
+        the parallel barrier) notifies the checkpointer, which writes a
+        rotating generation-numbered snapshot into ``directory``
+        whenever the policy says one is due.  Replaces any previously
+        attached checkpointer and returns the new one.
+        """
+        from repro.resilience.checkpoint import Checkpointer
+
+        kwargs = {"policy": policy, "fault_plan": fault_plan}
+        if clock is not None:
+            kwargs["clock"] = clock
+        self._checkpointer = Checkpointer(self, directory, **kwargs)
+        return self._checkpointer
+
+    def detach_checkpointer(self):
+        """Detach and return the active checkpointer (``None`` if none)."""
+        checkpointer, self._checkpointer = self._checkpointer, None
+        return checkpointer
+
+    @property
+    def checkpointer(self):
+        """The attached checkpointer, or ``None``."""
+        return self._checkpointer
+
+    @classmethod
+    def recover_latest(
+        cls,
+        directory,
+        config: Optional[GraphZeppelinConfig] = None,
+        memory: Optional[HybridMemory] = None,
+    ) -> "GraphZeppelin":
+        """Rebuild an engine from the newest usable checkpoint in ``directory``.
+
+        Generations are scanned newest-first; corrupt or unreadable
+        snapshots (torn writes, partial headers) are skipped and the
+        previous generation is tried, so a crash *during* a checkpoint
+        write still recovers.  Raises
+        :class:`~repro.exceptions.RecoveryError` when no generation is
+        usable.  Re-ingest the stream from the returned engine's
+        :attr:`resume_offset` to catch up bit-identically.
+        """
+        from repro.resilience.checkpoint import recover_latest
+
+        engine, _path, _skipped = recover_latest(
+            directory, config=config, memory=memory
+        )
+        return engine
+
+    def _note_checkpoint_progress(self, count: int) -> None:
+        """Tell the attached checkpointer ``count`` updates just landed."""
+        if self._checkpointer is not None:
+            self._checkpointer.note_updates(count)
+
+    # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
     def flush(self) -> None:
@@ -625,9 +707,11 @@ class GraphZeppelin:
         if self._buffering is None:
             self._apply_batch(Batch(node=u, neighbors=[v]))
             self._apply_batch(Batch(node=v, neighbors=[u]))
+            self._note_checkpoint_progress(1)
             return
         for batch in self._buffering.insert_edge(u, v):
             self._apply_batch(batch)
+        self._note_checkpoint_progress(1)
 
     def _apply_emitted(self, batches: Sequence[Union[Batch, PageBatch]]) -> None:
         """Apply a list of emitted buffer batches, coalescing page columns.

@@ -1,4 +1,4 @@
-"""Distributed ingest: K independent ingestor processes, one XOR merge.
+"""Distributed ingest: K supervised ingestor processes, one XOR merge.
 
 This is the stream-parallel complement of the node-sharded layer in
 :mod:`repro.parallel.graph_workers`: instead of splitting the *node
@@ -7,26 +7,33 @@ round-robin across ``num_ingestors`` worker **processes**, each of
 which builds a complete, independent engine over its sub-stream (using
 the sharded columnar pipeline internally, so every worker keeps the
 int16-radix fold fast path), snapshots its pool, and exits.  The
-coordinator then XOR-merges the snapshots straight into a fresh
-queryable engine's pool -- by sketch linearity, bit-identical to
-serially ingesting the whole stream.
+coordinator XOR-merges each snapshot the moment its worker finishes --
+by sketch linearity, the final pool is bit-identical to serially
+ingesting the whole stream, in *any* merge order.
 
 Round-robin partitioning is deliberate: any partition works (XOR folds
 commute), but round-robin keeps worker loads equal regardless of how
 the stream is ordered, and a worker's slice is a strided view away.
 
 Snapshot files are the hand-off medium because they are also the
-*distribution* medium: the same driver logic runs with workers on other
-machines mailing their snapshot blobs home, and a worker that dies is
-re-run from its slice alone.  Locally the files live in a temporary
-directory and are deleted after the merge unless ``keep_snapshots``.
+*recovery* medium: a worker's slice is self-contained (edges by value
+in, one snapshot file out), so a worker that dies, exits with a bad
+snapshot, or straggles is simply re-run from its slice in a fresh
+process -- the :class:`~repro.resilience.supervisor.WorkerSupervisor`
+owns that loop.  Because the merge is a pure XOR of disjoint
+sub-streams, a run that lost and re-dispatched workers produces pools
+bit-identical to a fault-free run (property-tested).  Locally the files
+live in a temporary directory and are deleted after the merge unless
+``keep_snapshots`` -- including when the run fails.
 """
 
 from __future__ import annotations
 
 import shutil
+import sys
 import tempfile
 import time
+import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
@@ -36,6 +43,10 @@ import numpy as np
 from repro.core.config import GraphZeppelinConfig
 from repro.core.graph_zeppelin import GraphZeppelin
 from repro.exceptions import ConfigurationError
+
+#: How many bytes of a worker's error file travel back in the failure
+#: reason (the full traceback stays on disk until cleanup).
+_ERR_TAIL_BYTES = 2048
 
 
 def partition_round_robin(edges: np.ndarray, num_parts: int) -> List[np.ndarray]:
@@ -66,33 +77,69 @@ class DistributedReport:
     #: ``workdir`` or ``keep_snapshots``); ``None``/empty after cleanup.
     workdir: Optional[str] = None
     snapshot_paths: List[str] = field(default_factory=list)
+    #: Supervisor telemetry: spawn count per worker (1 each when the
+    #: run was fault-free), total re-dispatches, and straggler kills.
+    worker_attempts: List[int] = field(default_factory=list)
+    worker_retries: int = 0
+    straggler_kills: int = 0
 
 
-def _worker_ingest(task: Tuple) -> Tuple[str, int]:
-    """One ingestor process: build a pool from a stream slice, snapshot it.
+def _worker_ingest(task: Tuple) -> None:
+    """One ingestor attempt: build a pool from a stream slice, snapshot it.
 
-    Runs in a worker process.  The engine ingests through the sharded
-    columnar pipeline when it holds a flat in-RAM pool (the shard-local
-    fold keeps numpy's int16 radix sort even at one worker thread);
-    paged pools ingest serially in chunks -- their fold planner already
-    batches per page.  The snapshot records ``stream_offset=0``: a
-    worker's pool is a *slice*, not a prefix, and only the merged total
-    is meaningful.
+    Runs in a worker process under the supervisor.  The engine ingests
+    through the sharded columnar pipeline when it holds a flat in-RAM
+    pool (the shard-local fold keeps numpy's int16 radix sort even at
+    one worker thread); paged pools ingest serially in chunks -- their
+    fold planner already batches per page.  The snapshot records
+    ``stream_offset=0``: a worker's pool is a *slice*, not a prefix,
+    and only the merged total is meaningful.
+
+    The chunk generator consults the fault plan before every chunk, so
+    injected kills/hangs/raises land at a deterministic batch index
+    regardless of ingest path.  Any exception is written to
+    ``<snapshot>.err`` (the supervisor folds its tail into the failure
+    record) before the non-zero exit.
     """
-    num_nodes, config, edges, path, chunk_size = task
-    engine = GraphZeppelin(num_nodes, config=config)
-    pool = engine.tensor_pool
-    if pool is not None and not pool.is_paged:
-        with engine.parallel_ingestor(backend="threads") as ingestor:
-            ingestor.ingest_stream(
-                edges[start : start + chunk_size]
-                for start in range(0, edges.shape[0], chunk_size)
-            )
-    else:
-        for start in range(0, edges.shape[0], chunk_size):
-            engine.ingest_batch(edges[start : start + chunk_size])
-    engine.save_snapshot(path, stream_offset=0)
-    return str(path), engine.updates_processed
+    num_nodes, config, edges, path, chunk_size, worker, attempt, fault_plan = task
+    path = Path(path)
+    err_path = path.with_suffix(path.suffix + ".err")
+    err_path.unlink(missing_ok=True)
+    try:
+        engine = GraphZeppelin(num_nodes, config=config)
+        if fault_plan is not None and engine.memory is not None:
+            engine.memory.fault_plan = fault_plan
+        pool = engine.tensor_pool
+
+        def chunks():
+            for index, start in enumerate(range(0, edges.shape[0], chunk_size)):
+                if fault_plan is not None:
+                    fault_plan.check_worker_batch(worker, attempt, index + 1)
+                yield edges[start : start + chunk_size]
+
+        if pool is not None and not pool.is_paged:
+            with engine.parallel_ingestor(backend="threads") as ingestor:
+                ingestor.ingest_stream(chunks())
+        else:
+            for chunk in chunks():
+                engine.ingest_batch(chunk)
+        engine.save_snapshot(path, stream_offset=0)
+    except BaseException:
+        try:
+            err_path.write_text(traceback.format_exc())
+        except OSError:
+            pass
+        sys.exit(1)
+
+
+def _read_error_tail(path: Path) -> Optional[str]:
+    """Last line of a worker's ``.err`` traceback, for failure context."""
+    try:
+        blob = path.read_bytes()[-_ERR_TAIL_BYTES:]
+    except OSError:
+        return None
+    lines = blob.decode("utf-8", errors="replace").strip().splitlines()
+    return lines[-1] if lines else None
 
 
 def distributed_ingest(
@@ -103,24 +150,41 @@ def distributed_ingest(
     chunk_size: int = 1 << 14,
     workdir: Optional[Union[str, Path]] = None,
     keep_snapshots: bool = False,
+    fault_plan=None,
+    retry=None,
+    straggler_timeout: Optional[float] = None,
 ) -> Tuple[GraphZeppelin, DistributedReport]:
     """Ingest one edge stream across ``num_ingestors`` processes and merge.
 
-    Partitions ``edges`` round-robin, runs one
-    :func:`_worker_ingest` process per slice, then XOR-merges the
-    worker snapshots into a fresh engine built from ``config`` --
-    whose forest, tensors, and update counts are bit-identical to
-    serially ingesting ``edges`` on one engine (property-tested).  The
-    returned report separates ingest wall time from merge time, which
-    is the number the benchmark ledger tracks.
+    Partitions ``edges`` round-robin and runs one :func:`_worker_ingest`
+    process per slice under a
+    :class:`~repro.resilience.supervisor.WorkerSupervisor`: a worker
+    that dies, exits with an unreadable snapshot, or straggles past
+    ``straggler_timeout`` (once a peer has finished) is re-dispatched
+    from its slice with bounded backoff (``retry``, a
+    :class:`~repro.resilience.supervisor.WorkerRetryPolicy`).  Each
+    validated snapshot is XOR-merged into the coordinator's engine the
+    moment it lands -- completed workers are never held up by a slow or
+    re-dispatched peer -- and the final engine's forest, tensors, and
+    update counts are bit-identical to serially ingesting ``edges``
+    on one engine, faults or not (property-tested).  A worker that
+    exhausts its retries raises
+    :class:`~repro.exceptions.WorkerFailure` carrying the worker index
+    and slice size.
+
+    ``fault_plan`` (a :class:`~repro.resilience.faults.FaultPlan`)
+    ships to every worker for deterministic fault injection: worker
+    kills/hangs/raises at chosen batch indices and device-I/O faults in
+    out-of-core configs.
 
     ``config`` needs a flat sketch backend (snapshots are pool-level);
     a RAM-budgeted config works -- each worker builds its own paged
     pool and the merge runs page by page under the coordinator's
     budget.
     """
-    from repro.distributed.snapshot import merge_snapshots_into
+    from repro.distributed.snapshot import merge_snapshots_into, read_snapshot_meta
     from repro.parallel.graph_workers import process_context
+    from repro.resilience.supervisor import WorkerSupervisor
 
     config = config or GraphZeppelinConfig()
     if config.sketch_backend != "flat":
@@ -138,32 +202,84 @@ def distributed_ingest(
 
     parts = partition_round_robin(edges, num_ingestors)
     report = DistributedReport(num_ingestors=num_ingestors)
+    report.per_worker_updates = [0] * num_ingestors
     owns_workdir = workdir is None
     workdir = Path(
         tempfile.mkdtemp(prefix="repro-distributed-") if owns_workdir else workdir
     )
     workdir.mkdir(parents=True, exist_ok=True)
-    tasks = [
-        (num_nodes, config, part, str(workdir / f"ingestor-{k}.snap"), int(chunk_size))
-        for k, part in enumerate(parts)
-    ]
+    paths = [workdir / f"ingestor-{k}.snap" for k in range(num_ingestors)]
+    context = process_context()
+    fingerprint = config.sketch_fingerprint()
+
+    engine = GraphZeppelin(num_nodes, config=config)
+
+    def spawn(worker: int, attempt: int):
+        task = (
+            num_nodes,
+            config,
+            parts[worker],
+            str(paths[worker]),
+            int(chunk_size),
+            worker,
+            attempt,
+            fault_plan,
+        )
+        process = context.Process(
+            target=_worker_ingest, args=(task,), daemon=True
+        )
+        process.start()
+        return process
+
+    def validate(worker: int) -> Optional[str]:
+        try:
+            meta = read_snapshot_meta(paths[worker])
+        except Exception as exc:  # missing, truncated, or torn snapshot
+            return f"snapshot unreadable: {exc}"
+        if meta.num_nodes != num_nodes:
+            return f"snapshot has {meta.num_nodes} nodes, expected {num_nodes}"
+        if meta.fingerprint != fingerprint:
+            return (
+                f"snapshot fingerprint {meta.fingerprint:#x} does not match "
+                f"config fingerprint {fingerprint:#x}"
+            )
+        return None
+
+    def on_complete(worker: int) -> None:
+        # Partial (incremental) merge: XOR this snapshot in now, while
+        # slower or re-dispatched peers are still running.
+        merge_start = time.perf_counter()
+        meta = merge_snapshots_into([paths[worker]], engine.tensor_pool)
+        report.merge_seconds += time.perf_counter() - merge_start
+        engine._updates_processed += meta.engine_updates
+        report.per_worker_updates[worker] = meta.engine_updates
+        report.snapshot_bytes += paths[worker].stat().st_size
+
+    def describe_failure(worker: int) -> Optional[str]:
+        return _read_error_tail(
+            paths[worker].with_suffix(paths[worker].suffix + ".err")
+        )
+
     try:
         ingest_start = time.perf_counter()
-        with process_context().Pool(processes=num_ingestors) as worker_pool:
-            results = worker_pool.map(_worker_ingest, tasks, chunksize=1)
-        report.ingest_seconds = time.perf_counter() - ingest_start
-
-        paths = [Path(path) for path, _ in results]
-        report.per_worker_updates = [count for _, count in results]
-        report.snapshot_bytes = sum(path.stat().st_size for path in paths)
-
-        merge_start = time.perf_counter()
-        engine = GraphZeppelin(num_nodes, config=config)
-        meta = merge_snapshots_into(paths, engine.tensor_pool)
-        engine._updates_processed = meta.engine_updates
+        supervisor = WorkerSupervisor(
+            spawn=spawn,
+            validate=validate,
+            slice_sizes=[part.shape[0] for part in parts],
+            on_complete=on_complete,
+            describe_failure=describe_failure,
+            retry=retry,
+            straggler_timeout=straggler_timeout,
+        )
+        records = supervisor.run()
+        report.ingest_seconds = (
+            time.perf_counter() - ingest_start - report.merge_seconds
+        )
+        report.worker_attempts = [record.attempts for record in records]
+        report.worker_retries = sum(len(record.failures) for record in records)
+        report.straggler_kills = sum(record.straggler_kills for record in records)
+        report.updates_total = engine._updates_processed
         engine._cached_forest = None
-        report.merge_seconds = time.perf_counter() - merge_start
-        report.updates_total = meta.engine_updates
         if not owns_workdir or keep_snapshots:
             report.workdir = str(workdir)
             report.snapshot_paths = [str(path) for path in paths]

@@ -196,18 +196,24 @@ def save_pool_snapshot(
         _pool_meta(pool, stream_offset, engine_updates, fingerprint), merged=merged
     )
     tmp_path = path.with_name(path.name + ".tmp")
-    with tmp_path.open("wb") as handle:
-        handle.write(_pack_header(meta))
-        if pool.is_paged:
-            for key in _section_keys(meta.packed):
-                for round_index in range(meta.num_rounds):
-                    for page in range(pool.num_pages):
-                        stripe = pool._page_round_array(page, key, round_index)
-                        handle.write(np.ascontiguousarray(stripe).tobytes(order="C"))
-        else:
-            for tensor in _flat_tensors(pool):
-                handle.write(np.ascontiguousarray(tensor).tobytes(order="C"))
-    os.replace(tmp_path, path)
+    try:
+        with tmp_path.open("wb") as handle:
+            handle.write(_pack_header(meta))
+            if pool.is_paged:
+                for key in _section_keys(meta.packed):
+                    for round_index in range(meta.num_rounds):
+                        for page in range(pool.num_pages):
+                            stripe = pool._page_round_array(page, key, round_index)
+                            handle.write(np.ascontiguousarray(stripe).tobytes(order="C"))
+            else:
+                for tensor in _flat_tensors(pool):
+                    handle.write(np.ascontiguousarray(tensor).tobytes(order="C"))
+        os.replace(tmp_path, path)
+    except BaseException:
+        # A failed write must not leave a half-written .tmp sibling
+        # around (checkpoint rotation would otherwise accumulate them).
+        tmp_path.unlink(missing_ok=True)
+        raise
     return meta
 
 

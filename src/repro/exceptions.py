@@ -55,6 +55,29 @@ class StorageError(ReproError):
     """The simulated external-memory substrate was used incorrectly."""
 
 
+class WorkerFailure(ReproError, RuntimeError):
+    """A distributed ingest worker died and could not be recovered.
+
+    Carries the worker's round-robin index and the size of its stream
+    slice so the coordinator's error names exactly which part of the
+    stream is unaccounted for.  Built from positional arguments only,
+    so instances survive the pickling a process boundary imposes.
+    """
+
+    def __init__(self, message: str, worker_index: int = -1, slice_size: int = 0):
+        super().__init__(message, worker_index, slice_size)
+        self.message = message
+        self.worker_index = worker_index
+        self.slice_size = slice_size
+
+    def __str__(self) -> str:
+        return self.message
+
+
+class RecoveryError(ReproError):
+    """Automatic crash recovery found no usable checkpoint."""
+
+
 class ConnectivityError(ReproError):
     """The connectivity computation could not produce an answer."""
 

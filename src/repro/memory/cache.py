@@ -109,4 +109,13 @@ class LRUCache:
         key, payload = self._entries.popitem(last=False)
         self._bytes_used -= len(payload)
         if self._on_evict is not None:
-            self._on_evict(key, payload)
+            try:
+                self._on_evict(key, payload)
+            except Exception:
+                # The write-back failed: the payload exists nowhere but
+                # here, so losing the entry would be silent data loss.
+                # Reinsert it at the MRU end (the next eviction sweep
+                # picks a different victim) and let the error surface.
+                self._entries[key] = payload
+                self._bytes_used += len(payload)
+                raise

@@ -15,6 +15,8 @@ where they currently live.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Callable, Dict, Generic, Hashable, Iterator, Optional, Tuple, TypeVar
 
 from repro.exceptions import StorageError
@@ -23,6 +25,34 @@ from repro.memory.cache import LRUCache
 from repro.memory.metrics import IOStats
 
 T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Transient-``OSError`` retry with exponential backoff for device calls.
+
+    Real storage fails transiently (a USB hiccup, an NFS timeout, a
+    thin-provisioned volume briefly full); the hybrid memory retries
+    the failed device call up to ``attempts`` total tries, sleeping
+    ``backoff_seconds * multiplier**i`` between them, before letting
+    the error surface.  Every failed try is counted in
+    :class:`~repro.memory.metrics.IOStats` (``read_failures`` /
+    ``write_failures``), retried or not, so a flaky device is visible
+    even when every retry succeeds.
+    """
+
+    attempts: int = 3
+    backoff_seconds: float = 0.01
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise StorageError("RetryPolicy needs at least one attempt")
+        if self.backoff_seconds < 0:
+            raise StorageError("backoff_seconds must be non-negative")
+
+    def delay(self, failed_attempts: int) -> float:
+        return self.backoff_seconds * self.multiplier ** max(failed_attempts - 1, 0)
 
 
 class HybridMemory:
@@ -37,6 +67,15 @@ class HybridMemory:
         Device block size ``B``.
     profile:
         Latency model of the backing device.
+    retry:
+        Optional :class:`RetryPolicy` wrapping every device read/write
+        in transient-``OSError`` retry with backoff.  ``None`` (the
+        default) surfaces the first failure.
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan`; when set,
+        the plan is consulted before every device call and may raise an
+        injected ``OSError`` -- the deterministic-fault-injection hook
+        of the resilience tests.
     """
 
     def __init__(
@@ -44,10 +83,14 @@ class HybridMemory:
         ram_bytes: Optional[int] = None,
         block_size: int = DEFAULT_BLOCK_SIZE,
         profile: Optional[DeviceProfile] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan=None,
     ) -> None:
         if ram_bytes is not None and ram_bytes < 0:
             raise StorageError("ram_bytes must be non-negative or None")
         self.ram_bytes = ram_bytes
+        self.retry = retry
+        self.fault_plan = fault_plan
         self.stats = IOStats()
         self.device = BlockDevice(block_size=block_size, profile=profile, stats=self.stats)
         capacity = ram_bytes if ram_bytes is not None else (1 << 62)
@@ -84,7 +127,10 @@ class HybridMemory:
         # Read only the blocks the *current* payload spans -- after a
         # smaller re-put the allocation keeps its original capacity, but
         # the stale tail blocks are never touched.
-        payload = self.device.read_blob(start, -(-length // self.block_size))[:length]
+        payload = self._device_call(
+            lambda: self.device.read_blob(start, -(-length // self.block_size)),
+            is_write=False,
+        )[:length]
         self._cache.put(key, payload)
         return payload
 
@@ -114,7 +160,10 @@ class HybridMemory:
         stop = min(offset + length, stored_length)
         first = offset // self.block_size
         last = min(-(-stop // self.block_size), num_blocks)
-        chunk = self.device.read_blob(start + first, last - first)
+        chunk = self._device_call(
+            lambda: self.device.read_blob(start + first, last - first),
+            is_write=False,
+        )
         base = first * self.block_size
         return chunk[offset - base : stop - base]
 
@@ -185,6 +234,39 @@ class HybridMemory:
             self.stats.bytes_read += nbytes
 
     # ------------------------------------------------------------------
+    def _device_call(self, call: Callable[[], T], is_write: bool) -> T:
+        """Run one device read/write through fault injection and retry.
+
+        The fault plan (when present) is consulted before every try --
+        a retried call counts as a fresh device operation, so an
+        injected fault at the k-th write is transient unless the plan
+        also faults the (k+1)-th.  Each ``OSError`` is counted in the
+        failure stats; with a :class:`RetryPolicy` the call is retried
+        with backoff and only the final failure propagates.
+        """
+        attempts = self.retry.attempts if self.retry is not None else 1
+        failed = 0
+        while True:
+            try:
+                if self.fault_plan is not None:
+                    if is_write:
+                        self.fault_plan.on_device_write()
+                    else:
+                        self.fault_plan.on_device_read()
+                return call()
+            except OSError:
+                failed += 1
+                if is_write:
+                    self.stats.write_failures += 1
+                else:
+                    self.stats.read_failures += 1
+                if failed >= attempts:
+                    raise
+                self.stats.io_retries += 1
+                delay = self.retry.delay(failed)
+                if delay > 0:
+                    time.sleep(delay)
+
     def _write_back(self, key: Hashable, payload: bytes) -> None:
         if key in self._dirty:
             self._persist(key, payload)
@@ -194,7 +276,7 @@ class HybridMemory:
         allocation = self._allocations.get(key)
         if allocation is None or allocation[1] < num_blocks:
             start = self._next_block
-            self._next_block += num_blocks
+            fresh_allocation = True
             capacity = num_blocks
         else:
             # Re-put inside an existing allocation: keep its full block
@@ -202,7 +284,12 @@ class HybridMemory:
             # regrows (e.g. a recompacted page) stays in place instead
             # of leaking a fresh allocation.
             start, capacity = allocation[0], allocation[1]
-        self.device.write_blob(start, payload)
+            fresh_allocation = False
+        self._device_call(
+            lambda: self.device.write_blob(start, payload), is_write=True
+        )
+        if fresh_allocation:
+            self._next_block = start + num_blocks
         self._allocations[key] = (start, capacity, len(payload))
         self._dirty.discard(key)
 

@@ -24,6 +24,13 @@ class IOStats:
     modelled_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Device reads/writes that raised ``OSError`` (each failed attempt
+    #: counts once, whether or not a retry later succeeded).
+    read_failures: int = 0
+    write_failures: int = 0
+    #: Failed device calls that were retried by the hybrid memory's
+    #: transient-error policy (successful or not).
+    io_retries: int = 0
 
     @property
     def total_ios(self) -> int:
@@ -50,6 +57,9 @@ class IOStats:
             modelled_seconds=self.modelled_seconds + other.modelled_seconds,
             cache_hits=self.cache_hits + other.cache_hits,
             cache_misses=self.cache_misses + other.cache_misses,
+            read_failures=self.read_failures + other.read_failures,
+            write_failures=self.write_failures + other.write_failures,
+            io_retries=self.io_retries + other.io_retries,
         )
 
     def reset(self) -> None:
@@ -63,6 +73,9 @@ class IOStats:
         self.modelled_seconds = 0.0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.read_failures = 0
+        self.write_failures = 0
+        self.io_retries = 0
 
     def snapshot(self) -> dict:
         """A plain-dict copy, convenient for result tables."""
@@ -76,4 +89,7 @@ class IOStats:
             "modelled_seconds": self.modelled_seconds,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "read_failures": self.read_failures,
+            "write_failures": self.write_failures,
+            "io_retries": self.io_retries,
         }

@@ -1,0 +1,44 @@
+"""Fault tolerance: checkpoint policies, fault injection, self-healing ingest.
+
+Three pillars, one per module:
+
+* :mod:`repro.resilience.checkpoint` -- :class:`CheckpointPolicy` /
+  :class:`Checkpointer` write rotating generation-numbered snapshots as
+  ingest progresses, and :func:`recover_latest` turns the newest valid
+  generation back into an engine after a crash;
+* :mod:`repro.resilience.faults` -- :class:`FaultPlan`, a seeded,
+  deterministic schedule of injected failures (device I/O errors, torn
+  checkpoint writes, killed/hung workers) so every recovery path is
+  property-testable and replayable from a seed;
+* :mod:`repro.resilience.supervisor` -- :class:`WorkerSupervisor`, the
+  bounded-retry / straggler-re-dispatch loop behind
+  :func:`~repro.distributed.multi_ingestor.distributed_ingest`.
+"""
+
+from repro.resilience.checkpoint import (
+    CheckpointPolicy,
+    Checkpointer,
+    checkpoint_filename,
+    list_checkpoints,
+    recover_latest,
+)
+from repro.resilience.faults import FaultPlan, FaultSpec, InjectedFault
+from repro.resilience.supervisor import (
+    WorkerRecord,
+    WorkerRetryPolicy,
+    WorkerSupervisor,
+)
+
+__all__ = [
+    "CheckpointPolicy",
+    "Checkpointer",
+    "checkpoint_filename",
+    "list_checkpoints",
+    "recover_latest",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "WorkerRecord",
+    "WorkerRetryPolicy",
+    "WorkerSupervisor",
+]

@@ -1,0 +1,267 @@
+"""Deterministic fault injection: every recovery path gets a replay button.
+
+A :class:`FaultPlan` is a *seeded, explicit* list of faults to fire at
+three injection sites the fault-tolerance plane defends:
+
+``device.read`` / ``device.write``
+    The :class:`~repro.memory.hybrid.HybridMemory` consults the plan
+    before every block-device call; the k-th read (or write) raises an
+    :class:`InjectedFault` (an ``OSError``), exercising the
+    transient-retry policy, the dirty-eviction failure path, and the
+    surfacing of persistent device errors.
+
+``snapshot``
+    The checkpoint layer consults the plan around every snapshot write:
+    mode ``"torn"`` truncates the just-promoted file at a byte offset
+    (simulating a crash mid-write on a filesystem without atomic
+    rename, or sector corruption), mode ``"raise"`` fails the write
+    before the atomic promote (the previous generation must survive).
+
+``worker``
+    Distributed ingest workers consult the plan at every batch: mode
+    ``"kill"`` hard-exits the process (``os._exit`` -- no cleanup, like
+    a SIGKILL or OOM kill), ``"raise"`` raises mid-ingest, and
+    ``"hang"`` sleeps past any reasonable deadline (a straggler).
+    Worker faults are matched by ``(worker, attempt, at)``, so by
+    default a fault fires on the worker's *first* attempt only and the
+    supervisor's re-dispatch succeeds -- which is exactly the recovery
+    property the tests assert.
+
+Faults are plain data: a plan pickles across process boundaries, and
+:meth:`FaultPlan.random` derives a plan deterministically from a seed,
+so every property-test failure replays from its seed alone.  Sites that
+count operations (device reads/writes, snapshot writes) count *per
+process*; worker faults are stateless index comparisons, so a plan
+copied into K workers still fires each fault exactly where intended.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+#: Exit code a ``"kill"`` worker fault dies with (distinguishable from
+#: a crash exit(1) in supervisor logs; any non-zero code is a failure).
+KILL_EXIT_CODE = 137
+
+#: How long a ``"hang"`` fault sleeps.  Long enough that any sane
+#: straggler timeout fires first; short enough that a test whose
+#: supervisor forgets to kill the straggler still terminates.
+HANG_SECONDS = 60.0
+
+
+class InjectedFault(OSError):
+    """The OSError raised by injected device/snapshot faults.
+
+    A subclass so tests can tell an injected failure from a real one;
+    everything that handles faults catches plain ``OSError``.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    ``site`` is ``"device.read"``, ``"device.write"``, ``"snapshot"``,
+    or ``"worker"``.  ``at`` is the 1-based operation count the fault
+    fires on (device call, snapshot write, or worker batch index).
+    ``worker`` / ``attempt`` scope worker faults; ``attempt`` also
+    scopes snapshot faults (the checkpoint generation counter), letting
+    a plan corrupt generation 3 specifically.  ``offset`` is the byte
+    offset a ``"torn"`` snapshot keeps.
+    """
+
+    site: str
+    at: int = 1
+    mode: str = "raise"  # "raise" | "kill" | "hang" | "torn"
+    worker: Optional[int] = None
+    attempt: int = 0
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.site not in ("device.read", "device.write", "snapshot", "worker"):
+            raise ValueError(f"unknown fault site {self.site!r}")
+        valid_modes = {
+            "device.read": ("raise",),
+            "device.write": ("raise",),
+            "snapshot": ("raise", "torn"),
+            "worker": ("raise", "kill", "hang"),
+        }[self.site]
+        if self.mode not in valid_modes:
+            raise ValueError(
+                f"fault mode {self.mode!r} invalid for site {self.site!r} "
+                f"(valid: {valid_modes})"
+            )
+        if self.at < 1:
+            raise ValueError("fault 'at' counts operations from 1")
+
+
+class FaultPlan:
+    """A deterministic, picklable schedule of faults to inject.
+
+    Build one explicitly from :class:`FaultSpec` entries, or derive one
+    from a seed with :meth:`random`.  All consultation methods are
+    cheap no-ops when no spec matches their site, so production code
+    can carry an (absent) plan at zero cost.
+    """
+
+    def __init__(self, faults: Sequence[FaultSpec] = (), seed: Optional[int] = None):
+        self.faults: Tuple[FaultSpec, ...] = tuple(faults)
+        #: The seed this plan was derived from (replay bookkeeping only).
+        self.seed = seed
+        self._device_reads = 0
+        self._device_writes = 0
+        self._snapshot_writes = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        num_workers: int = 0,
+        max_batches: int = 4,
+        device_faults: int = 0,
+        max_device_ops: int = 32,
+        snapshot_tears: int = 0,
+        max_snapshot_bytes: int = 4096,
+        kill_fraction: float = 0.7,
+    ) -> "FaultPlan":
+        """A seeded plan: random kill points and I/O faults, replayable.
+
+        Picks one first-attempt fault for each of ``num_workers``
+        workers (``kill`` with probability ``kill_fraction``, else
+        ``raise``) at a uniform batch index in ``[1, max_batches]``,
+        plus ``device_faults`` read/write raises and ``snapshot_tears``
+        torn checkpoint writes at uniform offsets.  Same seed, same
+        plan -- the property tests print only the seed on failure.
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        faults: List[FaultSpec] = []
+        for worker in range(num_workers):
+            mode = "kill" if rng.random() < kill_fraction else "raise"
+            faults.append(
+                FaultSpec(
+                    site="worker",
+                    worker=worker,
+                    at=int(rng.integers(1, max_batches + 1)),
+                    mode=mode,
+                )
+            )
+        for _ in range(device_faults):
+            site = "device.read" if rng.random() < 0.5 else "device.write"
+            faults.append(FaultSpec(site=site, at=int(rng.integers(1, max_device_ops + 1))))
+        for _ in range(snapshot_tears):
+            faults.append(
+                FaultSpec(
+                    site="snapshot",
+                    at=int(rng.integers(1, 4)),
+                    mode="torn",
+                    offset=int(rng.integers(0, max_snapshot_bytes)),
+                )
+            )
+        return cls(faults, seed=seed)
+
+    def for_worker(self, worker: int) -> "FaultPlan":
+        """The sub-plan a single worker process needs (fresh counters)."""
+        return FaultPlan(
+            [f for f in self.faults if f.site == "worker" and f.worker == worker],
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # device I/O site (consulted by HybridMemory)
+    # ------------------------------------------------------------------
+    def on_device_read(self) -> None:
+        """Count one device read; raise if the plan says this one fails."""
+        self._device_reads += 1
+        for fault in self.faults:
+            if fault.site == "device.read" and fault.at == self._device_reads:
+                raise InjectedFault(f"injected device read fault #{self._device_reads}")
+
+    def on_device_write(self) -> None:
+        """Count one device write; raise if the plan says this one fails."""
+        self._device_writes += 1
+        for fault in self.faults:
+            if fault.site == "device.write" and fault.at == self._device_writes:
+                raise InjectedFault(f"injected device write fault #{self._device_writes}")
+
+    # ------------------------------------------------------------------
+    # snapshot-write site (consulted by the checkpoint layer)
+    # ------------------------------------------------------------------
+    def before_snapshot_write(self) -> None:
+        """Count one snapshot write; ``raise`` faults fire here (before
+        the atomic promote, so the previous generation stays intact)."""
+        self._snapshot_writes += 1
+        for fault in self.faults:
+            if (
+                fault.site == "snapshot"
+                and fault.mode == "raise"
+                and fault.at == self._snapshot_writes
+            ):
+                raise InjectedFault(
+                    f"injected snapshot write fault #{self._snapshot_writes}"
+                )
+
+    def after_snapshot_write(self, path: Union[str, Path]) -> None:
+        """Apply any ``torn`` fault to the just-written snapshot file.
+
+        Truncating *after* the atomic promote models the failure the
+        rename cannot defend against -- a corrupted or partially
+        persisted file discovered at recovery time -- which is exactly
+        what ``recover_latest`` must fall back across.
+        """
+        for fault in self.faults:
+            if (
+                fault.site == "snapshot"
+                and fault.mode == "torn"
+                and fault.at == self._snapshot_writes
+            ):
+                path = Path(path)
+                size = path.stat().st_size
+                with path.open("r+b") as handle:
+                    handle.truncate(min(fault.offset, size))
+
+    # ------------------------------------------------------------------
+    # worker site (consulted by distributed ingest workers)
+    # ------------------------------------------------------------------
+    def check_worker_batch(self, worker: int, attempt: int, batch_index: int) -> None:
+        """Fire any fault planned for this worker/attempt/batch.
+
+        ``kill`` hard-exits the process with :data:`KILL_EXIT_CODE`
+        (no finally blocks, no atexit -- the supervisor sees exactly
+        what an OOM kill looks like); ``raise`` raises an
+        :class:`InjectedFault`; ``hang`` sleeps :data:`HANG_SECONDS`.
+        """
+        for fault in self.faults:
+            if (
+                fault.site == "worker"
+                and fault.worker == worker
+                and fault.attempt == attempt
+                and fault.at == batch_index
+            ):
+                if fault.mode == "kill":
+                    os._exit(KILL_EXIT_CODE)
+                if fault.mode == "hang":
+                    time.sleep(HANG_SECONDS)
+                    return
+                raise InjectedFault(
+                    f"injected worker fault (worker {worker}, attempt {attempt}, "
+                    f"batch {batch_index})"
+                )
+
+    # ------------------------------------------------------------------
+    def __reduce__(self):
+        # Counters deliberately reset across pickling: each process
+        # counts its own operations, matching the per-process semantics
+        # documented above.
+        return (FaultPlan, (self.faults, self.seed))
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({len(self.faults)} faults, seed={self.seed})"

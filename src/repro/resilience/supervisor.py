@@ -1,0 +1,215 @@
+"""A supervisor loop for per-slice worker processes.
+
+:class:`WorkerSupervisor` is the recovery engine behind self-healing
+distributed ingest: it spawns one process per stream slice, polls them,
+and turns the three ways a worker can go wrong into bounded, replayable
+recovery actions:
+
+* **died** (non-zero exit code, a crash, an OOM/SIGKILL) or **lied**
+  (exited 0 but its result does not validate): the slice is re-run in a
+  fresh process after an exponentially backed-off delay, up to
+  ``max_retries`` times -- a worker's slice is self-contained (it
+  receives its edges by value and hands results back through a
+  snapshot file), which is what makes re-running it from scratch
+  correct;
+* **straggling** (still running ``straggler_timeout`` seconds after
+  some peer finished): the process is killed and its slice re-dispatched
+  like a failure.  Completed peers are *not* held up -- the
+  ``on_complete`` callback fires the moment each worker's result
+  validates, so the coordinator merges finished snapshots while the
+  re-dispatched slice is still running (partial merge);
+* **exhausted** (failures exceed the retry budget): a
+  :class:`~repro.exceptions.WorkerFailure` carrying the worker index
+  and slice size is raised, after every other live worker is
+  terminated.
+
+The supervisor is deliberately mechanism-only: *what* a worker does,
+*how* its result is validated, and *what happens* on completion are
+callbacks, so the distributed ingest driver owns all snapshot/merge
+semantics and the supervisor owns none.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import WorkerFailure
+
+#: How often the poll loop wakes up.  Workers run for whole slices, so
+#: a coarse poll costs nothing; stragglers are detected within one tick.
+POLL_INTERVAL_SECONDS = 0.02
+
+
+@dataclass(frozen=True)
+class WorkerRetryPolicy:
+    """Bounded retry with exponential backoff for failed workers."""
+
+    max_retries: int = 2
+    backoff_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+
+    def delay(self, failures_so_far: int) -> float:
+        """Backoff before re-dispatch number ``failures_so_far``."""
+        return self.backoff_seconds * self.backoff_multiplier ** max(
+            failures_so_far - 1, 0
+        )
+
+
+@dataclass
+class WorkerRecord:
+    """What the supervisor observed about one worker's slice."""
+
+    worker: int
+    slice_size: int
+    attempts: int = 0
+    failures: List[str] = field(default_factory=list)
+    straggler_kills: int = 0
+    completed: bool = False
+
+
+class WorkerSupervisor:
+    """Spawn, watch, retry, and re-dispatch per-slice worker processes.
+
+    Parameters
+    ----------
+    spawn:
+        ``spawn(worker, attempt)`` creates and *starts* the process for
+        one attempt at one slice.  Each attempt must be a fresh process
+        (a dead process object cannot be restarted).
+    validate:
+        ``validate(worker)`` inspects the worker's result after a clean
+        exit; returns ``None`` when the result is usable or a reason
+        string (missing snapshot, truncated header, ...) when the
+        worker must be treated as failed despite exit code 0.
+    slice_sizes:
+        Update count of each worker's slice, for error context.
+    on_complete:
+        Called with the worker index as soon as its result validates;
+        this is where the coordinator merges a finished snapshot.
+    describe_failure:
+        Optional ``describe_failure(worker)`` giving extra context for
+        a failed attempt (e.g. the contents of the worker's error
+        file); folded into the failure record and the final exception.
+    straggler_timeout:
+        With at least one completed peer, a worker older than this many
+        seconds (since its latest spawn) is killed and re-dispatched.
+        ``None`` disables straggler handling.
+    """
+
+    def __init__(
+        self,
+        spawn: Callable[[int, int], "object"],
+        validate: Callable[[int], Optional[str]],
+        slice_sizes: List[int],
+        on_complete: Optional[Callable[[int], None]] = None,
+        describe_failure: Optional[Callable[[int], Optional[str]]] = None,
+        retry: Optional[WorkerRetryPolicy] = None,
+        straggler_timeout: Optional[float] = None,
+        poll_interval: float = POLL_INTERVAL_SECONDS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._spawn = spawn
+        self._validate = validate
+        self._on_complete = on_complete
+        self._describe_failure = describe_failure
+        self.retry = retry or WorkerRetryPolicy()
+        self.straggler_timeout = straggler_timeout
+        self.poll_interval = poll_interval
+        self._clock = clock
+        self.records = [
+            WorkerRecord(worker=k, slice_size=int(size))
+            for k, size in enumerate(slice_sizes)
+        ]
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[WorkerRecord]:
+        """Drive every slice to a validated result (or raise).
+
+        Returns the per-worker records; every record has
+        ``completed=True`` on a normal return.
+        """
+        active: Dict[int, tuple] = {}  # worker -> (process, started_at)
+        try:
+            for record in self.records:
+                active[record.worker] = self._launch(record)
+            while active:
+                for worker in list(active):
+                    process, started_at = active[worker]
+                    record = self.records[worker]
+                    if process.is_alive():
+                        if self._is_straggler(record, started_at):
+                            process.terminate()
+                            process.join()
+                            record.straggler_kills += 1
+                            self._note_failure(
+                                record,
+                                f"straggler killed after "
+                                f"{self._clock() - started_at:.2f}s",
+                            )
+                            active[worker] = self._launch(record)
+                        continue
+                    process.join()
+                    del active[worker]
+                    reason = self._outcome(record, process)
+                    if reason is None:
+                        record.completed = True
+                        if self._on_complete is not None:
+                            self._on_complete(worker)
+                    else:
+                        self._note_failure(record, reason)
+                        active[worker] = self._launch(record)
+                if active:
+                    time.sleep(self.poll_interval)
+        except BaseException:
+            for process, _ in active.values():
+                if process.is_alive():
+                    process.terminate()
+            for process, _ in active.values():
+                process.join()
+            raise
+        return self.records
+
+    # ------------------------------------------------------------------
+    def _launch(self, record: WorkerRecord) -> tuple:
+        if record.attempts > 0:
+            delay = self.retry.delay(len(record.failures))
+            if delay > 0:
+                time.sleep(delay)
+        attempt = record.attempts
+        record.attempts += 1
+        return self._spawn(record.worker, attempt), self._clock()
+
+    def _is_straggler(self, record: WorkerRecord, started_at: float) -> bool:
+        if self.straggler_timeout is None:
+            return False
+        if not any(r.completed for r in self.records if r.worker != record.worker):
+            # Everyone is slow together: that is load, not a straggler.
+            return False
+        return self._clock() - started_at > self.straggler_timeout
+
+    def _outcome(self, record: WorkerRecord, process) -> Optional[str]:
+        """``None`` for a validated success, else the failure reason."""
+        if process.exitcode != 0:
+            reason = f"exit code {process.exitcode}"
+            detail = (
+                self._describe_failure(record.worker)
+                if self._describe_failure is not None
+                else None
+            )
+            return f"{reason}: {detail}" if detail else reason
+        return self._validate(record.worker)
+
+    def _note_failure(self, record: WorkerRecord, reason: str) -> None:
+        record.failures.append(reason)
+        if len(record.failures) > self.retry.max_retries:
+            raise WorkerFailure(
+                f"ingest worker {record.worker} failed "
+                f"{len(record.failures)} time(s) over its "
+                f"{record.slice_size}-update slice, exhausting "
+                f"{self.retry.max_retries} retries "
+                f"(failures: {'; '.join(record.failures)})",
+                worker_index=record.worker,
+                slice_size=record.slice_size,
+            )

@@ -227,6 +227,9 @@ class PagedTensorPool(NodeTensorPool):
         self.page_ins = 0
         self.page_writebacks = 0
         self.partial_reads = 0
+        #: Dirty evictions whose device write-back raised ``OSError``
+        #: (the page stayed resident and dirty -- no data was lost).
+        self.page_writeback_failures = 0
 
     # ------------------------------------------------------------------
     # page geometry
@@ -338,6 +341,14 @@ class PagedTensorPool(NodeTensorPool):
         budget is allowed to overflow -- evicting a page mid-fold would
         lose its updates -- and pressure resolves at the next unpinned
         eviction opportunity.
+
+        A write-back that fails with ``OSError`` (a flaky device; the
+        fault-injection tests replay this) must not lose the page: its
+        buckets exist nowhere but in the evicted tensors.  The victim
+        is restored resident-and-dirty, the failure is counted, and the
+        sweep stops with the budget temporarily overflowed -- the next
+        eviction opportunity retries, exactly like the all-pinned
+        overflow above.
         """
         while len(self._resident) > self.resident_pages:
             victim = next(
@@ -347,21 +358,32 @@ class PagedTensorPool(NodeTensorPool):
                 return
             entry = self._resident.pop(victim)
             if victim in self._dirty:
-                self._write_back(victim, entry)
+                try:
+                    self._write_back(victim, entry)
+                except OSError:
+                    # Still dirty (never discarded); re-residency at the
+                    # MRU end keeps the retry from re-picking it first.
+                    self._resident[victim] = entry
+                    self.page_writeback_failures += 1
+                    return
                 self._dirty.discard(victim)
 
     def sync(self) -> None:
         """Write every dirty resident page back to the hybrid memory.
 
         The working set stays resident (and clean); serialisation and
-        benchmarks call this to make the byte tier authoritative.
+        benchmarks call this to make the byte tier authoritative.  A
+        failed write-back leaves exactly the unwritten pages dirty (the
+        error propagates -- sync callers need the byte tier to actually
+        be authoritative), so a later sync over a healed device
+        finishes the job.
         """
         with self._lock:
             for page in sorted(self._dirty):
                 entry = self._resident.get(page)
                 if entry is not None:
                     self._write_back(page, entry)
-            self._dirty.clear()
+                self._dirty.discard(page)
 
     def resident_page_count(self) -> int:
         with self._lock:
@@ -926,6 +948,7 @@ class PagedTensorPool(NodeTensorPool):
                 "resident_budget": self.resident_pages,
                 "page_ins": self.page_ins,
                 "page_writebacks": self.page_writebacks,
+                "page_writeback_failures": self.page_writeback_failures,
                 "partial_reads": self.partial_reads,
                 "query_slab_reserved_bytes": self._slab_reserved_bytes,
             }

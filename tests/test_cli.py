@@ -238,3 +238,139 @@ def test_resume_refuses_merged_snapshot(tmp_path, capsys):
     capsys.readouterr()
     assert main(["resume", str(merged), str(stream_path)]) == 1
     assert "merged snapshot" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# checkpointing flags and directory recovery
+# ----------------------------------------------------------------------
+def _generated_stream(tmp_path, capsys, name="ckpt.stream"):
+    stream_path = tmp_path / name
+    main(["generate", "kron13", str(stream_path), "--scale-reduction", "8"])
+    capsys.readouterr()
+    return stream_path
+
+
+def test_components_writes_rotating_checkpoints(tmp_path, capsys):
+    stream_path = _generated_stream(tmp_path, capsys)
+    ckpt_dir = tmp_path / "ckpts"
+    assert main(
+        [
+            "components", str(stream_path),
+            "--checkpoint-dir", str(ckpt_dir),
+            "--checkpoint-every", "100",
+        ]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "checkpoints      : 2 written" in output
+    assert len(sorted(ckpt_dir.glob("ckpt-*.snap"))) == 2
+
+
+def test_checkpoint_every_requires_checkpoint_dir(tmp_path, capsys):
+    stream_path = _generated_stream(tmp_path, capsys)
+    assert main(
+        ["components", str(stream_path), "--checkpoint-every", "10"]
+    ) == 1
+    assert "requires --checkpoint-dir" in capsys.readouterr().out
+
+
+def test_checkpoint_dir_rejected_with_distributed(tmp_path, capsys):
+    stream_path = _generated_stream(tmp_path, capsys)
+    assert main(
+        [
+            "components", str(stream_path),
+            "--checkpoint-dir", str(tmp_path / "c"),
+            "--distributed", "2",
+        ]
+    ) == 1
+    assert "--distributed" in capsys.readouterr().out
+
+
+def test_resume_from_checkpoint_directory_matches_serial(tmp_path, capsys):
+    stream_path = _generated_stream(tmp_path, capsys)
+    ckpt_dir = tmp_path / "ckpts"
+    main(
+        [
+            "components", str(stream_path),
+            "--checkpoint-dir", str(ckpt_dir), "--checkpoint-every", "100",
+        ]
+    )
+    capsys.readouterr()
+    assert main(["resume", str(ckpt_dir), str(stream_path)]) == 0
+    resumed = capsys.readouterr().out
+    assert "recovered from" in resumed
+    assert main(["components", str(stream_path)]) == 0
+    serial = capsys.readouterr().out
+
+    def component_lines(text):
+        return [line for line in text.splitlines() if "component" in line]
+
+    assert component_lines(resumed) == component_lines(serial)
+
+
+def test_resume_from_directory_falls_back_across_torn_newest(tmp_path, capsys):
+    stream_path = _generated_stream(tmp_path, capsys)
+    ckpt_dir = tmp_path / "ckpts"
+    main(
+        [
+            "components", str(stream_path),
+            "--checkpoint-dir", str(ckpt_dir), "--checkpoint-every", "100",
+        ]
+    )
+    capsys.readouterr()
+    newest = sorted(ckpt_dir.glob("ckpt-*.snap"))[-1]
+    newest.write_bytes(newest.read_bytes()[:100])
+    assert main(["resume", str(ckpt_dir), str(stream_path)]) == 0
+    output = capsys.readouterr().out
+    assert f"note: skipped {newest.name}" in output
+    assert "recovered from" in output
+
+
+def test_resume_empty_directory_fails_cleanly(tmp_path, capsys):
+    stream_path = _generated_stream(tmp_path, capsys)
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["resume", str(empty), str(stream_path)]) == 1
+    assert "no checkpoints" in capsys.readouterr().out
+
+
+def test_resume_rejects_stream_shorter_than_recorded_offset(tmp_path, capsys):
+    """A snapshot whose offset lies past the end of the stream means the
+    stream file is not the one the checkpoint came from: loud failure,
+    never a silent empty-suffix ingest."""
+    from repro.exceptions import StreamFormatError
+
+    stream_path = _generated_stream(tmp_path, capsys)
+    snap_path = tmp_path / "full.snap"
+    assert main(["snapshot", str(stream_path), str(snap_path)]) == 0
+    capsys.readouterr()
+
+    full = read_stream_binary(stream_path)
+    truncated = GraphStream(
+        num_nodes=full.num_nodes,
+        updates=list(full)[:10],
+        name="truncated",
+    )
+    short_path = tmp_path / "short.stream"
+    write_stream_binary(truncated, short_path)
+    with pytest.raises(StreamFormatError, match="holds only 10 updates"):
+        main(["resume", str(snap_path), str(short_path)])
+
+
+def test_resume_rejects_node_count_mismatch(tmp_path, capsys):
+    from repro.exceptions import StreamFormatError
+
+    stream_path = _generated_stream(tmp_path, capsys)
+    snap_path = tmp_path / "full.snap"
+    assert main(["snapshot", str(stream_path), str(snap_path)]) == 0
+    capsys.readouterr()
+
+    full = read_stream_binary(stream_path)
+    widened = GraphStream(
+        num_nodes=full.num_nodes * 2,
+        updates=list(full),
+        name="widened",
+    )
+    other_path = tmp_path / "other.stream"
+    write_stream_binary(widened, other_path)
+    with pytest.raises(StreamFormatError, match="nodes"):
+        main(["resume", str(snap_path), str(other_path)])

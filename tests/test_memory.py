@@ -327,3 +327,112 @@ def test_sketch_store_external_mode_roundtrips_through_bytes():
     assert store.get("y") == "beta"
     assert memory.stats.total_ios > 0
     store.flush()
+
+
+# ----------------------------------------------------------------------
+# transient-fault retry and failure accounting
+# ----------------------------------------------------------------------
+def test_retry_policy_validation_and_backoff():
+    from repro.memory.hybrid import RetryPolicy
+
+    with pytest.raises(StorageError):
+        RetryPolicy(attempts=0)
+    with pytest.raises(StorageError):
+        RetryPolicy(backoff_seconds=-1.0)
+    policy = RetryPolicy(attempts=3, backoff_seconds=0.01, multiplier=2.0)
+    assert policy.delay(1) == pytest.approx(0.01)
+    assert policy.delay(2) == pytest.approx(0.02)
+
+
+def test_transient_write_fault_retried_and_counted():
+    from repro.memory.hybrid import RetryPolicy
+    from repro.resilience.faults import FaultPlan, FaultSpec
+
+    memory = HybridMemory(
+        ram_bytes=0,
+        block_size=16,
+        retry=RetryPolicy(attempts=3, backoff_seconds=0.0),
+        fault_plan=FaultPlan([FaultSpec(site="device.write", at=1)]),
+    )
+    memory.store("k", b"payload")  # zero-budget: goes straight to device
+    assert memory.load("k") == b"payload"
+    assert memory.stats.write_failures == 1
+    assert memory.stats.io_retries == 1
+
+
+def test_transient_read_fault_retried_and_counted():
+    from repro.memory.hybrid import RetryPolicy
+    from repro.resilience.faults import FaultPlan, FaultSpec
+
+    memory = HybridMemory(
+        ram_bytes=0, block_size=16, retry=RetryPolicy(attempts=2, backoff_seconds=0.0)
+    )
+    memory.store("k", b"payload")
+    memory.fault_plan = FaultPlan([FaultSpec(site="device.read", at=1)])
+    assert memory.load("k") == b"payload"
+    assert memory.stats.read_failures == 1
+    assert memory.stats.io_retries == 1
+
+
+def test_persistent_fault_surfaces_after_retries_exhausted():
+    from repro.memory.hybrid import RetryPolicy
+    from repro.resilience.faults import FaultPlan, FaultSpec, InjectedFault
+
+    memory = HybridMemory(
+        ram_bytes=0,
+        block_size=16,
+        retry=RetryPolicy(attempts=2, backoff_seconds=0.0),
+        fault_plan=FaultPlan(
+            [FaultSpec(site="device.write", at=k) for k in (1, 2)]
+        ),
+    )
+    with pytest.raises(InjectedFault):
+        memory.store("k", b"payload")
+    assert memory.stats.write_failures == 2
+    assert memory.stats.io_retries == 1
+
+
+def test_without_retry_policy_first_failure_surfaces():
+    from repro.resilience.faults import FaultPlan, FaultSpec, InjectedFault
+
+    memory = HybridMemory(
+        ram_bytes=0, block_size=16,
+        fault_plan=FaultPlan([FaultSpec(site="device.write", at=1)]),
+    )
+    with pytest.raises(InjectedFault):
+        memory.store("k", b"payload")
+    assert memory.stats.write_failures == 1
+    assert memory.stats.io_retries == 0
+
+
+def test_failed_fresh_write_does_not_leak_blocks():
+    """A fresh allocation whose write fails must not advance the block
+    cursor, or every retry would burn address space."""
+    from repro.resilience.faults import FaultPlan, FaultSpec, InjectedFault
+
+    memory = HybridMemory(ram_bytes=0, block_size=16)
+    memory.fault_plan = FaultPlan([FaultSpec(site="device.write", at=1)])
+    with pytest.raises(InjectedFault):
+        memory.store("k", b"payload")
+    assert memory._next_block == 0
+    memory.fault_plan = None
+    memory.store("k", b"payload")
+    assert memory.load("k") == b"payload"
+    assert memory._next_block == 1
+
+
+def test_cache_eviction_keeps_payload_when_write_back_raises():
+    """A raising eviction callback must not lose the evicted payload."""
+    calls = []
+
+    def failing_write_back(key, payload):
+        calls.append(key)
+        raise OSError("device full")
+
+    cache = LRUCache(32, on_evict=failing_write_back)
+    cache.put("a", b"A" * 24)
+    with pytest.raises(OSError):
+        cache.put("b", b"B" * 24)
+    assert calls == ["a"]
+    # "a" was reinserted at the MRU end; nothing was lost.
+    assert "a" in cache and cache.get("a") == b"A" * 24

@@ -301,3 +301,76 @@ def test_working_set_is_reserved_from_the_ram_budget():
     reserved = pool.resident_pages * pool.page_payload_bytes(0)
     assert memory._cache.capacity_bytes == before - reserved
     assert reserved + memory._cache.capacity_bytes <= (1 << 20)
+
+
+# ----------------------------------------------------------------------
+# eviction write-back failure (the fault-injection contract)
+# ----------------------------------------------------------------------
+def test_failed_dirty_eviction_keeps_page_resident_and_dirty():
+    """A device store that raises mid-write-back must lose nothing: the
+    victim stays resident and dirty, the failure is counted, and a later
+    healed sync persists the buckets bit-identically."""
+    from repro.resilience.faults import FaultPlan, FaultSpec
+
+    encoder = EdgeEncoder(24)
+    memory = HybridMemory(ram_bytes=0, block_size=1024)
+    pool = PagedTensorPool(
+        24, encoder, memory=memory, graph_seed=3, nodes_per_page=4, resident_pages=2
+    )
+    reference = NodeTensorPool(24, encoder, graph_seed=3)
+    rng = np.random.default_rng(7)
+    u = rng.integers(0, 24, 60)
+    v = (u + 1 + rng.integers(0, 22, 60)) % 24
+    lo, hi = np.minimum(u, v), np.maximum(u, v)
+    idx = encoder.encode_canonical_pairs(lo, hi)
+    pool.apply_edges(lo, hi, idx)
+    reference.apply_edges(lo, hi, idx)
+
+    assert pool._dirty, "fold should have left dirty resident pages"
+    victim = next(iter(pool._resident))
+    assert victim in pool._dirty
+
+    memory.fault_plan = FaultPlan([FaultSpec(site="device.write", at=1)])
+    pool.resident_pages = 0  # force eviction pressure on every page
+    pool._evict_to_budget()
+
+    assert pool.page_writeback_failures == 1
+    assert pool.page_stats()["page_writeback_failures"] == 1
+    assert memory.stats.write_failures == 1
+    # The victim survived the failed write-back, still dirty.
+    assert victim in pool._resident
+    assert victim in pool._dirty
+
+    # Healed device: sync drains every dirty page and state is intact.
+    memory.fault_plan = None
+    pool.resident_pages = 2
+    pool.sync()
+    assert not pool._dirty
+    _assert_pools_identical(reference, pool)
+
+
+def test_sync_failure_leaves_exactly_unwritten_pages_dirty():
+    from repro.resilience.faults import FaultPlan, FaultSpec, InjectedFault
+
+    encoder = EdgeEncoder(24)
+    memory = HybridMemory(ram_bytes=0, block_size=1024)
+    pool = PagedTensorPool(
+        24, encoder, memory=memory, graph_seed=3, nodes_per_page=4,
+        resident_pages=6,
+    )
+    rng = np.random.default_rng(9)
+    u = rng.integers(0, 24, 60)
+    v = (u + 1 + rng.integers(0, 22, 60)) % 24
+    lo, hi = np.minimum(u, v), np.maximum(u, v)
+    pool.apply_edges(lo, hi, encoder.encode_canonical_pairs(lo, hi))
+    dirty_before = set(pool._dirty)
+    assert len(dirty_before) >= 2
+
+    # Fail the second write of the sync sweep: exactly one page drains.
+    memory.fault_plan = FaultPlan([FaultSpec(site="device.write", at=2)])
+    with pytest.raises(InjectedFault):
+        pool.sync()
+    assert len(pool._dirty) == len(dirty_before) - 1
+    memory.fault_plan = None
+    pool.sync()
+    assert not pool._dirty
