@@ -1,0 +1,319 @@
+"""Integrity benchmark: checksum overhead, scrub throughput, read-repair.
+
+The repo's performance ledger for the integrity plane (ISSUE 7).
+Five numbers over the same random multi-graph stream, all on the
+out-of-core (paged) engine -- the only tier where silent corruption
+has somewhere to hide:
+
+* ``checksummed ingest``: the default path -- every device block and
+  cached payload carries an xxHash-style digest, verified on every
+  load.  Acceptance: **overhead <= 5%** over the unchecked baseline at
+  the default page/block size;
+* ``unchecked ingest``: the same engine fed an explicit
+  ``HybridMemory(verify_checksums=False)`` -- what the checksum tax is
+  measured against.  Must stay **bit-identical** to the checked run
+  (verification never perturbs state);
+* ``scrub``: a full :meth:`~repro.core.graph_zeppelin.GraphZeppelin.
+  scrub_storage` pass over the settled engine -- clean storage must
+  report **zero** corrupt pages (no false positives) while touching
+  every allocated block;
+* ``read-repair``: one seeded bit flipped in a spilled device block,
+  then :func:`~repro.integrity.repair.scrub_and_repair` -- detect,
+  restore the page from the newest valid checkpoint, replay the
+  stream suffix.  The healed engine must be **bit-identical** to a
+  fault-free run (tensors, forest, update counters);
+* ``v1 snapshot load``: a pre-digest (version-1) snapshot crafted from
+  a v2 file still loads, flagged unverified -- the compatibility
+  contract for checkpoints written before this plane existed.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, CI) shrinks the workload and only
+asserts the correctness properties (detection, repair bit-identity,
+zero false positives, v1 compatibility) -- the overhead ratio is
+meaningless at smoke scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import struct
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+from _timing import TIMING_REPS, interleaved_medians
+from conftest import print_table
+
+from repro.analysis.tables import render_table
+from repro.core.config import GraphZeppelinConfig
+from repro.core.graph_zeppelin import GraphZeppelin
+from repro.generators.random_graphs import random_multigraph_edges
+from repro.integrity.repair import scrub_and_repair
+from repro.memory.hybrid import HybridMemory
+from repro.parallel.cost_model import usable_cores
+from repro.resilience import CheckpointPolicy
+from repro.sketch.sizes import node_sketch_size_bytes
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+NUM_NODES = 400 if SMOKE else 2_000
+NUM_EDGES = 2_000 if SMOKE else 60_000
+CHUNK = 500 if SMOKE else 1 << 13
+#: ISSUE 7 acceptance: checksummed ingest may cost at most this
+#: fraction over the unchecked baseline at the default block size.
+MAX_CHECKSUM_OVERHEAD = 0.05
+#: Checkpoint cadence for the read-repair row (fires at ingest-call
+#: boundaries, so it must be <= the number of updates per a few chunks).
+CHECKPOINT_EVERY = max(CHUNK, NUM_EDGES // 4)
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_integrity.json"
+
+SEED = 31
+
+
+def _ram_budget() -> int:
+    # An eighth of the sketch-state bytes: most pages live spilled on
+    # the simulated device, so every ingest round trip pays (or skips)
+    # the block digests -- the regime the overhead bound is about.
+    return node_sketch_size_bytes(NUM_NODES) * NUM_NODES // 8
+
+
+def _config() -> GraphZeppelinConfig:
+    return GraphZeppelinConfig(seed=SEED, ram_budget_bytes=_ram_budget())
+
+
+def _ingest(engine: GraphZeppelin, edges: np.ndarray) -> GraphZeppelin:
+    for start in range(0, edges.shape[0], CHUNK):
+        engine.ingest_batch(edges[start : start + CHUNK])
+    engine.flush()
+    return engine
+
+
+def _settle(engine: GraphZeppelin) -> None:
+    engine.flush()
+    engine.tensor_pool.sync()
+    engine.memory.flush()
+
+
+def _flip_spilled_bit(engine: GraphZeppelin, rng) -> int:
+    """Flip one seeded bit in a random allocated device block; return the page."""
+    memory = engine.memory
+    keys = [
+        k for k in memory._allocations if isinstance(k, tuple) and k[0] == "sketch-page"
+    ]
+    key = keys[int(rng.integers(0, len(keys)))]
+    start, num_blocks, length = memory._allocations[key]
+    block = start + int(rng.integers(0, max(1, -(-length // memory.block_size))))
+    raw = bytearray(memory.device._blocks[block])
+    bit = int(rng.integers(0, len(raw) * 8))
+    raw[bit >> 3] ^= 1 << (bit & 7)
+    memory.device._blocks[block] = bytes(raw)
+    return int(key[1])
+
+
+def _tensors_equal(a: GraphZeppelin, b: GraphZeppelin) -> bool:
+    return all(
+        np.array_equal(np.asarray(x, dtype=np.uint64), np.asarray(y, dtype=np.uint64))
+        for x, y in zip(a.tensor_pool.raw_tensors(), b.tensor_pool.raw_tensors())
+    )
+
+
+def test_integrity_ledger():
+    from repro.distributed.snapshot import (
+        _HEADER,
+        SNAPSHOT_MAGIC_V1,
+        load_pool_snapshot,
+        read_snapshot_meta,
+    )
+
+    edges = random_multigraph_edges(NUM_NODES, NUM_EDGES, seed=5)
+    count = int(edges.shape[0])
+    workroot = Path(tempfile.mkdtemp(prefix="repro-bench-integrity-"))
+
+    def checked():
+        return _ingest(GraphZeppelin(NUM_NODES, config=_config()), edges)
+
+    def unchecked():
+        memory = HybridMemory(ram_bytes=_ram_budget(), verify_checksums=False)
+        return _ingest(GraphZeppelin(NUM_NODES, config=_config(), memory=memory), edges)
+
+    checked_label = "checksummed ingest (default)"
+    unchecked_label = "unchecked ingest (verify off)"
+    specs = [(checked_label, checked), (unchecked_label, unchecked)]
+
+    kept = {}
+    identical = {}
+
+    def on_result(label: str, rep: int, engine: GraphZeppelin) -> None:
+        if rep == 0:
+            kept[label] = engine
+            if len(kept) == 2:
+                identical["checked_vs_unchecked"] = _tensors_equal(
+                    kept[checked_label], kept[unchecked_label]
+                ) and (
+                    kept[checked_label].list_spanning_forest().partition_signature()
+                    == kept[unchecked_label].list_spanning_forest().partition_signature()
+                )
+
+    try:
+        medians = interleaved_medians(specs, reps=TIMING_REPS, on_result=on_result)
+        overhead = medians[checked_label] / medians[unchecked_label] - 1.0
+
+        # Scrub pass: every allocated block of the settled checked
+        # engine re-hashed; clean storage must stay clean.
+        engine = kept[checked_label]
+        _settle(engine)
+        start = time.perf_counter()
+        corrupt_pages = engine.scrub_storage()
+        scrub_seconds = time.perf_counter() - start
+        blocks_scrubbed = engine.memory.stats.blocks_scrubbed
+        false_positives = len(corrupt_pages)
+        reference_forest = engine.list_spanning_forest().partition_signature()
+
+        # v1 compatibility: rewrite the magic's version word and drop
+        # the digest trailer -- exactly the bytes a pre-digest writer
+        # produced -- and the payload must still load, unverified.
+        v2_path = workroot / "current.snap"
+        engine.save_snapshot(v2_path)
+        meta2 = read_snapshot_meta(v2_path)
+        raw = bytearray(v2_path.read_bytes())
+        raw[:8] = struct.pack("<Q", SNAPSHOT_MAGIC_V1)
+        v1_path = workroot / "legacy.snap"
+        v1_path.write_bytes(bytes(raw[: _HEADER.size + meta2.payload_bytes]))
+        meta1 = read_snapshot_meta(v1_path)
+        v1_pool, _ = load_pool_snapshot(v1_path)
+        v1_ok = (
+            not meta1.verified
+            and meta2.verified
+            and all(
+                np.array_equal(
+                    np.asarray(x, dtype=np.uint64), np.asarray(y, dtype=np.uint64)
+                )
+                for x, y in zip(v1_pool.raw_tensors(), engine.tensor_pool.raw_tensors())
+            )
+        )
+        del v1_pool
+        kept.clear()
+
+        # Read-repair: checkpointed run, one seeded bit of post-write
+        # rot in a spilled block, then detect -> restore -> replay.
+        victim = GraphZeppelin(NUM_NODES, config=_config())
+        victim.attach_checkpointer(
+            workroot / "ck",
+            policy=CheckpointPolicy(every_n_updates=CHECKPOINT_EVERY, keep=3),
+        )
+        _ingest(victim, edges)
+        _settle(victim)
+        flipped_page = _flip_spilled_bit(victim, np.random.default_rng(SEED))
+        start = time.perf_counter()
+        report = scrub_and_repair(victim, workroot / "ck", edges)
+        repair_seconds = time.perf_counter() - start
+        identical["repaired_vs_fault_free"] = (
+            victim.list_spanning_forest().partition_signature() == reference_forest
+        )
+        detected = flipped_page in report.corrupt_pages
+        healed = bool(report.repaired_pages) and victim.scrub_storage() == []
+        del victim
+    finally:
+        shutil.rmtree(workroot, ignore_errors=True)
+
+    rows = [
+        {
+            "path": checked_label,
+            "updates": count,
+            "seconds": round(medians[checked_label], 4),
+            "updates_per_sec": round(count / medians[checked_label], 1),
+            "overhead_vs_unchecked": round(overhead, 4),
+        },
+        {
+            "path": unchecked_label,
+            "updates": count,
+            "seconds": round(medians[unchecked_label], 4),
+            "updates_per_sec": round(count / medians[unchecked_label], 1),
+            "bit_identical": identical["checked_vs_unchecked"],
+        },
+        {
+            "path": "scrub pass (clean storage)",
+            "seconds": round(scrub_seconds, 4),
+            "blocks_scrubbed": blocks_scrubbed,
+            "false_positives": false_positives,
+        },
+        {
+            "path": "read-repair (1 bit flipped)",
+            "seconds": round(repair_seconds, 4),
+            "pages_repaired": len(report.repaired_pages),
+            "replayed_updates": report.replayed_updates,
+            "bit_identical": identical["repaired_vs_fault_free"],
+        },
+        {
+            "path": "v1 snapshot load (pre-digest)",
+            "loads_unverified": v1_ok,
+        },
+    ]
+
+    print_table(
+        render_table(
+            rows,
+            columns=[
+                "path",
+                "updates",
+                "seconds",
+                "updates_per_sec",
+                "overhead_vs_unchecked",
+                "blocks_scrubbed",
+                "pages_repaired",
+                "replayed_updates",
+                "bit_identical",
+            ],
+            title=(
+                f"Integrity plane ({NUM_NODES} nodes, {count} edge updates, "
+                f"RAM budget {_ram_budget() >> 10} KiB, {usable_cores()} "
+                f"cores{', smoke' if SMOKE else ''})"
+            ),
+        )
+    )
+
+    payload = {
+        "num_nodes": NUM_NODES,
+        "num_edge_updates": count,
+        "cores": usable_cores(),
+        "smoke": SMOKE,
+        "ram_budget_bytes": _ram_budget(),
+        "checksum_overhead": round(overhead, 4),
+        "max_checksum_overhead": MAX_CHECKSUM_OVERHEAD,
+        "scrub_seconds": round(scrub_seconds, 4),
+        "blocks_scrubbed": blocks_scrubbed,
+        "repair_seconds": round(repair_seconds, 4),
+        "repair_bit_identical": identical["repaired_vs_fault_free"],
+        "v1_loads_unverified": v1_ok,
+        "rows": rows,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+
+    assert identical["checked_vs_unchecked"], (
+        "checksum verification perturbed engine state: the checked and "
+        "unchecked runs diverged"
+    )
+    assert false_positives == 0 and blocks_scrubbed > 0, (
+        f"clean scrub flagged {false_positives} page(s) over "
+        f"{blocks_scrubbed} blocks -- checksums must never fire on clean storage"
+    )
+    assert detected, "the injected bit flip escaped the scrub"
+    assert healed, "read-repair left corrupt pages behind"
+    assert identical["repaired_vs_fault_free"], (
+        "the repaired engine diverged from the fault-free run"
+    )
+    assert v1_ok, "a pre-digest (version-1) snapshot no longer loads"
+    if SMOKE:
+        return
+    assert overhead <= MAX_CHECKSUM_OVERHEAD, (
+        f"checksummed ingest costs {overhead:.1%} over the unchecked "
+        f"baseline (acceptance: <= {MAX_CHECKSUM_OVERHEAD:.0%})"
+    )
+
+
+if __name__ == "__main__":
+    test_integrity_ledger()

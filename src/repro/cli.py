@@ -35,6 +35,17 @@ Three more cover the snapshot/merge plane:
     XOR-combine snapshots of disjoint sub-streams into one snapshot
     (by sketch linearity, the snapshot of their union).
 
+And one covers the integrity plane:
+
+``repro-graph scrub <target>``
+    Verify the payload digests of a snapshot file, or of every
+    generation in a checkpoint directory, without loading any of them
+    into a pool.  Exit code 1 when anything is corrupt.  During ingest,
+    ``components --scrub-every N`` scrubs the engine's own storage
+    every N updates (pairing it with ``--checkpoint-dir`` turns a
+    detected corruption into an automatic read-repair), and
+    ``--report`` prints the full I/O and integrity counter ledger.
+
 The module is also importable: :func:`main` takes an ``argv`` list,
 which is how the tests drive it.
 """
@@ -148,6 +159,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint every N ingested updates (default 250000); "
              "requires --checkpoint-dir",
     )
+    components_parser.add_argument(
+        "--scrub-every", type=int, default=None, metavar="N",
+        help="verify all spilled/cached sketch checksums every N ingested "
+             "updates (serial ingest only); with --checkpoint-dir a detected "
+             "corruption is healed by read-repair instead of aborting",
+    )
+    components_parser.add_argument(
+        "--report", action="store_true",
+        help="print the I/O and integrity counter ledger after the run",
+    )
 
     snapshot_parser = subparsers.add_parser(
         "snapshot", help="ingest a stream (prefix) and checkpoint the pool to a file"
@@ -193,6 +214,19 @@ def build_parser() -> argparse.ArgumentParser:
     resume_parser.add_argument(
         "--show", type=int, default=10, help="how many components to print (largest first)"
     )
+    resume_parser.add_argument(
+        "--report", action="store_true",
+        help="print the I/O and integrity counter ledger after the run",
+    )
+
+    scrub_parser = subparsers.add_parser(
+        "scrub", help="verify the payload digests of snapshots/checkpoints"
+    )
+    scrub_parser.add_argument(
+        "target", type=Path,
+        help="a snapshot file, or a checkpoint directory (every generation "
+             "is verified, newest first)",
+    )
 
     merge_parser = subparsers.add_parser(
         "merge", help="XOR-combine pool snapshots of disjoint sub-streams"
@@ -217,6 +251,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "snapshot": _cmd_snapshot,
         "resume": _cmd_resume,
         "merge": _cmd_merge,
+        "scrub": _cmd_scrub,
     }
     return handlers[args.command](args)
 
@@ -346,6 +381,22 @@ def _print_checkpointer(checkpointer) -> None:
           f"{checkpointer.checkpoint_failures} failed)")
 
 
+def _print_io_report(engine, checkpointer=None) -> None:
+    """The --report ledger: every fault and integrity counter in one place."""
+    stats = engine.io_stats
+    if stats is None:
+        print("io report        : engine is fully in RAM (no byte tier)")
+    else:
+        print(f"io failures      : {stats.read_failures} read, "
+              f"{stats.write_failures} write, {stats.io_retries} retried")
+        print(f"integrity        : {stats.checksum_failures} checksum failures, "
+              f"{stats.blocks_scrubbed} blocks scrubbed, "
+              f"{stats.pages_repaired} pages repaired")
+    if checkpointer is not None:
+        print(f"checkpoint errors: {checkpointer.checkpoint_failures} writes "
+              f"failed, {checkpointer.rotation_failures} rotations failed")
+
+
 def _cmd_components(args) -> int:
     stream = _read_stream(args.stream, args.text)
     config = _engine_config(args)
@@ -356,6 +407,14 @@ def _cmd_components(args) -> int:
         print("error: --checkpoint-dir does not combine with --distributed "
               "(worker snapshots already checkpoint each slice)")
         return 1
+    if args.scrub_every is not None:
+        if args.scrub_every < 1:
+            print("error: --scrub-every must be at least 1")
+            return 1
+        if args.distributed is not None or args.workers > 1:
+            print("error: --scrub-every needs serial ingest (scrubbing pauses "
+                  "the stream at exact update counts)")
+            return 1
     if args.distributed is not None:
         from repro.distributed.multi_ingestor import distributed_ingest
 
@@ -371,6 +430,8 @@ def _cmd_components(args) -> int:
             f"snapshots {format_bytes(report.snapshot_bytes)})"
         )
         _print_forest(engine, stream.num_nodes, ingest_mode, args.show)
+        if args.report:
+            _print_io_report(engine)
         return _verify_components(args, stream, engine)
     engine = GraphZeppelin(stream.num_nodes, config=config)
     checkpointer = _attach_cli_checkpointer(args, engine)
@@ -394,12 +455,48 @@ def _cmd_components(args) -> int:
         ingest_mode = f"{backend} x{effective}"
         if effective != args.workers:
             ingest_mode += f" (clamped from {args.workers})"
+    elif args.scrub_every is not None:
+        code = _ingest_with_scrubbing(args, stream, engine)
+        if code != 0:
+            return code
+        ingest_mode = f"serial, scrubbed every {args.scrub_every} updates"
     else:
         engine.ingest(stream)
         ingest_mode = "serial"
     _print_forest(engine, stream.num_nodes, ingest_mode, args.show)
     _print_checkpointer(checkpointer)
+    if args.report:
+        _print_io_report(engine, checkpointer)
     return _verify_components(args, stream, engine)
+
+
+def _ingest_with_scrubbing(args, stream, engine) -> int:
+    """Serial ingest punctuated by scrub passes every --scrub-every updates.
+
+    A scrub that finds corrupt pages triggers read-repair when a
+    checkpoint directory is available (the healed run continues, and by
+    linearity finishes bit-identical to an unfaulted one); without one
+    there is nothing to heal from, so the run aborts with exit code 1.
+    """
+    edges = stream.edge_array()
+    for start in range(0, edges.shape[0], args.scrub_every):
+        engine.ingest_batch(edges[start : start + args.scrub_every])
+        corrupt = engine.scrub_storage()
+        if not corrupt:
+            continue
+        print(f"scrub at update {engine.updates_processed}: "
+              f"corrupt pages {corrupt}")
+        if args.checkpoint_dir is None:
+            print("error: corruption detected and no --checkpoint-dir to "
+                  "repair from")
+            return 1
+        from repro.integrity.repair import repair_pages, find_valid_checkpoint
+
+        path, meta, _ = find_valid_checkpoint(engine, args.checkpoint_dir)
+        replayed = repair_pages(engine, corrupt, path, meta, edges)
+        print(f"read-repair      : healed {len(corrupt)} page(s) from "
+              f"{path.name}, replayed {replayed} suffix folds")
+    return 0
 
 
 def _verify_components(args, stream, engine) -> int:
@@ -489,10 +586,51 @@ def _cmd_resume(args) -> int:
             f"{args.stream} holds only {len(stream)} updates; the stream file "
             "does not match the one the checkpoint was taken from"
         )
+    if not read_snapshot_meta(snapshot_path).verified:
+        print(f"note: {snapshot_path} is a pre-digest (version-1) snapshot; "
+              "its payload loaded unverified")
     remaining = stream.edge_array(start=offset)
     engine.ingest_batch(remaining)
     mode = f"resumed at offset {offset} (+{remaining.shape[0]} updates)"
     _print_forest(engine, stream.num_nodes, mode, args.show)
+    if args.report:
+        _print_io_report(engine)
+    return 0
+
+
+def _cmd_scrub(args) -> int:
+    """Verify payload digests of a snapshot file or checkpoint directory."""
+    from repro.distributed.snapshot import read_snapshot_meta, verify_snapshot_payload
+    from repro.exceptions import CorruptionError, StreamFormatError
+
+    if args.target.is_dir():
+        from repro.resilience.checkpoint import list_checkpoints
+
+        paths = [path for _, path in list_checkpoints(args.target)]
+        if not paths:
+            print(f"error: no checkpoints found in {args.target}")
+            return 1
+    else:
+        paths = [args.target]
+    corrupt = 0
+    for path in paths:
+        try:
+            meta = verify_snapshot_payload(path, read_snapshot_meta(path))
+        except CorruptionError as exc:
+            print(f"{path}: CORRUPT ({exc})")
+            corrupt += 1
+            continue
+        except (StreamFormatError, OSError) as exc:
+            print(f"{path}: CORRUPT (unreadable: {exc})")
+            corrupt += 1
+            continue
+        if meta.verified:
+            print(f"{path}: ok ({len(meta.stripe_digests)} stripe digests verified)")
+        else:
+            print(f"{path}: unverified (pre-digest format, version {meta.version})")
+    if corrupt:
+        print(f"{corrupt}/{len(paths)} file(s) corrupt")
+        return 1
     return 0
 
 

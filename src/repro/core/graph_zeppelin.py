@@ -590,6 +590,26 @@ class GraphZeppelin:
             return self._pool.node_sketch(node)
         return self._store.get(node)
 
+    def scrub_storage(self) -> list:
+        """Verify checksums of all spilled and cached sketch state.
+
+        Flushes buffered updates and syncs dirty pages first, so the
+        byte tier is authoritative, then verifies every stored payload
+        (per-block device digests plus whole-payload digests).  Returns
+        what failed: corrupt page indices for a paged pool, raw storage
+        keys otherwise.  Fully in-RAM engines have no byte tier and
+        return ``[]``.  The scrub only *detects* -- healing a corrupt
+        page is :func:`repro.integrity.repair.scrub_and_repair`'s job.
+        """
+        if self.memory is None or self.memory.is_unbounded:
+            return []
+        self.flush()
+        if self._pool is not None and self._pool.is_paged:
+            self._pool.sync()
+            return self._pool.scrub()
+        self.memory.flush()
+        return self.memory.scrub()
+
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------

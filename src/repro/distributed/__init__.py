@@ -17,6 +17,7 @@ from repro.distributed.multi_ingestor import (
 )
 from repro.distributed.snapshot import (
     SNAPSHOT_MAGIC,
+    SNAPSHOT_MAGIC_V1,
     SnapshotMeta,
     load_pool_snapshot,
     load_snapshot_into,
@@ -24,10 +25,12 @@ from repro.distributed.snapshot import (
     merge_snapshots_into,
     read_snapshot_meta,
     save_pool_snapshot,
+    verify_snapshot_payload,
 )
 
 __all__ = [
     "SNAPSHOT_MAGIC",
+    "SNAPSHOT_MAGIC_V1",
     "SnapshotMeta",
     "DistributedReport",
     "distributed_ingest",
@@ -38,4 +41,5 @@ __all__ = [
     "merge_snapshots_into",
     "read_snapshot_meta",
     "save_pool_snapshot",
+    "verify_snapshot_payload",
 ]

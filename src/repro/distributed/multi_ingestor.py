@@ -124,6 +124,13 @@ def _worker_ingest(task: Tuple) -> None:
             for chunk in chunks():
                 engine.ingest_batch(chunk)
         engine.save_snapshot(path, stream_offset=0)
+        if fault_plan is not None:
+            # Post-promote corruption hook, attempt-scoped: a ``corrupt``
+            # snapshot fault bound to this attempt silently damages the
+            # already-written file, exactly what the supervisor's payload
+            # verification must catch; the re-dispatched attempt (a
+            # different ``attempt`` value) writes clean.
+            fault_plan.after_snapshot_write(path, attempt=attempt, worker=worker)
     except BaseException:
         try:
             err_path.write_text(traceback.format_exc())
@@ -182,7 +189,12 @@ def distributed_ingest(
     pool and the merge runs page by page under the coordinator's
     budget.
     """
-    from repro.distributed.snapshot import merge_snapshots_into, read_snapshot_meta
+    from repro.distributed.snapshot import (
+        merge_snapshots_into,
+        read_snapshot_meta,
+        verify_snapshot_payload,
+    )
+    from repro.exceptions import CorruptionError
     from repro.parallel.graph_workers import process_context
     from repro.resilience.supervisor import WorkerSupervisor
 
@@ -243,6 +255,15 @@ def distributed_ingest(
                 f"snapshot fingerprint {meta.fingerprint:#x} does not match "
                 f"config fingerprint {fingerprint:#x}"
             )
+        try:
+            # Full payload digest check *before* the coordinator merges:
+            # a silently corrupted worker snapshot must trigger a
+            # re-dispatch, never an XOR of rotten bytes into the pool.
+            verify_snapshot_payload(paths[worker], meta)
+        except CorruptionError:
+            return "payload checksum mismatch"
+        except Exception as exc:
+            return f"snapshot unreadable: {exc}"
         return None
 
     def on_complete(worker: int) -> None:

@@ -1,6 +1,6 @@
 """Pool snapshots: a whole tensor pool as one versioned binary blob.
 
-The on-disk format (version 1, all integers little-endian)::
+The on-disk format (version 2, all integers little-endian)::
 
     header (12 fields, 96 bytes):
         magic        uint64  "SNAP" + format version in the low word
@@ -20,6 +20,13 @@ The on-disk format (version 1, all integers little-endian)::
         the round-major ``(rounds, nodes, cols, rows)`` bucket tensor in
         C order -- the packed uint64 tensor, or the uint64 alpha tensor
         followed by the uint32 gamma tensor in wide mode.
+    digest trailer (version >= 2):
+        one ``uint64`` :func:`~repro.integrity.digest.payload_digest`
+        per (section, round) stripe, section-major (``sections x
+        rounds`` entries), letting every loader reject a silently
+        corrupted payload before any pool mutation.  Version-1 files
+        have no trailer; they still load, flagged unverified
+        (``SnapshotMeta.verified`` false).
 
 Round-major payload order is what makes snapshots cheap for *both* pool
 flavours: a flat :class:`~repro.sketch.tensor_pool.NodeTensorPool`
@@ -51,7 +58,8 @@ from typing import BinaryIO, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.edge_encoding import EdgeEncoder
-from repro.exceptions import StreamFormatError
+from repro.exceptions import CorruptionError, StreamFormatError
+from repro.integrity.digest import StreamingDigest, payload_digest
 from repro.memory.hybrid import HybridMemory
 from repro.sketch.paged_pool import PagedTensorPool
 from repro.sketch.serialization import check_magic, check_payload_length
@@ -59,8 +67,10 @@ from repro.sketch.tensor_pool import NodeTensorPool
 
 PathLike = Union[str, Path]
 
-#: Magic identifying a pool snapshot ("SNAP" + format version 1).
-SNAPSHOT_MAGIC = 0x534E4150_00000001
+#: Magic identifying a pool snapshot ("SNAP" + format version 2).
+SNAPSHOT_MAGIC = 0x534E4150_00000002
+#: The pre-digest format (no trailer); still readable, never written.
+SNAPSHOT_MAGIC_V1 = 0x534E4150_00000001
 
 _FLAG_PACKED = 1 << 0
 _FLAG_PAGED_ORIGIN = 1 << 1
@@ -97,6 +107,11 @@ class SnapshotMeta:
     #: True for snapshots produced by a merge: a union of sub-streams,
     #: not a resumable stream prefix (``stream_offset`` is meaningless).
     merged: bool = False
+    #: On-disk format version (embedded in the magic).
+    version: int = 2
+    #: Per-(section, round) payload digests, section-major; ``None`` for
+    #: version-1 files, which carry none (loaded but unverified).
+    stripe_digests: Optional[Tuple[int, ...]] = None
 
     @property
     def tensor_elems(self) -> int:
@@ -108,6 +123,18 @@ class SnapshotMeta:
         if self.packed:
             return self.tensor_elems * 8
         return self.tensor_elems * 12  # uint64 alpha + uint32 gamma
+
+    @property
+    def digest_section_bytes(self) -> int:
+        """Length of the digest trailer (zero for version-1 files)."""
+        if self.version < 2:
+            return 0
+        return len(_section_keys(self.packed)) * self.num_rounds * 8
+
+    @property
+    def verified(self) -> bool:
+        """Whether this snapshot's payload can be checksum-verified."""
+        return self.stripe_digests is not None
 
     def section_offset(self, key: str) -> int:
         """Byte offset of a tensor section inside the snapshot file."""
@@ -188,13 +215,16 @@ def save_pool_snapshot(
     checkpoint where a resumable one is expected.  A paged pool is
     streamed one page round stripe at a time (never materialised);
     ``stream_offset`` / ``engine_updates`` / ``fingerprint`` are the
-    engine-level metadata stamped into the header.  Returns the
-    metadata written.
+    engine-level metadata stamped into the header.  Every round
+    stripe's digest is accumulated as its bytes stream out and appended
+    as the trailer, so checksumming never costs a second pass over the
+    payload.  Returns the metadata written (digests included).
     """
     path = Path(path)
     meta = replace(
         _pool_meta(pool, stream_offset, engine_updates, fingerprint), merged=merged
     )
+    digests: List[int] = []
     tmp_path = path.with_name(path.name + ".tmp")
     try:
         with tmp_path.open("wb") as handle:
@@ -202,19 +232,29 @@ def save_pool_snapshot(
             if pool.is_paged:
                 for key in _section_keys(meta.packed):
                     for round_index in range(meta.num_rounds):
+                        digest = StreamingDigest()
                         for page in range(pool.num_pages):
                             stripe = pool._page_round_array(page, key, round_index)
-                            handle.write(np.ascontiguousarray(stripe).tobytes(order="C"))
+                            data = np.ascontiguousarray(stripe).tobytes(order="C")
+                            digest.update(data)
+                            handle.write(data)
+                        digests.append(digest.digest())
             else:
                 for tensor in _flat_tensors(pool):
-                    handle.write(np.ascontiguousarray(tensor).tobytes(order="C"))
+                    for round_index in range(meta.num_rounds):
+                        data = np.ascontiguousarray(tensor[round_index]).tobytes(
+                            order="C"
+                        )
+                        digests.append(payload_digest(data))
+                        handle.write(data)
+            handle.write(struct.pack(f"<{len(digests)}Q", *digests))
         os.replace(tmp_path, path)
     except BaseException:
         # A failed write must not leave a half-written .tmp sibling
         # around (checkpoint rotation would otherwise accumulate them).
         tmp_path.unlink(missing_ok=True)
         raise
-    return meta
+    return replace(meta, stripe_digests=tuple(digests))
 
 
 # ----------------------------------------------------------------------
@@ -224,8 +264,11 @@ def read_snapshot_meta(path: PathLike) -> SnapshotMeta:
     """Read and fully validate a snapshot's header (not its payload).
 
     Checks the magic (which embeds the format version), and that the
-    file holds *exactly* the payload the geometry implies -- truncated
-    or padded files fail here, before any loader mutates a pool.
+    file holds *exactly* the payload + digest trailer the geometry
+    implies -- truncated or padded files fail here, before any loader
+    mutates a pool.  Version-2 files come back with their stripe
+    digests parsed; version-1 files load with ``stripe_digests=None``
+    (readable, but unverifiable).
     """
     path = Path(path)
     file_bytes = path.stat().st_size
@@ -233,39 +276,96 @@ def read_snapshot_meta(path: PathLike) -> SnapshotMeta:
         raise StreamFormatError(f"{path}: too short to contain a snapshot header")
     with path.open("rb") as handle:
         header = handle.read(_HEADER.size)
-    (
-        magic,
-        flags,
-        num_nodes,
-        graph_seed,
-        num_rounds,
-        num_rows,
-        num_columns,
-        delta,
-        pool_updates,
-        stream_offset,
-        engine_updates,
-        fingerprint,
-    ) = _HEADER.unpack(header)
-    check_magic(magic, SNAPSHOT_MAGIC, "snapshot")
-    meta = SnapshotMeta(
-        num_nodes=int(num_nodes),
-        graph_seed=int(graph_seed),
-        delta=float(delta),
-        num_rounds=int(num_rounds),
-        num_rows=int(num_rows),
-        num_columns=int(num_columns),
-        packed=bool(flags & _FLAG_PACKED),
-        paged_origin=bool(flags & _FLAG_PAGED_ORIGIN),
-        merged=bool(flags & _FLAG_MERGED),
-        pool_updates=int(pool_updates),
-        stream_offset=int(stream_offset),
-        engine_updates=int(engine_updates),
-        fingerprint=int(fingerprint),
-    )
-    check_payload_length(
-        file_bytes - _HEADER.size, meta.payload_bytes, f"{path} snapshot payload"
-    )
+        (
+            magic,
+            flags,
+            num_nodes,
+            graph_seed,
+            num_rounds,
+            num_rows,
+            num_columns,
+            delta,
+            pool_updates,
+            stream_offset,
+            engine_updates,
+            fingerprint,
+        ) = _HEADER.unpack(header)
+        if magic == SNAPSHOT_MAGIC:
+            version = 2
+        elif magic == SNAPSHOT_MAGIC_V1:
+            version = 1
+        else:
+            check_magic(magic, SNAPSHOT_MAGIC, "snapshot")
+        meta = SnapshotMeta(
+            num_nodes=int(num_nodes),
+            graph_seed=int(graph_seed),
+            delta=float(delta),
+            num_rounds=int(num_rounds),
+            num_rows=int(num_rows),
+            num_columns=int(num_columns),
+            packed=bool(flags & _FLAG_PACKED),
+            paged_origin=bool(flags & _FLAG_PAGED_ORIGIN),
+            merged=bool(flags & _FLAG_MERGED),
+            pool_updates=int(pool_updates),
+            stream_offset=int(stream_offset),
+            engine_updates=int(engine_updates),
+            fingerprint=int(fingerprint),
+            version=version,
+        )
+        check_payload_length(
+            file_bytes - _HEADER.size - meta.digest_section_bytes,
+            meta.payload_bytes,
+            f"{path} snapshot payload",
+        )
+        if version >= 2:
+            handle.seek(_HEADER.size + meta.payload_bytes)
+            raw = handle.read(meta.digest_section_bytes)
+            count = meta.digest_section_bytes // 8
+            meta = replace(meta, stripe_digests=struct.unpack(f"<{count}Q", raw))
+    return meta
+
+
+def verify_snapshot_payload(
+    path: PathLike, meta: Optional[SnapshotMeta] = None
+) -> SnapshotMeta:
+    """Verify every round stripe of a snapshot against its digests.
+
+    One sequential pass over the payload; raises
+    :class:`~repro.exceptions.CorruptionError` naming the first
+    mismatching stripe.  Version-1 snapshots carry no digests and pass
+    through unverified (``meta.verified`` stays false) -- rejecting
+    them would break every pre-digest checkpoint on disk.  Returns the
+    (possibly freshly read) metadata.
+    """
+    path = Path(path)
+    if meta is None:
+        meta = read_snapshot_meta(path)
+    if meta.stripe_digests is None:
+        return meta
+    row_elems = meta.num_columns * meta.num_rows
+    index = 0
+    with path.open("rb") as handle:
+        handle.seek(_HEADER.size)
+        for key in _section_keys(meta.packed):
+            itemsize = 8 if key in ("packed", "alpha") else 4
+            stripe_bytes = meta.num_nodes * row_elems * itemsize
+            for round_index in range(meta.num_rounds):
+                digest = StreamingDigest()
+                remaining = stripe_bytes
+                while remaining:
+                    data = handle.read(min(remaining, _CHUNK_ELEMS * 8))
+                    if not data:
+                        raise StreamFormatError(
+                            f"{path}: snapshot payload truncated mid-read"
+                        )
+                    digest.update(data)
+                    remaining -= len(data)
+                if digest.digest() != meta.stripe_digests[index]:
+                    raise CorruptionError(
+                        f"{path}: payload checksum mismatch "
+                        f"({key} section, round {round_index})"
+                    )
+                index += 1
     return meta
 
 
@@ -388,6 +488,10 @@ def load_snapshot_into(path: PathLike, pool: NodeTensorPool) -> SnapshotMeta:
     path = Path(path)
     meta = read_snapshot_meta(path)
     _check_pool_matches(meta, pool, str(path))
+    # Version-2 payloads are digest-verified end to end *before* the
+    # first bucket is applied; a silently corrupted snapshot raises
+    # CorruptionError here and leaves the pool untouched.
+    verify_snapshot_payload(path, meta)
     with path.open("rb") as handle:
         if pool.is_paged:
             _apply_paged(handle, meta, pool, xor=False)
@@ -502,6 +606,8 @@ def merge_snapshots_into(
     for path, meta in zip(paths, metas):
         _check_pool_matches(meta, pool, str(path))
     _check_snapshots_compatible(paths, metas)
+    for path, meta in zip(paths, metas):
+        verify_snapshot_payload(path, meta)
     for path, meta in zip(paths, metas):
         with path.open("rb") as handle:
             if pool.is_paged:

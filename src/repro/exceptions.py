@@ -55,6 +55,16 @@ class StorageError(ReproError):
     """The simulated external-memory substrate was used incorrectly."""
 
 
+class CorruptionError(StorageError):
+    """Stored bytes failed checksum verification (silent data corruption).
+
+    Deliberately not an :class:`OSError`: a checksum mismatch is
+    deterministic, so the hybrid memory's transient-error retry policy
+    must not retry it — detection propagates immediately so scrub /
+    read-repair can heal from a checkpoint instead.
+    """
+
+
 class WorkerFailure(ReproError, RuntimeError):
     """A distributed ingest worker died and could not be recovered.
 

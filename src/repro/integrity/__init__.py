@@ -1,0 +1,30 @@
+"""End-to-end integrity plane: checksums, scrub, and read-repair.
+
+Layers (each usable on its own):
+
+- :mod:`repro.integrity.digest` -- the vectorised xxHash64-style payload
+  digest every storage tier shares (device blocks, hybrid-memory
+  payloads, snapshot round stripes).
+- :mod:`repro.integrity.repair` -- scrub-driven read-repair: heal a
+  corrupt page from the newest valid checkpoint generation and replay
+  the stream suffix restricted to that page's nodes.
+
+Only the digest primitives are re-exported here: the repair module sits
+above the engine/snapshot layers, which themselves import the digest
+through :mod:`repro.memory`, so importing it eagerly would be circular.
+Use ``from repro.integrity.repair import scrub_and_repair`` directly.
+"""
+
+from repro.integrity.digest import (
+    DIGEST_SEED,
+    StreamingDigest,
+    block_digests,
+    payload_digest,
+)
+
+__all__ = [
+    "DIGEST_SEED",
+    "StreamingDigest",
+    "block_digests",
+    "payload_digest",
+]

@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.exceptions import StorageError
+from repro.exceptions import CorruptionError, StorageError
+from repro.integrity.digest import block_digests, payload_digest
 from repro.memory.metrics import IOStats
 
 #: Default block size: 16 KB, the write granularity GraphZeppelin uses
@@ -67,6 +68,12 @@ class BlockDevice:
     stats:
         Optionally share an existing :class:`IOStats` (e.g. with a cache
         layered on top); a fresh one is created otherwise.
+    verify_checksums:
+        When true (the default) every written block carries an xxHash64
+        digest and every read verifies it, raising
+        :class:`~repro.exceptions.CorruptionError` on mismatch.  Turning
+        it off skips checksumming entirely (the "unchecked" baseline the
+        integrity benchmark measures overhead against).
     """
 
     def __init__(
@@ -74,17 +81,24 @@ class BlockDevice:
         block_size: int = DEFAULT_BLOCK_SIZE,
         profile: Optional[DeviceProfile] = None,
         stats: Optional[IOStats] = None,
+        verify_checksums: bool = True,
     ) -> None:
         if block_size <= 0:
             raise StorageError("block_size must be positive")
         self.block_size = int(block_size)
         self.profile = profile or DeviceProfile()
         self.stats = stats if stats is not None else IOStats()
+        self.verify_checksums = bool(verify_checksums)
+        #: Consulted by :meth:`write_block` for injected bit rot
+        #: (``site="block"`` specs); the hybrid layer keeps it in sync
+        #: with its own plan.
+        self.fault_plan = None
         self._blocks: Dict[int, bytes] = {}
+        self._digests: Dict[int, int] = {}
         self._last_block_accessed: Optional[int] = None
 
     # ------------------------------------------------------------------
-    def write_block(self, block_id: int, payload: bytes) -> None:
+    def write_block(self, block_id: int, payload: bytes, _digest: Optional[int] = None) -> None:
         """Write one block; payloads longer than ``block_size`` are rejected."""
         if block_id < 0:
             raise StorageError("block ids are non-negative")
@@ -93,14 +107,33 @@ class BlockDevice:
                 f"payload of {len(payload)} bytes exceeds block size {self.block_size}"
             )
         self._charge(block_id, is_write=True, nbytes=len(payload))
-        self._blocks[block_id] = bytes(payload)
+        payload = bytes(payload)
+        if self.verify_checksums:
+            # Checksum what the caller handed us, then let the fault plan
+            # model bit rot *after* the digest was taken -- that is the
+            # silent-corruption ordering the read-side check defends.
+            self._digests[block_id] = (
+                payload_digest(payload) if _digest is None else _digest
+            )
+        if self.fault_plan is not None:
+            payload = self.fault_plan.corrupt_block_write(payload)
+        self._blocks[block_id] = payload
 
     def read_block(self, block_id: int) -> bytes:
-        """Read one block; reading an unwritten block is an error."""
+        """Read one block, verifying its checksum when enabled."""
         if block_id not in self._blocks:
             raise StorageError(f"block {block_id} has never been written")
         payload = self._blocks[block_id]
         self._charge(block_id, is_write=False, nbytes=len(payload))
+        if self.verify_checksums:
+            expected = self._digests.get(block_id)
+            if expected is not None and payload_digest(payload) != expected:
+                self.stats.checksum_failures += 1
+                raise CorruptionError(
+                    f"block {block_id} failed checksum verification "
+                    f"({len(payload)} bytes): stored content no longer "
+                    f"matches its write-time digest"
+                )
         return payload
 
     def has_block(self, block_id: int) -> bool:
@@ -109,19 +142,38 @@ class BlockDevice:
     def delete_block(self, block_id: int) -> None:
         """Drop a block without charging an I/O (TRIM-style discard)."""
         self._blocks.pop(block_id, None)
+        self._digests.pop(block_id, None)
 
     # ------------------------------------------------------------------
-    def write_blob(self, start_block: int, payload: bytes) -> int:
+    def write_blob(
+        self,
+        start_block: int,
+        payload: bytes,
+        _digests: Optional[list] = None,
+    ) -> int:
         """Write an arbitrary-length blob across consecutive blocks.
 
         Returns the number of blocks used.  The first block of the blob
         is charged as a random access and the rest as sequential, which
         is how a contiguous node-group sketch read behaves on disk.
+        ``_digests`` lets a caller that already block-digested this
+        payload (the hybrid memory does, at ``store`` time) hand the
+        digests down instead of paying a second hashing pass.
         """
         num_blocks = max(1, -(-len(payload) // self.block_size))
+        if not self.verify_checksums:
+            digests = None
+        elif _digests is not None and len(_digests) == num_blocks:
+            digests = _digests
+        else:
+            digests = block_digests(payload, self.block_size)
         for i in range(num_blocks):
             chunk = payload[i * self.block_size : (i + 1) * self.block_size]
-            self.write_block(start_block + i, chunk)
+            self.write_block(
+                start_block + i,
+                chunk,
+                _digest=None if digests is None else digests[i],
+            )
         return num_blocks
 
     def read_blob(self, start_block: int, num_blocks: int) -> bytes:

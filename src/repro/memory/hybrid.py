@@ -17,9 +17,20 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Generic, Hashable, Iterator, Optional, Tuple, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
-from repro.exceptions import StorageError
+from repro.exceptions import CorruptionError, StorageError
+from repro.integrity.digest import block_digests
 from repro.memory.block_device import DEFAULT_BLOCK_SIZE, BlockDevice, DeviceProfile
 from repro.memory.cache import LRUCache
 from repro.memory.metrics import IOStats
@@ -75,7 +86,13 @@ class HybridMemory:
         Optional :class:`~repro.resilience.faults.FaultPlan`; when set,
         the plan is consulted before every device call and may raise an
         injected ``OSError`` -- the deterministic-fault-injection hook
-        of the resilience tests.
+        of the resilience tests.  ``site="block"`` corruption specs are
+        forwarded to the device, which flips bits in stored blocks.
+    verify_checksums:
+        When true (the default) every device block and every stored
+        payload carries an xxHash64 digest; reads that pull spilled
+        state back in raise :class:`~repro.exceptions.CorruptionError`
+        on mismatch, and :meth:`scrub` audits everything at rest.
     """
 
     def __init__(
@@ -85,21 +102,46 @@ class HybridMemory:
         profile: Optional[DeviceProfile] = None,
         retry: Optional[RetryPolicy] = None,
         fault_plan=None,
+        verify_checksums: bool = True,
     ) -> None:
         if ram_bytes is not None and ram_bytes < 0:
             raise StorageError("ram_bytes must be non-negative or None")
         self.ram_bytes = ram_bytes
         self.retry = retry
-        self.fault_plan = fault_plan
+        self.verify_checksums = bool(verify_checksums)
         self.stats = IOStats()
-        self.device = BlockDevice(block_size=block_size, profile=profile, stats=self.stats)
+        self.device = BlockDevice(
+            block_size=block_size,
+            profile=profile,
+            stats=self.stats,
+            verify_checksums=verify_checksums,
+        )
+        self.fault_plan = fault_plan
         capacity = ram_bytes if ram_bytes is not None else (1 << 62)
         self._cache = LRUCache(capacity, stats=self.stats, on_evict=self._write_back)
         self._dirty: set = set()
         self._allocations: Dict[Hashable, Tuple[int, int, int]] = {}
+        #: Per-key *block* digest lists recorded at :meth:`store` time --
+        #: the payload-level integrity record and, handed down to
+        #: :meth:`BlockDevice.write_blob` at persist time, the write-time
+        #: block digests, so the write path hashes every byte exactly
+        #: once.
+        self._payload_digests: Dict[Hashable, List[int]] = {}
         self._next_block = 0
 
     # ------------------------------------------------------------------
+    @property
+    def fault_plan(self):
+        return self._fault_plan
+
+    @fault_plan.setter
+    def fault_plan(self, plan) -> None:
+        # Keep the device's reference in sync so block-corruption specs
+        # reach the write path even when a plan is attached after
+        # construction (the distributed workers do exactly that).
+        self._fault_plan = plan
+        self.device.fault_plan = plan
+
     @property
     def is_unbounded(self) -> bool:
         """True when no RAM limit is in force (nothing ever spills)."""
@@ -110,12 +152,28 @@ class HybridMemory:
         return self.device.block_size
 
     def store(self, key: Hashable, payload: bytes) -> None:
-        """Store (or replace) the payload for ``key``."""
+        """Store (or replace) the payload for ``key``.
+
+        The per-block digests are taken *now*, while the bytes are
+        authoritative: they verify the RAM-cached copy on demand
+        (:meth:`verify_key`), travel down to the device when the
+        payload is persisted (so write-back never re-hashes), and check
+        the reassembled payload after every spilled :meth:`load`.
+        """
+        if self.verify_checksums:
+            self._payload_digests[key] = block_digests(payload, self.block_size)
         self._dirty.add(key)
         self._cache.put(key, payload)
 
     def load(self, key: Hashable) -> bytes:
-        """Load the payload for ``key``, reading from disk on a cache miss."""
+        """Load the payload for ``key``, reading from disk on a cache miss.
+
+        A payload pulled back from the device is verified twice: every
+        block against its write-time digest (inside the device) and the
+        reassembled payload against the digest recorded at
+        :meth:`store` time, so allocation bookkeeping bugs surface as
+        :class:`~repro.exceptions.CorruptionError` too.
+        """
         cached = self._cache.get(key)
         if cached is not None:
             return cached
@@ -131,8 +189,20 @@ class HybridMemory:
             lambda: self.device.read_blob(start, -(-length // self.block_size)),
             is_write=False,
         )[:length]
+        self._verify_payload(key, payload)
         self._cache.put(key, payload)
         return payload
+
+    def _verify_payload(self, key: Hashable, payload: bytes) -> None:
+        if not self.verify_checksums:
+            return
+        expected = self._payload_digests.get(key)
+        if expected is not None and block_digests(payload, self.block_size) != expected:
+            self.stats.checksum_failures += 1
+            raise CorruptionError(
+                f"payload for key {key!r} failed checksum verification "
+                f"({len(payload)} bytes)"
+            )
 
     def load_range(self, key: Hashable, offset: int, length: int) -> bytes:
         """Load ``length`` bytes at ``offset`` of ``key``'s payload.
@@ -184,6 +254,64 @@ class HybridMemory:
         for key, payload in self._cache.items():
             if key in self._dirty:
                 self._persist(key, payload)
+
+    # ------------------------------------------------------------------
+    def verify_key(self, key: Hashable) -> int:
+        """Verify one key's bytes wherever they live; returns blocks checked.
+
+        RAM-cached payloads are verified against the digest recorded at
+        :meth:`store` time; spilled payloads are read straight off the
+        device (charging real I/O, bypassing the cache so a scrub never
+        perturbs the working set) which verifies each block digest, then
+        checked against the payload digest unless the cached copy is
+        newer (dirty) than the spilled one.  Raises
+        :class:`~repro.exceptions.CorruptionError` on the first
+        mismatch.
+        """
+        if not self.verify_checksums:
+            return 0
+        blocks = 0
+        cached = next(
+            (payload for k, payload in self._cache.items() if k == key), None
+        )
+        if cached is not None:
+            blocks += max(1, -(-len(cached) // self.block_size))
+            self._verify_payload(key, cached)
+        allocation = self._allocations.get(key)
+        if allocation is not None:
+            start, _, length = allocation
+            if length > 0:
+                num_blocks = -(-length // self.block_size)
+                payload = self._device_call(
+                    lambda: self.device.read_blob(start, num_blocks),
+                    is_write=False,
+                )[:length]
+                blocks += num_blocks
+                # A dirty cached copy makes the spilled bytes stale (but
+                # still internally consistent): block digests above are
+                # authoritative, the payload digest is not.
+                if key not in self._dirty:
+                    self._verify_payload(key, payload)
+        if cached is None and allocation is None:
+            raise KeyError(key)
+        return blocks
+
+    def scrub(self) -> list:
+        """Audit every stored payload; returns the keys that failed.
+
+        Walks all resident and spilled state, verifying block and
+        payload digests, counting verified blocks in
+        ``stats.blocks_scrubbed``.  Corruption does not stop the pass:
+        each failing key is collected (its ``checksum_failures`` count
+        still increments) so read-repair can heal them all in one go.
+        """
+        corrupt = []
+        for key in list(self.keys()):
+            try:
+                self.stats.blocks_scrubbed += self.verify_key(key)
+            except CorruptionError:
+                corrupt.append(key)
+        return corrupt
 
     def reserve(self, nbytes: int) -> int:
         """Carve ``nbytes`` of the RAM budget out of the byte cache.
@@ -285,8 +413,10 @@ class HybridMemory:
             # of leaking a fresh allocation.
             start, capacity = allocation[0], allocation[1]
             fresh_allocation = False
+        digests = self._payload_digests.get(key) if self.verify_checksums else None
         self._device_call(
-            lambda: self.device.write_blob(start, payload), is_write=True
+            lambda: self.device.write_blob(start, payload, _digests=digests),
+            is_write=True,
         )
         if fresh_allocation:
             self._next_block = start + num_blocks

@@ -31,6 +31,12 @@ class IOStats:
     #: Failed device calls that were retried by the hybrid memory's
     #: transient-error policy (successful or not).
     io_retries: int = 0
+    #: Payloads whose stored digest did not match on read or scrub.
+    checksum_failures: int = 0
+    #: Blocks whose checksums a ``scrub()`` pass verified.
+    blocks_scrubbed: int = 0
+    #: Corrupt pages healed from a checkpoint by read-repair.
+    pages_repaired: int = 0
 
     @property
     def total_ios(self) -> int:
@@ -60,6 +66,9 @@ class IOStats:
             read_failures=self.read_failures + other.read_failures,
             write_failures=self.write_failures + other.write_failures,
             io_retries=self.io_retries + other.io_retries,
+            checksum_failures=self.checksum_failures + other.checksum_failures,
+            blocks_scrubbed=self.blocks_scrubbed + other.blocks_scrubbed,
+            pages_repaired=self.pages_repaired + other.pages_repaired,
         )
 
     def reset(self) -> None:
@@ -76,6 +85,9 @@ class IOStats:
         self.read_failures = 0
         self.write_failures = 0
         self.io_retries = 0
+        self.checksum_failures = 0
+        self.blocks_scrubbed = 0
+        self.pages_repaired = 0
 
     def snapshot(self) -> dict:
         """A plain-dict copy, convenient for result tables."""
@@ -92,4 +104,7 @@ class IOStats:
             "read_failures": self.read_failures,
             "write_failures": self.write_failures,
             "io_retries": self.io_retries,
+            "checksum_failures": self.checksum_failures,
+            "blocks_scrubbed": self.blocks_scrubbed,
+            "pages_repaired": self.pages_repaired,
         }

@@ -8,8 +8,10 @@ Three pillars, one per module:
   generation back into an engine after a crash;
 * :mod:`repro.resilience.faults` -- :class:`FaultPlan`, a seeded,
   deterministic schedule of injected failures (device I/O errors, torn
-  checkpoint writes, killed/hung workers) so every recovery path is
-  property-testable and replayable from a seed;
+  or silently corrupted checkpoint writes, bit-rotted device blocks,
+  killed/hung workers) so every recovery path -- including the
+  integrity plane's scrub and read-repair -- is property-testable and
+  replayable from a seed;
 * :mod:`repro.resilience.supervisor` -- :class:`WorkerSupervisor`, the
   bounded-retry / straggler-re-dispatch loop behind
   :func:`~repro.distributed.multi_ingestor.distributed_ingest`.

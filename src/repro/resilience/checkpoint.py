@@ -36,7 +36,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, List, Optional, Tuple, Union
 
-from repro.exceptions import ConfigurationError, RecoveryError, StreamFormatError
+from repro.exceptions import (
+    ConfigurationError,
+    CorruptionError,
+    RecoveryError,
+    StreamFormatError,
+)
 
 #: Default checkpoint cadence when a policy does not specify one: large
 #: enough that checkpoint I/O stays a few percent of ingest time at the
@@ -139,9 +144,10 @@ class Checkpointer:
         self._updates_since = 0
         self._last_time = clock()
         #: Telemetry: checkpoints written / policy-driven writes that
-        #: failed with OSError and were absorbed.
+        #: failed and were absorbed / rotation unlinks that failed.
         self.checkpoints_written = 0
         self.checkpoint_failures = 0
+        self.rotation_failures = 0
 
     # ------------------------------------------------------------------
     @property
@@ -167,7 +173,11 @@ class Checkpointer:
             return None
         try:
             return self.checkpoint()
-        except OSError:
+        except (CorruptionError, OSError):
+            # CorruptionError: the snapshot writer read a spilled page
+            # whose checksum no longer matched -- the checkpoint is
+            # unwritable but the previous generation still stands, the
+            # same degradation contract as a failed device write.
             self.checkpoint_failures += 1
             return None
 
@@ -194,13 +204,18 @@ class Checkpointer:
         return path
 
     def _rotate(self) -> None:
-        """Delete generations beyond the ``keep`` newest."""
+        """Delete generations beyond the ``keep`` newest.
+
+        A rotation failure only costs disk space, never data -- but it
+        is *counted* (:attr:`rotation_failures`), not silently
+        swallowed, so a filesystem quietly refusing unlinks shows up in
+        the CLI's counter report instead of as unbounded disk growth.
+        """
         for _, path in list_checkpoints(self.directory)[self.policy.keep :]:
             try:
                 path.unlink()
-            except OSError:
-                # A rotation failure only costs disk space, never data.
-                pass
+            except (CorruptionError, OSError):
+                self.rotation_failures += 1
 
 
 def recover_latest(
@@ -239,6 +254,12 @@ def recover_latest(
                     "merged snapshot (a union of sub-streams, not a stream prefix)"
                 )
             engine = GraphZeppelin.load_snapshot(path, config=config, memory=memory)
+        except CorruptionError:
+            # Distinct from a torn/truncated file: the header parsed and
+            # the length checked out, but the payload digests did not --
+            # silent corruption the generation fallback must skip too.
+            skipped.append((path, "payload checksum mismatch"))
+            continue
         except (StreamFormatError, OSError) as exc:
             skipped.append((path, str(exc)))
             continue

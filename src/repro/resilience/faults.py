@@ -14,8 +14,16 @@ three injection sites the fault-tolerance plane defends:
     The checkpoint layer consults the plan around every snapshot write:
     mode ``"torn"`` truncates the just-promoted file at a byte offset
     (simulating a crash mid-write on a filesystem without atomic
-    rename, or sector corruption), mode ``"raise"`` fails the write
-    before the atomic promote (the previous generation must survive).
+    rename, or sector corruption), mode ``"corrupt"`` flips one bit of
+    the promoted file's payload (silent corruption the payload digests
+    must catch), and mode ``"raise"`` fails the write before the atomic
+    promote (the previous generation must survive).
+
+``block``
+    The :class:`~repro.memory.block_device.BlockDevice` consults the
+    plan on every block write: mode ``"corrupt"`` flips one bit of the
+    k-th written block *after* its checksum was taken -- deterministic
+    bit rot the read-side digest verification must detect.
 
 ``worker``
     Distributed ingest workers consult the plan at every batch: mode
@@ -65,29 +73,32 @@ class InjectedFault(OSError):
 class FaultSpec:
     """One planned fault.
 
-    ``site`` is ``"device.read"``, ``"device.write"``, ``"snapshot"``,
-    or ``"worker"``.  ``at`` is the 1-based operation count the fault
-    fires on (device call, snapshot write, or worker batch index).
-    ``worker`` / ``attempt`` scope worker faults; ``attempt`` also
-    scopes snapshot faults (the checkpoint generation counter), letting
-    a plan corrupt generation 3 specifically.  ``offset`` is the byte
-    offset a ``"torn"`` snapshot keeps.
+    ``site`` is ``"device.read"``, ``"device.write"``, ``"block"``,
+    ``"snapshot"``, or ``"worker"``.  ``at`` is the 1-based operation
+    count the fault fires on (device call, block write, snapshot write,
+    or worker batch index).  ``worker`` / ``attempt`` scope worker
+    faults; ``attempt`` also scopes snapshot faults consulted from a
+    worker (the supervisor's re-dispatch then writes a clean snapshot).
+    ``offset`` is the byte offset a ``"torn"`` snapshot keeps, or the
+    bit position a ``"corrupt"`` fault flips (reduced modulo the
+    payload size).
     """
 
     site: str
     at: int = 1
-    mode: str = "raise"  # "raise" | "kill" | "hang" | "torn"
+    mode: str = "raise"  # "raise" | "kill" | "hang" | "torn" | "corrupt"
     worker: Optional[int] = None
     attempt: int = 0
     offset: int = 0
 
     def __post_init__(self) -> None:
-        if self.site not in ("device.read", "device.write", "snapshot", "worker"):
+        if self.site not in ("device.read", "device.write", "block", "snapshot", "worker"):
             raise ValueError(f"unknown fault site {self.site!r}")
         valid_modes = {
             "device.read": ("raise",),
             "device.write": ("raise",),
-            "snapshot": ("raise", "torn"),
+            "block": ("corrupt",),
+            "snapshot": ("raise", "torn", "corrupt"),
             "worker": ("raise", "kill", "hang"),
         }[self.site]
         if self.mode not in valid_modes:
@@ -114,6 +125,7 @@ class FaultPlan:
         self.seed = seed
         self._device_reads = 0
         self._device_writes = 0
+        self._block_writes = 0
         self._snapshot_writes = 0
 
     # ------------------------------------------------------------------
@@ -130,15 +142,21 @@ class FaultPlan:
         snapshot_tears: int = 0,
         max_snapshot_bytes: int = 4096,
         kill_fraction: float = 0.7,
+        block_corruptions: int = 0,
+        max_block_writes: int = 64,
+        snapshot_corruptions: int = 0,
     ) -> "FaultPlan":
         """A seeded plan: random kill points and I/O faults, replayable.
 
         Picks one first-attempt fault for each of ``num_workers``
         workers (``kill`` with probability ``kill_fraction``, else
         ``raise``) at a uniform batch index in ``[1, max_batches]``,
-        plus ``device_faults`` read/write raises and ``snapshot_tears``
-        torn checkpoint writes at uniform offsets.  Same seed, same
-        plan -- the property tests print only the seed on failure.
+        plus ``device_faults`` read/write raises, ``snapshot_tears``
+        torn checkpoint writes at uniform offsets,
+        ``block_corruptions`` bit flips on uniform block writes, and
+        ``snapshot_corruptions`` payload bit flips on uniform snapshot
+        generations.  Same seed, same plan -- the property tests print
+        only the seed on failure.
         """
         import numpy as np
 
@@ -164,6 +182,24 @@ class FaultPlan:
                     at=int(rng.integers(1, 4)),
                     mode="torn",
                     offset=int(rng.integers(0, max_snapshot_bytes)),
+                )
+            )
+        for _ in range(block_corruptions):
+            faults.append(
+                FaultSpec(
+                    site="block",
+                    mode="corrupt",
+                    at=int(rng.integers(1, max_block_writes + 1)),
+                    offset=int(rng.integers(0, 1 << 20)),
+                )
+            )
+        for _ in range(snapshot_corruptions):
+            faults.append(
+                FaultSpec(
+                    site="snapshot",
+                    mode="corrupt",
+                    at=int(rng.integers(1, 4)),
+                    offset=int(rng.integers(0, max_snapshot_bytes * 8)),
                 )
             )
         return cls(faults, seed=seed)
@@ -193,6 +229,28 @@ class FaultPlan:
                 raise InjectedFault(f"injected device write fault #{self._device_writes}")
 
     # ------------------------------------------------------------------
+    # block-write site (consulted by the BlockDevice itself)
+    # ------------------------------------------------------------------
+    def corrupt_block_write(self, payload: bytes) -> bytes:
+        """Count one block write; flip a bit if the plan rots this one.
+
+        Called by the device *after* it has taken the block's checksum,
+        so the flip models silent post-write corruption: the stored
+        bytes diverge from the digest and the next read of this block
+        must raise a :class:`~repro.exceptions.CorruptionError`.
+        """
+        self._block_writes += 1
+        for fault in self.faults:
+            if fault.site == "block" and fault.at == self._block_writes:
+                if not payload:
+                    return payload
+                rotten = bytearray(payload)
+                bit = fault.offset % (len(rotten) * 8)
+                rotten[bit >> 3] ^= 1 << (bit & 7)
+                return bytes(rotten)
+        return payload
+
+    # ------------------------------------------------------------------
     # snapshot-write site (consulted by the checkpoint layer)
     # ------------------------------------------------------------------
     def before_snapshot_write(self) -> None:
@@ -209,24 +267,61 @@ class FaultPlan:
                     f"injected snapshot write fault #{self._snapshot_writes}"
                 )
 
-    def after_snapshot_write(self, path: Union[str, Path]) -> None:
-        """Apply any ``torn`` fault to the just-written snapshot file.
+    def after_snapshot_write(
+        self,
+        path: Union[str, Path],
+        attempt: Optional[int] = None,
+        worker: Optional[int] = None,
+    ) -> None:
+        """Apply any ``torn`` / ``corrupt`` fault to the just-written file.
 
-        Truncating *after* the atomic promote models the failure the
-        rename cannot defend against -- a corrupted or partially
+        Damaging the file *after* the atomic promote models the failure
+        the rename cannot defend against -- a corrupted or partially
         persisted file discovered at recovery time -- which is exactly
-        what ``recover_latest`` must fall back across.
+        what ``recover_latest`` (torn headers) and the payload digests
+        (flipped bits) must fall back across.  ``attempt`` scopes the
+        faults when a distributed worker consults the plan, so its
+        re-dispatched attempt writes a clean snapshot; the checkpoint
+        layer passes ``None`` (generation matching via ``at`` only).
         """
+        if attempt is not None:
+            # Worker context: workers never call before_snapshot_write
+            # (raise-mode snapshot faults are a checkpoint-layer
+            # concept), so their writes are counted here instead.  Each
+            # worker process unpickles its own plan with counters reset,
+            # so ``at`` indexes that worker's own snapshot writes.
+            self._snapshot_writes += 1
         for fault in self.faults:
-            if (
-                fault.site == "snapshot"
-                and fault.mode == "torn"
-                and fault.at == self._snapshot_writes
-            ):
+            if fault.site != "snapshot" or fault.at != self._snapshot_writes:
+                continue
+            if attempt is not None and fault.attempt != attempt:
+                continue
+            if worker is not None and fault.worker is not None and fault.worker != worker:
+                continue
+            if fault.mode == "torn":
                 path = Path(path)
                 size = path.stat().st_size
                 with path.open("r+b") as handle:
                     handle.truncate(min(fault.offset, size))
+            elif fault.mode == "corrupt":
+                from repro.distributed.snapshot import _HEADER
+
+                path = Path(path)
+                size = path.stat().st_size
+                # Flip a bit past the header so the damage is *silent*:
+                # the file still parses, only the payload digests can
+                # tell (a header flip would be caught as a format error,
+                # which the torn mode already exercises).
+                base = _HEADER.size if size > _HEADER.size else 0
+                region = size - base
+                if region <= 0:
+                    continue
+                bit = fault.offset % (region * 8)
+                with path.open("r+b") as handle:
+                    handle.seek(base + (bit >> 3))
+                    byte = handle.read(1)[0]
+                    handle.seek(base + (bit >> 3))
+                    handle.write(bytes([byte ^ (1 << (bit & 7))]))
 
     # ------------------------------------------------------------------
     # worker site (consulted by distributed ingest workers)

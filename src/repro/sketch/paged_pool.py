@@ -389,6 +389,25 @@ class PagedTensorPool(NodeTensorPool):
         with self._lock:
             return len(self._resident)
 
+    def scrub(self) -> List[int]:
+        """Verify checksums of every stored page; return the corrupt ones.
+
+        Walks all pages the hybrid memory holds (cached and spilled)
+        through :meth:`~repro.memory.hybrid.HybridMemory.verify_key`,
+        which checks both the per-block device digests and the
+        whole-payload digest.  Returns the sorted page indices whose
+        stored bytes failed -- the exact input read-repair needs.  Call
+        :meth:`sync` first so dirty resident pages are represented in
+        the byte tier; the scrub itself mutates nothing.
+        """
+        with self._lock:
+            corrupt = self.memory.scrub()
+        return sorted(
+            int(key[1])
+            for key in corrupt
+            if isinstance(key, tuple) and len(key) == 2 and key[0] == "sketch-page"
+        )
+
     # ------------------------------------------------------------------
     # folds (updates)
     # ------------------------------------------------------------------

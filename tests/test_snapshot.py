@@ -268,7 +268,7 @@ def test_corrupted_magic_rejected(tmp_path, snapshot_file):
 def test_future_version_rejected(tmp_path, snapshot_file):
     path, _ = snapshot_file
     data = bytearray(path.read_bytes())
-    data[0] = 2  # version lives in the magic's low word
+    data[0] = 3  # version lives in the magic's low word (current is 2)
     future = tmp_path / "future.snap"
     future.write_bytes(bytes(data))
     with pytest.raises(StreamFormatError, match="magic"):
@@ -356,7 +356,7 @@ def test_meta_roundtrip(snapshot_file):
     assert meta.engine_updates == engine.updates_processed
     assert meta.stream_offset == engine.updates_processed
     assert meta.fingerprint == engine.config.sketch_fingerprint()
-    assert path.stat().st_size == meta.payload_bytes + 96
+    assert path.stat().st_size == meta.payload_bytes + meta.digest_section_bytes + 96
 
 
 def test_negative_seed_snapshot_roundtrips(tmp_path):
