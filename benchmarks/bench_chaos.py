@@ -1,0 +1,307 @@
+"""Chaos benchmark: guard overhead, backpressure, and the composite soak.
+
+The repo's performance ledger for the overload & degradation plane
+(ISSUE 8).  Five rows over the same random multi-graph stream:
+
+* ``paged baseline``: chunked out-of-core ingest with no overload
+  guards -- what the guard overhead is measured against;
+* ``guarded``: the same ingest with a per-operation device deadline
+  and a circuit breaker armed.  On a healthy device both are pure
+  bookkeeping, so the acceptance bar is **overhead <= 5%**;
+* ``backpressured stream``: pipelined
+  :meth:`~repro.parallel.graph_workers.ShardedIngestor.ingest_stream`
+  with a bounded hand-off queue; the recorded ``peak_queued_bytes``
+  must stay under the bound while the result stays bit-identical;
+* ``chaos soak (flat)`` and ``chaos soak (paged)``: a seeded
+  :class:`~repro.resilience.chaos.ChaosSchedule` mixing every fault
+  family over repeated ingest/query/checkpoint/scrub/recover cycles.
+  Both must end **bit-identical** to a fault-free serial shadow; the
+  paged soak must additionally keep cached-plus-reserved bytes under
+  the RAM budget at every observation point.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, CI) shrinks the workload and only
+asserts the correctness properties -- overhead ratios are meaningless
+at smoke scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+from _timing import TIMING_REPS, interleaved_medians
+from conftest import print_table
+
+from repro.analysis.tables import render_table
+from repro.core.config import GraphZeppelinConfig
+from repro.core.graph_zeppelin import GraphZeppelin
+from repro.generators.random_graphs import random_multigraph_edges
+from repro.parallel.cost_model import usable_cores
+from repro.parallel.graph_workers import ShardedIngestor
+from repro.resilience import ChaosSchedule, run_chaos_soak
+from repro.sketch.sizes import node_sketch_size_bytes
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+NUM_NODES = 400 if SMOKE else 2_000
+NUM_EDGES = 2_000 if SMOKE else 60_000
+CHUNK = 500 if SMOKE else 1 << 13
+#: The soak re-ingests stream suffixes on every recovery, so its
+#: workload is kept below the timing rows'.
+CHAOS_EDGES = 1_500 if SMOKE else 20_000
+CHAOS_CYCLES = 8 if SMOKE else 24
+#: Supervisor timeouts scale with the slice workload: at full scale a
+#: healthy paged worker slice runs for whole seconds, so the smoke
+#: values would straggler-kill healthy workers into retry exhaustion.
+STRAGGLER_TIMEOUT = 0.25 if SMOKE else 10.0
+WORKER_DEADLINE = 2.0 if SMOKE else 60.0
+#: ISSUE 8 acceptance: an armed deadline + breaker on a healthy device
+#: may cost at most this fraction over the unguarded baseline.
+MAX_GUARD_OVERHEAD = 0.05
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
+
+SEED = 37
+
+
+def _ram_budget() -> int:
+    # An eighth of the sketch-state bytes: most pages live spilled, so
+    # every ingest round trip crosses the guarded device-call path --
+    # the regime the overhead bound is about.
+    return node_sketch_size_bytes(NUM_NODES) * NUM_NODES // 8
+
+
+def _paged_config(**overrides) -> GraphZeppelinConfig:
+    return GraphZeppelinConfig(
+        seed=SEED, ram_budget_bytes=_ram_budget(), **overrides
+    )
+
+
+def _ingest(engine: GraphZeppelin, edges: np.ndarray) -> GraphZeppelin:
+    for start in range(0, edges.shape[0], CHUNK):
+        engine.ingest_batch(edges[start : start + CHUNK])
+    engine.flush()
+    return engine
+
+
+def _pools_equal(a: GraphZeppelin, b: GraphZeppelin) -> bool:
+    a.flush()
+    b.flush()
+    return all(
+        np.array_equal(np.asarray(x, dtype=np.uint64), np.asarray(y, dtype=np.uint64))
+        for x, y in zip(a.tensor_pool.raw_tensors(), b.tensor_pool.raw_tensors())
+    )
+
+
+def test_chaos_ledger():
+    edges = random_multigraph_edges(NUM_NODES, NUM_EDGES, seed=5)
+    count = int(edges.shape[0])
+    chaos_edges = edges[:CHAOS_EDGES]
+    workroot = Path(tempfile.mkdtemp(prefix="repro-bench-chaos-"))
+
+    def baseline():
+        return _ingest(GraphZeppelin(NUM_NODES, config=_paged_config()), edges)
+
+    def guarded():
+        config = _paged_config(io_deadline_seconds=5.0, io_breaker_threshold=5)
+        return _ingest(GraphZeppelin(NUM_NODES, config=config), edges)
+
+    guarded_label = "guarded (deadline + breaker)"
+    specs = [
+        ("paged baseline (no guards)", baseline),
+        (guarded_label, guarded),
+    ]
+
+    reference = {}
+    identical = {}
+
+    def on_result(label: str, rep: int, result) -> None:
+        if label.startswith("paged baseline"):
+            if rep == 0:
+                reference["engine"] = result
+            return
+        if rep == 0:
+            identical[label] = _pools_equal(reference["engine"], result)
+
+    try:
+        medians = interleaved_medians(specs, reps=TIMING_REPS, on_result=on_result)
+
+        # Backpressured pipelined stream: bound the hand-off queue at
+        # three prepared batches and verify the recorded peak honours it.
+        flat_config = GraphZeppelinConfig(seed=SEED)
+        flat_serial = GraphZeppelin(NUM_NODES, config=flat_config)
+        flat_serial.ingest_batch(edges)
+        parallel = GraphZeppelin(NUM_NODES, config=flat_config)
+        probe = ShardedIngestor(parallel, num_workers=2)
+        with probe:
+            single_batch_bytes = probe._batch_nbytes(
+                probe._prepare(edges[:CHUNK])[1]
+            )
+        queue_bound = 3 * single_batch_bytes
+        parallel = GraphZeppelin(NUM_NODES, config=flat_config)
+        started = time.perf_counter()
+        with ShardedIngestor(
+            parallel, num_workers=2, max_queued_bytes=queue_bound
+        ) as ingestor:
+            ingestor.ingest_stream(
+                edges[start : start + CHUNK] for start in range(0, count, CHUNK)
+            )
+            peak_queued = ingestor.peak_queued_bytes
+        backpressure_seconds = time.perf_counter() - started
+        backpressure_identical = _pools_equal(parallel, flat_serial)
+
+        # The composite soak, flat then paged.
+        schedule = ChaosSchedule.random(
+            seed=11, cycles=CHAOS_CYCLES, distributed_every=6, hang_seconds=0.3
+        )
+        chaos_shadow_flat = GraphZeppelin(NUM_NODES, config=flat_config)
+        chaos_shadow_flat.ingest_batch(chaos_edges)
+        flat_engine, flat_report = run_chaos_soak(
+            schedule,
+            chaos_edges,
+            NUM_NODES,
+            config=flat_config,
+            workdir=workroot / "chaos-flat",
+            straggler_timeout=STRAGGLER_TIMEOUT,
+            worker_deadline=WORKER_DEADLINE,
+        )
+        flat_identical = _pools_equal(flat_engine, chaos_shadow_flat)
+
+        paged_config = _paged_config(
+            io_retry_attempts=2,
+            io_retry_backoff_seconds=0.001,
+            io_deadline_seconds=5.0,
+            io_breaker_threshold=4,
+        )
+        chaos_shadow_paged = GraphZeppelin(NUM_NODES, config=paged_config)
+        chaos_shadow_paged.ingest_batch(chaos_edges)
+        paged_engine, paged_report = run_chaos_soak(
+            schedule,
+            chaos_edges,
+            NUM_NODES,
+            config=paged_config,
+            workdir=workroot / "chaos-paged",
+            straggler_timeout=STRAGGLER_TIMEOUT,
+            worker_deadline=WORKER_DEADLINE,
+        )
+        paged_identical = _pools_equal(paged_engine, chaos_shadow_paged)
+    finally:
+        shutil.rmtree(workroot, ignore_errors=True)
+
+    baseline_seconds = medians["paged baseline (no guards)"]
+    overhead = medians[guarded_label] / baseline_seconds - 1.0
+
+    rows = []
+    for label, _ in specs:
+        seconds = medians[label]
+        row = {
+            "path": label,
+            "updates": count,
+            "seconds": round(seconds, 4),
+            "updates_per_sec": round(count / seconds, 1),
+        }
+        if label == guarded_label:
+            row["overhead_vs_baseline"] = round(overhead, 4)
+            row["bit_identical"] = identical[label]
+        rows.append(row)
+    rows.append(
+        {
+            "path": "backpressured stream (bounded queue)",
+            "updates": count,
+            "seconds": round(backpressure_seconds, 4),
+            "updates_per_sec": round(count / backpressure_seconds, 1),
+            "queue_bound_bytes": queue_bound,
+            "peak_queued_bytes": peak_queued,
+            "bit_identical": backpressure_identical,
+        }
+    )
+    for name, report, ok in (
+        ("chaos soak (flat)", flat_report, flat_identical),
+        ("chaos soak (paged)", paged_report, paged_identical),
+    ):
+        rows.append(
+            {
+                "path": name,
+                "updates": report.updates_total,
+                "seconds": round(report.elapsed_seconds, 4),
+                "cycles": report.cycles,
+                "modes": report.modes,
+                "recoveries": report.recoveries,
+                "repairs": report.repairs,
+                "worker_retries": report.worker_retries,
+                "pressure_events": report.pressure_events,
+                "deadline_misses": report.deadline_misses,
+                "breaker_rejections": report.breaker_rejections,
+                "io_retries": report.io_retries,
+                "peak_cached_bytes": report.peak_cached_bytes,
+                "ram_budget_bytes": report.ram_budget_bytes,
+                "health": report.final_health.get("status"),
+                "bit_identical": ok,
+            }
+        )
+
+    print_table(
+        render_table(
+            rows,
+            title=(
+                f"Overload & degradation plane ({NUM_NODES} nodes, {count} "
+                f"edge updates, {usable_cores()} cores"
+                f"{', smoke' if SMOKE else ''})"
+            ),
+        )
+    )
+
+    payload = {
+        "num_nodes": NUM_NODES,
+        "num_edge_updates": count,
+        "chaos_edge_updates": int(chaos_edges.shape[0]),
+        "chaos_cycles": CHAOS_CYCLES,
+        "cores": usable_cores(),
+        "smoke": SMOKE,
+        "guard_overhead": round(overhead, 4),
+        "max_guard_overhead": MAX_GUARD_OVERHEAD,
+        "queue_bound_bytes": queue_bound,
+        "peak_queued_bytes": peak_queued,
+        "chaos_modes": flat_report.modes,
+        "chaos_flat_bit_identical": flat_identical,
+        "chaos_paged_bit_identical": paged_identical,
+        "chaos_paged_peak_cached_bytes": paged_report.peak_cached_bytes,
+        "chaos_paged_ram_budget_bytes": paged_report.ram_budget_bytes,
+        "rows": rows,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+
+    assert identical[guarded_label], "armed guards changed the ingest result"
+    assert 0 < peak_queued <= queue_bound, (
+        f"the bounded queue peaked at {peak_queued} bytes "
+        f"(bound {queue_bound})"
+    )
+    assert backpressure_identical, "backpressured stream diverged from serial"
+    assert len(flat_report.modes) >= 5, (
+        f"the soak only injected {flat_report.modes}; the composite claim "
+        "needs at least five fault modes"
+    )
+    assert flat_identical, "the flat chaos soak diverged from its shadow"
+    assert paged_identical, "the paged chaos soak diverged from its shadow"
+    assert (
+        paged_report.peak_cached_bytes <= paged_report.ram_budget_bytes
+    ), (
+        f"RAM budget breached under chaos: peak {paged_report.peak_cached_bytes} "
+        f"> budget {paged_report.ram_budget_bytes}"
+    )
+    if SMOKE:
+        return
+    assert overhead <= MAX_GUARD_OVERHEAD, (
+        f"deadline + breaker on a healthy device cost {overhead:.1%} "
+        f"(acceptance: <= {MAX_GUARD_OVERHEAD:.0%})"
+    )
+
+
+if __name__ == "__main__":
+    test_chaos_ledger()

@@ -99,6 +99,19 @@ class BufferingSystem(abc.ABC):
         """Empty every buffer, returning all remaining non-empty batches."""
 
     @abc.abstractmethod
+    def restore(self, batches: List[Batch]) -> None:
+        """Put emitted-but-unapplied batches back into the buffers.
+
+        The engine's failure-atomic flush depends on this:
+        :meth:`flush_all` pops updates out of the buffers *before* they
+        are applied, so an application that dies partway (a rotten page
+        read, a failed device write) would silently lose the unapplied
+        tail if its batches could not be returned.  Restored gutters may
+        temporarily exceed capacity -- that only makes the next emission
+        larger, which the partition-independent sketch fold absorbs.
+        """
+
+    @abc.abstractmethod
     def pending_updates(self) -> int:
         """Number of updates currently sitting in buffers."""
 

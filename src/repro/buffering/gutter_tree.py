@@ -176,6 +176,24 @@ class GutterTree(BufferingSystem):
                 batches.append(self._emit_leaf(page))
         return batches
 
+    def restore(self, batches: List[Union[Batch, PageBatch]]) -> None:
+        # Restored updates go straight to the leaf gutters (the tree
+        # stages above only exist to batch the journey down; these
+        # updates already completed it once).
+        for batch in batches:
+            if isinstance(batch, PageBatch):
+                page = batch.page
+                dsts: List[int] = batch.dsts.tolist()
+                neighbors: List[int] = batch.neighbors.tolist()
+            else:
+                page = batch.node
+                neighbors = list(batch.neighbors)
+                dsts = [batch.node] * len(neighbors)
+            leaf_dsts, leaf_neighbors = self._leaf_gutters.setdefault(page, ([], []))
+            leaf_dsts.extend(dsts)
+            leaf_neighbors.extend(neighbors)
+            self._pending += len(dsts)
+
     def pending_updates(self) -> int:
         return self._pending
 

@@ -170,6 +170,21 @@ class LeafGutters(BufferingSystem):
         ]
         return [batch for batch in batches if len(batch) > 0]
 
+    def restore(self, batches: List[Union[Batch, PageBatch]]) -> None:
+        for batch in batches:
+            if isinstance(batch, PageBatch):
+                page = batch.page
+                dsts: List[int] = batch.dsts.tolist()
+                neighbors: List[int] = batch.neighbors.tolist()
+            else:
+                page = batch.node
+                neighbors = list(batch.neighbors)
+                dsts = [batch.node] * len(neighbors)
+            gutter_dsts, gutter_neighbors = self._gutters.setdefault(page, ([], []))
+            gutter_dsts.extend(dsts)
+            gutter_neighbors.extend(neighbors)
+            self._pending += len(dsts)
+
     def pending_updates(self) -> int:
         return self._pending
 

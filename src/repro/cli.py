@@ -383,6 +383,7 @@ def _print_checkpointer(checkpointer) -> None:
 
 def _print_io_report(engine, checkpointer=None) -> None:
     """The --report ledger: every fault and integrity counter in one place."""
+    health = engine.health()
     stats = engine.io_stats
     if stats is None:
         print("io report        : engine is fully in RAM (no byte tier)")
@@ -392,9 +393,23 @@ def _print_io_report(engine, checkpointer=None) -> None:
         print(f"integrity        : {stats.checksum_failures} checksum failures, "
               f"{stats.blocks_scrubbed} blocks scrubbed, "
               f"{stats.pages_repaired} pages repaired")
+        print(f"overload         : {stats.pressure_events} pressure events, "
+              f"{stats.deadline_misses} deadline misses, "
+              f"{stats.breaker_rejections} breaker rejections")
+    breaker = health.get("breaker")
+    if breaker is not None:
+        print(f"circuit breaker  : {breaker['state']} "
+              f"(opened {breaker['times_opened']}x, "
+              f"{breaker['probes']} half-open probes)")
+    page_stats = health.get("page_stats")
+    if page_stats is not None and page_stats.get("pressure_degradations"):
+        print(f"working set      : degraded {page_stats['pressure_degradations']}x "
+              f"({page_stats['resident_pages']}/{page_stats['num_pages']} "
+              f"pages resident)")
     if checkpointer is not None:
         print(f"checkpoint errors: {checkpointer.checkpoint_failures} writes "
               f"failed, {checkpointer.rotation_failures} rotations failed")
+    print(f"health           : {health['status']}")
 
 
 def _cmd_components(args) -> int:

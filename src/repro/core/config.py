@@ -96,6 +96,22 @@ class GraphZeppelinConfig:
         are absorbed by retries; persistent ones still raise.
     io_retry_backoff_seconds:
         Base backoff between device-call retries (doubles per retry).
+    io_deadline_seconds:
+        Per-operation deadline on hybrid-memory device calls: a call
+        that runs longer is turned into a
+        :class:`~repro.exceptions.DeadlineExceededError` (a
+        ``TimeoutError``, hence retried like any transient ``OSError``).
+        ``None`` (default) disables the deadline.
+    io_breaker_threshold:
+        Consecutive *exhausted* device operations (whole retry budget
+        failed) after which the engine's circuit breaker opens and
+        device calls are rejected with
+        :class:`~repro.exceptions.CircuitOpenError` instead of burning
+        retries against a dead device.  ``None`` (default) disables the
+        breaker.
+    io_breaker_reset_seconds:
+        How long an open breaker rejects before admitting a half-open
+        probe call.
     query_backend:
         ``"vectorized"`` (default) runs connectivity queries through the
         whole-round Boruvka driver: one segmented XOR-reduce plus one
@@ -121,6 +137,9 @@ class GraphZeppelinConfig:
     query_backend: str = "vectorized"
     io_retry_attempts: int = 1
     io_retry_backoff_seconds: float = 0.01
+    io_deadline_seconds: Optional[float] = None
+    io_breaker_threshold: Optional[int] = None
+    io_breaker_reset_seconds: float = 0.25
 
     def __post_init__(self) -> None:
         if not 0 < self.delta < 1:
@@ -158,6 +177,12 @@ class GraphZeppelinConfig:
             raise ConfigurationError("io_retry_attempts must be at least 1")
         if self.io_retry_backoff_seconds < 0:
             raise ConfigurationError("io_retry_backoff_seconds must be non-negative")
+        if self.io_deadline_seconds is not None and self.io_deadline_seconds <= 0:
+            raise ConfigurationError("io_deadline_seconds must be positive or None")
+        if self.io_breaker_threshold is not None and self.io_breaker_threshold < 1:
+            raise ConfigurationError("io_breaker_threshold must be at least 1 or None")
+        if self.io_breaker_reset_seconds <= 0:
+            raise ConfigurationError("io_breaker_reset_seconds must be positive")
         if isinstance(self.buffering, str):
             self.buffering = BufferingMode(self.buffering)
 

@@ -117,8 +117,19 @@ class GraphZeppelin:
                     attempts=self.config.io_retry_attempts,
                     backoff_seconds=self.config.io_retry_backoff_seconds,
                 )
+            breaker = None
+            if self.config.io_breaker_threshold is not None:
+                from repro.resilience.overload import CircuitBreaker
+
+                breaker = CircuitBreaker(
+                    failure_threshold=self.config.io_breaker_threshold,
+                    reset_seconds=self.config.io_breaker_reset_seconds,
+                )
             self.memory = HybridMemory(
-                ram_bytes=self.config.ram_budget_bytes, retry=retry
+                ram_bytes=self.config.ram_budget_bytes,
+                retry=retry,
+                deadline_seconds=self.config.io_deadline_seconds,
+                breaker=breaker,
             )
         else:
             self.memory = None
@@ -579,10 +590,40 @@ class GraphZeppelin:
     # maintenance
     # ------------------------------------------------------------------
     def flush(self) -> None:
-        """Apply every buffered update to the node sketches."""
+        """Apply every buffered update to the node sketches.
+
+        Failure-atomic against storage errors: an in-RAM engine applies
+        the whole emission coalesced (pure-RAM folds cannot fail
+        partway), while an out-of-core engine applies one page batch at
+        a time -- each batch's fold only mutates state after its page is
+        resident, so a batch that raises (rotten page read, failed
+        writeback) has not been applied, and it plus the unapplied tail
+        are restored to the gutters before the error propagates.
+        Without this, an absorbed mid-flush error (a checkpointer
+        swallowing a failed checkpoint) would silently drop the popped
+        updates and quietly diverge from the fault-free stream.
+        """
         if self._buffering is None:
             return
-        self._apply_emitted(self._buffering.flush_all())
+        batches = self._buffering.flush_all()
+        if (
+            self._pool is None
+            or self.memory is None
+            or self.memory.is_unbounded
+        ):
+            # In-RAM pools cannot fail mid-fold; object stores mutate
+            # before their write-back, so restoring could double-apply
+            # -- both keep the coalesced fast path.
+            self._apply_emitted(batches)
+            return
+        applied = 0
+        try:
+            for batch in batches:
+                self._apply_batch(batch)
+                applied += 1
+        except BaseException:
+            self._buffering.restore(batches[applied:])
+            raise
 
     def node_sketch(self, node: int) -> Union[NodeSketch, FlatNodeSketch]:
         """The current sketch of one node (a copy-safe reference)."""
@@ -644,6 +685,49 @@ class GraphZeppelin:
     def io_stats(self) -> Optional[IOStats]:
         """I/O counters of the hybrid memory (``None`` when fully in RAM)."""
         return self.memory.stats if self.memory is not None else None
+
+    def health(self) -> dict:
+        """One-call overload/degradation snapshot of the engine.
+
+        Summarises the overload plane's telemetry -- pressure events,
+        deadline misses, breaker rejections and state, working-set
+        degradations, checkpoint failures -- under a single ``status``:
+        ``"ok"`` (nothing degraded), ``"degraded"`` (pressure, missed
+        deadlines, or failed checkpoints were absorbed; answers remain
+        exact), or ``"circuit-open"`` (the device breaker is currently
+        shedding I/O).  The CLI's ``--report`` prints this; the chaos
+        harness records it per cycle.
+        """
+        report: dict = {
+            "status": "ok",
+            "updates_processed": self._updates_processed,
+        }
+        degraded = False
+        circuit_open = False
+        stats = self.io_stats
+        if stats is not None:
+            report["pressure_events"] = stats.pressure_events
+            report["deadline_misses"] = stats.deadline_misses
+            report["breaker_rejections"] = stats.breaker_rejections
+            degraded = degraded or stats.pressure_events > 0
+            degraded = degraded or stats.deadline_misses > 0
+        breaker = self.memory.breaker if self.memory is not None else None
+        if breaker is not None:
+            report["breaker"] = breaker.snapshot()
+            degraded = degraded or breaker.times_opened > 0
+            circuit_open = breaker.state == "open"
+        if self._pool is not None and self._pool.is_paged:
+            page_stats = self._pool.page_stats()
+            report["page_stats"] = page_stats
+            degraded = degraded or page_stats["pressure_degradations"] > 0
+        if self._checkpointer is not None:
+            report["checkpoint_failures"] = self._checkpointer.checkpoint_failures
+            degraded = degraded or self._checkpointer.checkpoint_failures > 0
+        if circuit_open:
+            report["status"] = "circuit-open"
+        elif degraded:
+            report["status"] = "degraded"
+        return report
 
     @property
     def last_query_stats(self) -> Optional[BoruvkaStats]:

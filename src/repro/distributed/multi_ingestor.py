@@ -78,10 +78,12 @@ class DistributedReport:
     workdir: Optional[str] = None
     snapshot_paths: List[str] = field(default_factory=list)
     #: Supervisor telemetry: spawn count per worker (1 each when the
-    #: run was fault-free), total re-dispatches, and straggler kills.
+    #: run was fault-free), total re-dispatches, straggler kills, and
+    #: absolute-deadline kills.
     worker_attempts: List[int] = field(default_factory=list)
     worker_retries: int = 0
     straggler_kills: int = 0
+    deadline_kills: int = 0
 
 
 def _worker_ingest(task: Tuple) -> None:
@@ -160,15 +162,18 @@ def distributed_ingest(
     fault_plan=None,
     retry=None,
     straggler_timeout: Optional[float] = None,
+    worker_deadline: Optional[float] = None,
 ) -> Tuple[GraphZeppelin, DistributedReport]:
     """Ingest one edge stream across ``num_ingestors`` processes and merge.
 
     Partitions ``edges`` round-robin and runs one :func:`_worker_ingest`
     process per slice under a
     :class:`~repro.resilience.supervisor.WorkerSupervisor`: a worker
-    that dies, exits with an unreadable snapshot, or straggles past
-    ``straggler_timeout`` (once a peer has finished) is re-dispatched
-    from its slice with bounded backoff (``retry``, a
+    that dies, exits with an unreadable snapshot, straggles past
+    ``straggler_timeout`` (once a peer has finished), or outlives the
+    absolute per-attempt ``worker_deadline`` (no peer evidence needed,
+    so even a cluster-wide hang is bounded) is re-dispatched from its
+    slice with bounded backoff (``retry``, a
     :class:`~repro.resilience.supervisor.WorkerRetryPolicy`).  Each
     validated snapshot is XOR-merged into the coordinator's engine the
     moment it lands -- completed workers are never held up by a slow or
@@ -291,6 +296,7 @@ def distributed_ingest(
             describe_failure=describe_failure,
             retry=retry,
             straggler_timeout=straggler_timeout,
+            worker_deadline=worker_deadline,
         )
         records = supervisor.run()
         report.ingest_seconds = (
@@ -299,6 +305,7 @@ def distributed_ingest(
         report.worker_attempts = [record.attempts for record in records]
         report.worker_retries = sum(len(record.failures) for record in records)
         report.straggler_kills = sum(record.straggler_kills for record in records)
+        report.deadline_kills = sum(record.deadline_kills for record in records)
         report.updates_total = engine._updates_processed
         engine._cached_forest = None
         if not owns_workdir or keep_snapshots:

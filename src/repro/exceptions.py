@@ -65,6 +65,31 @@ class CorruptionError(StorageError):
     """
 
 
+class OverloadError(StorageError):
+    """Base class for overload-plane failures (deadlines, circuit breaking)."""
+
+
+class DeadlineExceededError(OverloadError, TimeoutError):
+    """A device operation completed (or failed) past its deadline.
+
+    ``TimeoutError`` is an ``OSError``, so the hybrid memory's
+    transient-error retry policy treats a missed deadline like any
+    other transient device failure: the operation is retried with
+    backoff and only a persistently slow device surfaces the error.
+    """
+
+
+class CircuitOpenError(OverloadError):
+    """The device-I/O circuit breaker is open; the call was not attempted.
+
+    Deliberately *not* an ``OSError``: the breaker exists to stop
+    hammering a failing device, so the retry policy must not spin on
+    rejections -- they propagate immediately and callers degrade
+    (policy-driven checkpoints absorb them; ingest surfaces them so the
+    caller can back off or recover from a checkpoint).
+    """
+
+
 class WorkerFailure(ReproError, RuntimeError):
     """A distributed ingest worker died and could not be recovered.
 

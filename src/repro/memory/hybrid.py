@@ -29,7 +29,12 @@ from typing import (
     TypeVar,
 )
 
-from repro.exceptions import CorruptionError, StorageError
+from repro.exceptions import (
+    CircuitOpenError,
+    CorruptionError,
+    DeadlineExceededError,
+    StorageError,
+)
 from repro.integrity.digest import block_digests
 from repro.memory.block_device import DEFAULT_BLOCK_SIZE, BlockDevice, DeviceProfile
 from repro.memory.cache import LRUCache
@@ -93,6 +98,22 @@ class HybridMemory:
         payload carries an xxHash64 digest; reads that pull spilled
         state back in raise :class:`~repro.exceptions.CorruptionError`
         on mismatch, and :meth:`scrub` audits everything at rest.
+    deadline_seconds:
+        Optional per-operation deadline on device calls: an attempt
+        that ran longer (e.g. under an injected ``slow`` fault) raises
+        :class:`~repro.exceptions.DeadlineExceededError` -- a
+        ``TimeoutError``/``OSError``, so it composes with ``retry``
+        like any transient failure and is counted in
+        ``stats.deadline_misses``.
+    breaker:
+        Optional :class:`~repro.resilience.overload.CircuitBreaker`
+        wrapping device I/O: it records whole-operation outcomes (after
+        the retry budget, not per attempt), rejects calls with
+        :class:`~repro.exceptions.CircuitOpenError` while open, and
+        half-open-probes after its reset window.
+        :class:`~repro.exceptions.CorruptionError` bypasses it
+        entirely -- corruption is data damage, not device
+        unavailability.
     """
 
     def __init__(
@@ -103,11 +124,17 @@ class HybridMemory:
         retry: Optional[RetryPolicy] = None,
         fault_plan=None,
         verify_checksums: bool = True,
+        deadline_seconds: Optional[float] = None,
+        breaker=None,
     ) -> None:
         if ram_bytes is not None and ram_bytes < 0:
             raise StorageError("ram_bytes must be non-negative or None")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise StorageError("deadline_seconds must be positive or None")
         self.ram_bytes = ram_bytes
         self.retry = retry
+        self.deadline_seconds = deadline_seconds
+        self.breaker = breaker
         self.verify_checksums = bool(verify_checksums)
         self.stats = IOStats()
         self.device = BlockDevice(
@@ -128,6 +155,12 @@ class HybridMemory:
         #: once.
         self._payload_digests: Dict[Hashable, List[int]] = {}
         self._next_block = 0
+        self._reserved_bytes = 0
+        #: Callbacks fired on every memory-pressure event (refused
+        #: reservation or injected allocation squeeze); the paged pool
+        #: registers its degrade-to-floor handler here.
+        self._pressure_listeners: List[Callable[[], None]] = []
+        self._in_pressure_callback = False
 
     # ------------------------------------------------------------------
     @property
@@ -162,6 +195,11 @@ class HybridMemory:
         """
         if self.verify_checksums:
             self._payload_digests[key] = block_digests(payload, self.block_size)
+        if self.fault_plan is not None and self.fault_plan.on_memory_check():
+            # Injected allocation squeeze: degrade (listeners shrink
+            # their working sets), never refuse the bytes -- pressure
+            # models load, and dropping a payload would lose data.
+            self._note_pressure()
         self._dirty.add(key)
         self._cache.put(key, payload)
 
@@ -324,12 +362,59 @@ class HybridMemory:
         write-backs) any overflow immediately.  Returns the bytes
         actually reserved (clamped to what the cache still had); a
         no-op when unbounded.
+
+        Under an injected memory-pressure fault the reservation is
+        *refused* (returns 0, counts a ``pressure_events``, notifies
+        the pressure listeners) -- callers already treat a partial
+        reservation as budget truth, so a refusal degrades instead of
+        raising.
         """
         if self.is_unbounded:
             return 0
+        if self.fault_plan is not None and self.fault_plan.on_memory_check():
+            self._note_pressure()
+            return 0
         taken = min(max(int(nbytes), 0), self._cache.capacity_bytes)
         self._cache.resize(self._cache.capacity_bytes - taken)
+        self._reserved_bytes += taken
         return taken
+
+    def release(self, nbytes: int) -> int:
+        """Return previously :meth:`reserve`-d bytes to the byte cache.
+
+        The degradation path: a component shrinking its working set
+        under pressure hands its reservation back so the cache can
+        absorb payloads the smaller working set now spills.  Clamped to
+        what is actually reserved; returns the bytes released.
+        """
+        if self.is_unbounded:
+            return 0
+        given = min(max(int(nbytes), 0), self._reserved_bytes)
+        self._cache.resize(self._cache.capacity_bytes + given)
+        self._reserved_bytes -= given
+        return given
+
+    @property
+    def reserved_bytes(self) -> int:
+        """Bytes currently carved out of the cache by :meth:`reserve`."""
+        return self._reserved_bytes
+
+    def add_pressure_listener(self, listener: Callable[[], None]) -> None:
+        """Register a callback fired on every memory-pressure event."""
+        self._pressure_listeners.append(listener)
+
+    def _note_pressure(self) -> None:
+        self.stats.pressure_events += 1
+        if self._in_pressure_callback:
+            # A listener's own eviction/write-back traffic re-entered
+            # store(); count the event but do not recurse.
+            return
+        self._in_pressure_callback = True
+        try:
+            for listener in self._pressure_listeners:
+                listener()
+        finally:
+            self._in_pressure_callback = False
 
     # ------------------------------------------------------------------
     # explicit accounting hooks for components (e.g. the gutter tree)
@@ -363,25 +448,70 @@ class HybridMemory:
 
     # ------------------------------------------------------------------
     def _device_call(self, call: Callable[[], T], is_write: bool) -> T:
-        """Run one device read/write through fault injection and retry.
+        """Run one device read/write through breaker, faults, deadline, retry.
 
-        The fault plan (when present) is consulted before every try --
-        a retried call counts as a fresh device operation, so an
-        injected fault at the k-th write is transient unless the plan
-        also faults the (k+1)-th.  Each ``OSError`` is counted in the
-        failure stats; with a :class:`RetryPolicy` the call is retried
-        with backoff and only the final failure propagates.
+        Composition, outermost first: the circuit breaker admits or
+        rejects the whole operation (an open breaker raises
+        :class:`~repro.exceptions.CircuitOpenError` without touching
+        the device or the retry budget); the fault plan (when present)
+        is consulted before every try -- a retried call counts as a
+        fresh device operation, so an injected fault at the k-th write
+        is transient unless the plan also faults the (k+1)-th, and a
+        ``slow`` fault stalls the attempt; the per-attempt deadline
+        turns an over-long attempt into a
+        :class:`~repro.exceptions.DeadlineExceededError` (an
+        ``OSError``, so it retries like any transient failure).  Each
+        ``OSError`` is counted in the failure stats; with a
+        :class:`RetryPolicy` the call is retried with backoff and only
+        the final failure propagates.  The breaker records the
+        *operation's* outcome -- transient failures a retry absorbed
+        never count toward its threshold, and
+        :class:`~repro.exceptions.CorruptionError` (deterministic data
+        damage, not device unavailability) bypasses it entirely.
         """
+        if self.breaker is not None:
+            try:
+                self.breaker.allow()
+            except CircuitOpenError:
+                self.stats.breaker_rejections += 1
+                raise
+        try:
+            result = self._retried_call(call, is_write)
+        except CorruptionError:
+            raise
+        except OSError:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return result
+
+    def _retried_call(self, call: Callable[[], T], is_write: bool) -> T:
+        """The retry loop of :meth:`_device_call` (fault plan + deadline)."""
         attempts = self.retry.attempts if self.retry is not None else 1
         failed = 0
         while True:
             try:
+                started = time.monotonic()
                 if self.fault_plan is not None:
                     if is_write:
                         self.fault_plan.on_device_write()
                     else:
                         self.fault_plan.on_device_read()
-                return call()
+                result = call()
+                if (
+                    self.deadline_seconds is not None
+                    and time.monotonic() - started > self.deadline_seconds
+                ):
+                    self.stats.deadline_misses += 1
+                    raise DeadlineExceededError(
+                        f"device {'write' if is_write else 'read'} exceeded its "
+                        f"{self.deadline_seconds}s deadline"
+                    )
+                return result
+            except CorruptionError:
+                raise
             except OSError:
                 failed += 1
                 if is_write:

@@ -37,6 +37,16 @@ class IOStats:
     blocks_scrubbed: int = 0
     #: Corrupt pages healed from a checkpoint by read-repair.
     pages_repaired: int = 0
+    #: Transient memory-pressure events (refused reservations or
+    #: injected allocation pressure); the paged pool degrades its
+    #: working set instead of raising.
+    pressure_events: int = 0
+    #: Device calls that completed past their per-operation deadline
+    #: (each counts once; retried like any transient failure).
+    deadline_misses: int = 0
+    #: Device calls rejected without being attempted because the
+    #: circuit breaker was open.
+    breaker_rejections: int = 0
 
     @property
     def total_ios(self) -> int:
@@ -69,6 +79,9 @@ class IOStats:
             checksum_failures=self.checksum_failures + other.checksum_failures,
             blocks_scrubbed=self.blocks_scrubbed + other.blocks_scrubbed,
             pages_repaired=self.pages_repaired + other.pages_repaired,
+            pressure_events=self.pressure_events + other.pressure_events,
+            deadline_misses=self.deadline_misses + other.deadline_misses,
+            breaker_rejections=self.breaker_rejections + other.breaker_rejections,
         )
 
     def reset(self) -> None:
@@ -88,6 +101,9 @@ class IOStats:
         self.checksum_failures = 0
         self.blocks_scrubbed = 0
         self.pages_repaired = 0
+        self.pressure_events = 0
+        self.deadline_misses = 0
+        self.breaker_rejections = 0
 
     def snapshot(self) -> dict:
         """A plain-dict copy, convenient for result tables."""
@@ -107,4 +123,7 @@ class IOStats:
             "checksum_failures": self.checksum_failures,
             "blocks_scrubbed": self.blocks_scrubbed,
             "pages_repaired": self.pages_repaired,
+            "pressure_events": self.pressure_events,
+            "deadline_misses": self.deadline_misses,
+            "breaker_rejections": self.breaker_rejections,
         }

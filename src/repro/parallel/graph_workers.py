@@ -37,7 +37,13 @@ Two execution backends implement the fold step
 
 :meth:`ShardedIngestor.ingest_stream` adds a pipeline mode: the
 producer partitions batch ``k + 1`` while the workers are still
-folding batch ``k``.
+folding batch ``k``.  The hand-off between producer and workers is a
+**bounded queue**: prepared batches wait in line until their combined
+footprint would exceed ``max_queued_bytes``, at which point the
+producer *blocks* (folding queued batches) instead of buffering an
+unbounded prepared backlog -- backpressure, so a fast source cannot
+balloon RAM ahead of slow folds.  ``peak_queued_bytes`` records the
+high-water mark for the overload benchmarks.
 
 Out-of-core engines participate through a **page-affine** mode: when
 the engine holds a :class:`~repro.sketch.paged_pool.PagedTensorPool`,
@@ -73,6 +79,12 @@ from repro.sketch.tensor_pool import NodeTensorPool, auto_num_shards, shard_boun
 
 #: Signature of the function a legacy worker applies to each batch.
 BatchApplier = Callable[[Batch], None]
+
+#: Default bound on the pipelined producer's prepared-batch backlog, in
+#: bytes of update columns.  Big enough for several typical stream
+#: chunks, small enough that backpressure engages well before the
+#: backlog rivals the sketch RAM budget.
+DEFAULT_MAX_QUEUED_BYTES = 32 << 20
 
 
 # ----------------------------------------------------------------------
@@ -194,6 +206,13 @@ class ShardedIngestor:
     backend:
         ``"threads"`` or ``"processes"`` (default
         ``engine.config.parallel_backend``).
+    max_queued_bytes:
+        Backpressure bound for :meth:`ingest_stream`: the producer
+        blocks once the prepared-but-unfolded batches it is holding
+        exceed this many bytes (default
+        :data:`DEFAULT_MAX_QUEUED_BYTES`).  A single batch larger than
+        the whole bound still ingests -- alone, with the bound
+        transiently exceeded.
     """
 
     def __init__(
@@ -202,6 +221,7 @@ class ShardedIngestor:
         num_workers: Optional[int] = None,
         num_shards: Optional[int] = None,
         backend: Optional[str] = None,
+        max_queued_bytes: Optional[int] = None,
     ) -> None:
         pool = engine.tensor_pool
         if pool is None:
@@ -257,10 +277,18 @@ class ShardedIngestor:
             if self.num_shards < 1:
                 raise ConfigurationError("num_shards must be at least 1")
             self.bounds = shard_bounds(engine.num_nodes, self.num_shards)
+        if max_queued_bytes is None:
+            max_queued_bytes = DEFAULT_MAX_QUEUED_BYTES
+        if max_queued_bytes < 1:
+            raise ConfigurationError("max_queued_bytes must be at least 1")
+        self.max_queued_bytes = int(max_queued_bytes)
         self._executor: Optional[ThreadPoolExecutor] = None
         self._proc_pool = None
         self._batches_ingested = 0
         self._updates_ingested = 0
+        self._queued_bytes = 0
+        #: High-water mark of the pipelined hand-off backlog, in bytes.
+        self.peak_queued_bytes = 0
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "ShardedIngestor":
@@ -350,33 +378,90 @@ class ShardedIngestor:
         The producer (this thread) canonicalises and partitions batch
         ``k + 1`` while the shard workers fold batch ``k``; a barrier
         between consecutive batches keeps two folds from racing on the
-        same bucket.  ``chunks`` is any iterable of ``(N, 2)`` edge
-        arrays -- typically
+        same bucket.  Prepared batches wait in a **bounded** hand-off
+        queue: once their combined footprint exceeds
+        ``max_queued_bytes`` the producer blocks, folding queued
+        batches before preparing more -- backpressure against a source
+        faster than the folds.  ``chunks`` is any iterable of ``(N, 2)``
+        edge arrays -- typically
         :meth:`~repro.streaming.stream.GraphStream.edge_array_chunks`.
         Returns the total number of edge updates ingested.
         """
         self.start()
         total = 0
+        # in_flight: the one dispatched batch, as (handles, count, lo,
+        # hi, nbytes); queued: prepared batches not yet dispatched, as
+        # (count, groups, lo, hi, nbytes).  _queued_bytes covers both.
         in_flight: Optional[Tuple] = None
+        queued: List[Tuple] = []
+
+        def advance() -> None:
+            # One pipeline step: retire the dispatched batch (barrier),
+            # then dispatch the next queued one.  Clear in_flight before
+            # awaiting so a worker exception here cannot make the
+            # finally block await it again.
+            nonlocal in_flight
+            if in_flight is not None:
+                pending, in_flight = in_flight, None
+                try:
+                    self._await(pending[0], pending[1], pending[2], pending[3])
+                finally:
+                    self._queued_bytes -= pending[4]
+            if queued:
+                count, groups, lo, hi, nbytes = queued.pop(0)
+                in_flight = (self._dispatch(groups), count, lo, hi, nbytes)
+
         try:
             for chunk in chunks:
                 parts = self._prepare(chunk)
                 if parts is None:
                     continue
                 count, groups, lo, hi = parts
-                if in_flight is not None:
-                    # Clear before awaiting so a worker exception here
-                    # cannot make the finally block await it again.
-                    pending, in_flight = in_flight, None
-                    self._await(*pending)
-                in_flight = (self._dispatch(groups), count, lo, hi)
+                nbytes = self._batch_nbytes(groups)
+                while (in_flight is not None or queued) and (
+                    self._queued_bytes + nbytes > self.max_queued_bytes
+                ):
+                    advance()
+                queued.append((count, groups, lo, hi, nbytes))
+                self._queued_bytes += nbytes
+                self.peak_queued_bytes = max(
+                    self.peak_queued_bytes, self._queued_bytes
+                )
+                if in_flight is None:
+                    advance()
                 total += count
+            while in_flight is not None or queued:
+                advance()
         finally:
             # A failed _prepare (bad chunk) must not leave a dispatched
             # batch unpublished: its folds complete in the workers and
             # mutate the pool, so the caches have to be invalidated.
+            # Queued-but-undispatched batches never touched the pool;
+            # they are simply dropped from the byte accounting.
             if in_flight is not None:
-                self._await(*in_flight)
+                try:
+                    self._await(in_flight[0], in_flight[1], in_flight[2], in_flight[3])
+                finally:
+                    self._queued_bytes -= in_flight[4]
+            for entry in queued:
+                self._queued_bytes -= entry[4]
+            queued.clear()
+        return total
+
+    def _batch_nbytes(self, groups: list) -> int:
+        """Footprint of one prepared batch's update columns, in bytes.
+
+        The thread backend shares the per-edge hash matrices across
+        every shard group by reference, so arrays are counted once by
+        identity, not once per group.
+        """
+        seen = set()
+        total = 0
+        for group in groups:
+            for part in group:
+                if isinstance(part, np.ndarray) and id(part) not in seen:
+                    seen.add(id(part))
+                    total += part.nbytes
         return total
 
     # ------------------------------------------------------------------

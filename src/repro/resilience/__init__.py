@@ -1,22 +1,32 @@
-"""Fault tolerance: checkpoint policies, fault injection, self-healing ingest.
+"""Fault tolerance: checkpoints, fault injection, supervision, overload.
 
-Three pillars, one per module:
+Five pillars, one per module:
 
 * :mod:`repro.resilience.checkpoint` -- :class:`CheckpointPolicy` /
   :class:`Checkpointer` write rotating generation-numbered snapshots as
   ingest progresses, and :func:`recover_latest` turns the newest valid
   generation back into an engine after a crash;
 * :mod:`repro.resilience.faults` -- :class:`FaultPlan`, a seeded,
-  deterministic schedule of injected failures (device I/O errors, torn
-  or silently corrupted checkpoint writes, bit-rotted device blocks,
-  killed/hung workers) so every recovery path -- including the
-  integrity plane's scrub and read-repair -- is property-testable and
-  replayable from a seed;
+  deterministic schedule of injected failures (device I/O errors,
+  latency stalls, memory pressure, torn or silently corrupted
+  checkpoint writes, bit-rotted device blocks, killed/hung workers) so
+  every recovery path -- including the integrity plane's scrub and
+  read-repair -- is property-testable and replayable from a seed;
 * :mod:`repro.resilience.supervisor` -- :class:`WorkerSupervisor`, the
-  bounded-retry / straggler-re-dispatch loop behind
-  :func:`~repro.distributed.multi_ingestor.distributed_ingest`.
+  bounded-retry / straggler-re-dispatch / deadline-kill loop behind
+  :func:`~repro.distributed.multi_ingestor.distributed_ingest`;
+* :mod:`repro.resilience.overload` -- :class:`CircuitBreaker`, the
+  closed/open/half-open state machine that sheds device I/O after
+  consecutive exhausted operations (deadlines live in
+  :class:`~repro.memory.hybrid.HybridMemory` and compose with it);
+* :mod:`repro.resilience.chaos` -- :class:`ChaosSchedule` /
+  :func:`run_chaos_soak`, the composite soak harness that mixes every
+  fault family over repeated ingest -> query -> checkpoint -> scrub ->
+  recover cycles and checks bit-identity, RAM-budget, and wall-clock
+  invariants.
 """
 
+from repro.resilience.chaos import ChaosReport, ChaosSchedule, run_chaos_soak
 from repro.resilience.checkpoint import (
     CheckpointPolicy,
     Checkpointer,
@@ -24,7 +34,13 @@ from repro.resilience.checkpoint import (
     list_checkpoints,
     recover_latest,
 )
-from repro.resilience.faults import FaultPlan, FaultSpec, InjectedFault
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    interruptible_sleep,
+)
+from repro.resilience.overload import CircuitBreaker
 from repro.resilience.supervisor import (
     WorkerRecord,
     WorkerRetryPolicy,
@@ -32,6 +48,9 @@ from repro.resilience.supervisor import (
 )
 
 __all__ = [
+    "ChaosReport",
+    "ChaosSchedule",
+    "run_chaos_soak",
     "CheckpointPolicy",
     "Checkpointer",
     "checkpoint_filename",
@@ -40,6 +59,8 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "interruptible_sleep",
+    "CircuitBreaker",
     "WorkerRecord",
     "WorkerRetryPolicy",
     "WorkerSupervisor",

@@ -37,6 +37,7 @@ from pathlib import Path
 from typing import Callable, List, Optional, Tuple, Union
 
 from repro.exceptions import (
+    CircuitOpenError,
     ConfigurationError,
     CorruptionError,
     RecoveryError,
@@ -166,18 +167,27 @@ class Checkpointer:
         checkpoint that fails with ``OSError`` is counted in
         :attr:`checkpoint_failures` and swallowed (see module
         docstring); the progress counters keep accumulating, so the
-        next ingest retries immediately.
+        next ingest retries immediately.  Overload failures degrade the
+        same way: a missed device deadline is a ``TimeoutError`` (hence
+        an ``OSError``), and an open circuit breaker's
+        ``CircuitOpenError`` is absorbed explicitly -- a checkpoint
+        skipped because the device is rejecting calls must not abort
+        ingest, exactly as a checkpoint skipped because a write failed
+        does not.
         """
         self._updates_since += int(count)
         if not self.policy.due(self._updates_since, self._clock() - self._last_time):
             return None
         try:
             return self.checkpoint()
-        except (CorruptionError, OSError):
+        except (CircuitOpenError, CorruptionError, OSError):
             # CorruptionError: the snapshot writer read a spilled page
             # whose checksum no longer matched -- the checkpoint is
             # unwritable but the previous generation still stands, the
             # same degradation contract as a failed device write.
+            # CircuitOpenError: the breaker is shedding device calls;
+            # the previous generation stands and a later cadence tick
+            # retries once the breaker admits traffic again.
             self.checkpoint_failures += 1
             return None
 

@@ -28,12 +28,29 @@ three injection sites the fault-tolerance plane defends:
 ``worker``
     Distributed ingest workers consult the plan at every batch: mode
     ``"kill"`` hard-exits the process (``os._exit`` -- no cleanup, like
-    a SIGKILL or OOM kill), ``"raise"`` raises mid-ingest, and
-    ``"hang"`` sleeps past any reasonable deadline (a straggler).
-    Worker faults are matched by ``(worker, attempt, at)``, so by
-    default a fault fires on the worker's *first* attempt only and the
-    supervisor's re-dispatch succeeds -- which is exactly the recovery
-    property the tests assert.
+    a SIGKILL or OOM kill), ``"raise"`` raises mid-ingest, ``"hang"``
+    sleeps past any reasonable deadline (a straggler), and ``"slow"``
+    sleeps a bounded ``delay_seconds`` (a degraded worker the deadline
+    machinery must catch without declaring it dead).  Worker faults are
+    matched by ``(worker, attempt, at)``, so by default a fault fires
+    on the worker's *first* attempt only and the supervisor's
+    re-dispatch succeeds -- which is exactly the recovery property the
+    tests assert.
+
+``memory``
+    The :class:`~repro.memory.hybrid.HybridMemory` consults the plan on
+    every admission check (a ``reserve`` call or a stored payload):
+    mode ``"pressure"`` makes the k-th check report transient memory
+    pressure -- a refused reservation or a budget squeeze the paged
+    pool answers by degrading its working set to the floor instead of
+    raising.
+
+The latency modes (``"slow"`` everywhere, ``"hang"`` on workers) sleep
+deterministic, bounded durations: ``slow`` sleeps the spec's
+``delay_seconds``; ``hang`` sleeps the plan's ``hang_seconds``
+(default :data:`HANG_SECONDS`) in small chunks, checking the plan's
+optional ``cancel`` event so a test can reclaim a hung thread without
+killing a process.
 
 Faults are plain data: a plan pickles across process boundaries, and
 :meth:`FaultPlan.random` derives a plan deterministically from a seed,
@@ -55,10 +72,37 @@ from typing import List, Optional, Sequence, Tuple, Union
 #: a crash exit(1) in supervisor logs; any non-zero code is a failure).
 KILL_EXIT_CODE = 137
 
-#: How long a ``"hang"`` fault sleeps.  Long enough that any sane
-#: straggler timeout fires first; short enough that a test whose
-#: supervisor forgets to kill the straggler still terminates.
+#: How long a ``"hang"`` fault sleeps (overridable per plan via
+#: ``hang_seconds``).  Long enough that any sane straggler timeout
+#: fires first; short enough that a test whose supervisor forgets to
+#: kill the straggler still terminates.
 HANG_SECONDS = 60.0
+
+#: Upper bound on a ``"slow"`` fault's ``delay_seconds`` -- slow means
+#: degraded, not hung; longer stalls are what ``"hang"`` models.
+MAX_SLOW_SECONDS = 30.0
+
+#: Chunk size of interruptible sleeps (hang faults, supervisor
+#: backoff): the latency ceiling on noticing a cancel request.
+SLEEP_CHUNK_SECONDS = 0.02
+
+
+def interruptible_sleep(seconds: float, cancel=None) -> None:
+    """Sleep ``seconds`` in small chunks, returning early if ``cancel``
+    (a ``threading.Event``-like object) is set.
+
+    Shared by hang faults and the supervisor's backoff sleeps, so a
+    shutdown or test teardown is never stuck behind a long
+    ``time.sleep``.
+    """
+    deadline = time.monotonic() + seconds
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return
+        if cancel is not None and cancel.is_set():
+            return
+        time.sleep(min(SLEEP_CHUNK_SECONDS, remaining))
 
 
 class InjectedFault(OSError):
@@ -74,33 +118,38 @@ class FaultSpec:
     """One planned fault.
 
     ``site`` is ``"device.read"``, ``"device.write"``, ``"block"``,
-    ``"snapshot"``, or ``"worker"``.  ``at`` is the 1-based operation
-    count the fault fires on (device call, block write, snapshot write,
-    or worker batch index).  ``worker`` / ``attempt`` scope worker
-    faults; ``attempt`` also scopes snapshot faults consulted from a
-    worker (the supervisor's re-dispatch then writes a clean snapshot).
-    ``offset`` is the byte offset a ``"torn"`` snapshot keeps, or the
-    bit position a ``"corrupt"`` fault flips (reduced modulo the
-    payload size).
+    ``"snapshot"``, ``"worker"``, or ``"memory"``.  ``at`` is the
+    1-based operation count the fault fires on (device call, block
+    write, snapshot write, worker batch index, or memory admission
+    check).  ``worker`` / ``attempt`` scope worker faults; ``attempt``
+    also scopes snapshot faults consulted from a worker (the
+    supervisor's re-dispatch then writes a clean snapshot).  ``offset``
+    is the byte offset a ``"torn"`` snapshot keeps, or the bit position
+    a ``"corrupt"`` fault flips (reduced modulo the payload size).
+    ``delay_seconds`` is how long a ``"slow"`` fault stalls the
+    operation (bounded by :data:`MAX_SLOW_SECONDS`).
     """
 
     site: str
     at: int = 1
-    mode: str = "raise"  # "raise" | "kill" | "hang" | "torn" | "corrupt"
+    mode: str = "raise"  # "raise"|"kill"|"hang"|"torn"|"corrupt"|"slow"|"pressure"
     worker: Optional[int] = None
     attempt: int = 0
     offset: int = 0
+    delay_seconds: float = 0.05
 
     def __post_init__(self) -> None:
-        if self.site not in ("device.read", "device.write", "block", "snapshot", "worker"):
-            raise ValueError(f"unknown fault site {self.site!r}")
-        valid_modes = {
-            "device.read": ("raise",),
-            "device.write": ("raise",),
+        valid_sites = {
+            "device.read": ("raise", "slow"),
+            "device.write": ("raise", "slow"),
             "block": ("corrupt",),
-            "snapshot": ("raise", "torn", "corrupt"),
-            "worker": ("raise", "kill", "hang"),
-        }[self.site]
+            "snapshot": ("raise", "torn", "corrupt", "slow"),
+            "worker": ("raise", "kill", "hang", "slow"),
+            "memory": ("pressure",),
+        }
+        if self.site not in valid_sites:
+            raise ValueError(f"unknown fault site {self.site!r}")
+        valid_modes = valid_sites[self.site]
         if self.mode not in valid_modes:
             raise ValueError(
                 f"fault mode {self.mode!r} invalid for site {self.site!r} "
@@ -108,6 +157,10 @@ class FaultSpec:
             )
         if self.at < 1:
             raise ValueError("fault 'at' counts operations from 1")
+        if self.mode == "slow" and not 0 < self.delay_seconds <= MAX_SLOW_SECONDS:
+            raise ValueError(
+                f"slow-fault delay_seconds must be in (0, {MAX_SLOW_SECONDS}]"
+            )
 
 
 class FaultPlan:
@@ -119,14 +172,28 @@ class FaultPlan:
     can carry an (absent) plan at zero cost.
     """
 
-    def __init__(self, faults: Sequence[FaultSpec] = (), seed: Optional[int] = None):
+    def __init__(
+        self,
+        faults: Sequence[FaultSpec] = (),
+        seed: Optional[int] = None,
+        hang_seconds: Optional[float] = None,
+    ):
         self.faults: Tuple[FaultSpec, ...] = tuple(faults)
         #: The seed this plan was derived from (replay bookkeeping only).
         self.seed = seed
+        #: How long a ``"hang"`` worker fault sleeps (defaults to
+        #: :data:`HANG_SECONDS`); chaos tests shrink it so a straggler
+        #: timeout is exercised in milliseconds, not minutes.
+        self.hang_seconds = float(hang_seconds) if hang_seconds is not None else None
+        #: Optional ``threading.Event``: setting it wakes any hang-fault
+        #: sleep early.  Not pickled -- a worker process hangs until its
+        #: supervisor kills it, exactly like production.
+        self.cancel = None
         self._device_reads = 0
         self._device_writes = 0
         self._block_writes = 0
         self._snapshot_writes = 0
+        self._memory_checks = 0
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -145,6 +212,11 @@ class FaultPlan:
         block_corruptions: int = 0,
         max_block_writes: int = 64,
         snapshot_corruptions: int = 0,
+        slow_faults: int = 0,
+        max_slow_delay: float = 0.05,
+        pressure_faults: int = 0,
+        max_memory_checks: int = 64,
+        hang_seconds: Optional[float] = None,
     ) -> "FaultPlan":
         """A seeded plan: random kill points and I/O faults, replayable.
 
@@ -153,10 +225,13 @@ class FaultPlan:
         ``raise``) at a uniform batch index in ``[1, max_batches]``,
         plus ``device_faults`` read/write raises, ``snapshot_tears``
         torn checkpoint writes at uniform offsets,
-        ``block_corruptions`` bit flips on uniform block writes, and
+        ``block_corruptions`` bit flips on uniform block writes,
         ``snapshot_corruptions`` payload bit flips on uniform snapshot
-        generations.  Same seed, same plan -- the property tests print
-        only the seed on failure.
+        generations, ``slow_faults`` bounded device-latency stalls (a
+        uniform delay up to ``max_slow_delay``), and
+        ``pressure_faults`` transient memory-pressure events on uniform
+        admission checks.  Same seed, same plan -- the property tests
+        print only the seed on failure.
         """
         import numpy as np
 
@@ -202,31 +277,77 @@ class FaultPlan:
                     offset=int(rng.integers(0, max_snapshot_bytes * 8)),
                 )
             )
-        return cls(faults, seed=seed)
+        for _ in range(slow_faults):
+            site = "device.read" if rng.random() < 0.5 else "device.write"
+            faults.append(
+                FaultSpec(
+                    site=site,
+                    mode="slow",
+                    at=int(rng.integers(1, max_device_ops + 1)),
+                    delay_seconds=float(rng.uniform(max_slow_delay / 10, max_slow_delay)),
+                )
+            )
+        for _ in range(pressure_faults):
+            faults.append(
+                FaultSpec(
+                    site="memory",
+                    mode="pressure",
+                    at=int(rng.integers(1, max_memory_checks + 1)),
+                )
+            )
+        return cls(faults, seed=seed, hang_seconds=hang_seconds)
 
     def for_worker(self, worker: int) -> "FaultPlan":
         """The sub-plan a single worker process needs (fresh counters)."""
         return FaultPlan(
             [f for f in self.faults if f.site == "worker" and f.worker == worker],
             seed=self.seed,
+            hang_seconds=self.hang_seconds,
         )
 
     # ------------------------------------------------------------------
     # device I/O site (consulted by HybridMemory)
     # ------------------------------------------------------------------
     def on_device_read(self) -> None:
-        """Count one device read; raise if the plan says this one fails."""
+        """Count one device read; raise or stall if the plan faults it."""
         self._device_reads += 1
         for fault in self.faults:
             if fault.site == "device.read" and fault.at == self._device_reads:
+                if fault.mode == "slow":
+                    interruptible_sleep(fault.delay_seconds, self.cancel)
+                    continue
                 raise InjectedFault(f"injected device read fault #{self._device_reads}")
 
     def on_device_write(self) -> None:
-        """Count one device write; raise if the plan says this one fails."""
+        """Count one device write; raise or stall if the plan faults it."""
         self._device_writes += 1
         for fault in self.faults:
             if fault.site == "device.write" and fault.at == self._device_writes:
+                if fault.mode == "slow":
+                    interruptible_sleep(fault.delay_seconds, self.cancel)
+                    continue
                 raise InjectedFault(f"injected device write fault #{self._device_writes}")
+
+    # ------------------------------------------------------------------
+    # memory-admission site (consulted by HybridMemory)
+    # ------------------------------------------------------------------
+    def on_memory_check(self) -> bool:
+        """Count one admission check; True when the plan injects pressure.
+
+        Consulted by :meth:`~repro.memory.hybrid.HybridMemory.reserve`
+        (the refused reservation) and on every stored payload (the
+        allocation squeeze).  The caller degrades -- it never raises --
+        so pressure faults model load, not failure.
+        """
+        self._memory_checks += 1
+        for fault in self.faults:
+            if (
+                fault.site == "memory"
+                and fault.mode == "pressure"
+                and fault.at == self._memory_checks
+            ):
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # block-write site (consulted by the BlockDevice itself)
@@ -255,14 +376,16 @@ class FaultPlan:
     # ------------------------------------------------------------------
     def before_snapshot_write(self) -> None:
         """Count one snapshot write; ``raise`` faults fire here (before
-        the atomic promote, so the previous generation stays intact)."""
+        the atomic promote, so the previous generation stays intact)
+        and ``slow`` faults stall here (a checkpoint on a congested
+        device)."""
         self._snapshot_writes += 1
         for fault in self.faults:
-            if (
-                fault.site == "snapshot"
-                and fault.mode == "raise"
-                and fault.at == self._snapshot_writes
-            ):
+            if fault.site != "snapshot" or fault.at != self._snapshot_writes:
+                continue
+            if fault.mode == "slow":
+                interruptible_sleep(fault.delay_seconds, self.cancel)
+            elif fault.mode == "raise":
                 raise InjectedFault(
                     f"injected snapshot write fault #{self._snapshot_writes}"
                 )
@@ -332,7 +455,10 @@ class FaultPlan:
         ``kill`` hard-exits the process with :data:`KILL_EXIT_CODE`
         (no finally blocks, no atexit -- the supervisor sees exactly
         what an OOM kill looks like); ``raise`` raises an
-        :class:`InjectedFault`; ``hang`` sleeps :data:`HANG_SECONDS`.
+        :class:`InjectedFault`; ``hang`` sleeps the plan's
+        ``hang_seconds`` (default :data:`HANG_SECONDS`) in
+        cancel-checked chunks; ``slow`` sleeps the spec's bounded
+        ``delay_seconds`` and continues.
         """
         for fault in self.faults:
             if (
@@ -344,7 +470,15 @@ class FaultPlan:
                 if fault.mode == "kill":
                     os._exit(KILL_EXIT_CODE)
                 if fault.mode == "hang":
-                    time.sleep(HANG_SECONDS)
+                    hang = (
+                        self.hang_seconds
+                        if self.hang_seconds is not None
+                        else HANG_SECONDS
+                    )
+                    interruptible_sleep(hang, self.cancel)
+                    return
+                if fault.mode == "slow":
+                    interruptible_sleep(fault.delay_seconds, self.cancel)
                     return
                 raise InjectedFault(
                     f"injected worker fault (worker {worker}, attempt {attempt}, "
@@ -355,8 +489,9 @@ class FaultPlan:
     def __reduce__(self):
         # Counters deliberately reset across pickling: each process
         # counts its own operations, matching the per-process semantics
-        # documented above.
-        return (FaultPlan, (self.faults, self.seed))
+        # documented above.  The cancel event (if any) stays behind --
+        # it is a same-process test affordance, not plan state.
+        return (FaultPlan, (self.faults, self.seed, self.hang_seconds))
 
     def __repr__(self) -> str:
         return f"FaultPlan({len(self.faults)} faults, seed={self.seed})"

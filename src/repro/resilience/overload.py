@@ -1,0 +1,162 @@
+"""Overload control: circuit breaking and deadlines for device I/O.
+
+PR 6 handled *crashes* and PR 7 handled *corruption*; this module
+handles the third production failure family, *degradation*: a device
+that is not dead but slow or persistently erroring.  Two mechanisms:
+
+* a per-operation **deadline** -- the hybrid memory measures each
+  device call (including any injected ``slow`` fault delay) and turns
+  one that ran past ``deadline_seconds`` into a
+  :class:`~repro.exceptions.DeadlineExceededError`.  The error is a
+  ``TimeoutError`` (hence an ``OSError``), so it composes with the
+  existing :class:`~repro.memory.hybrid.RetryPolicy`: a transiently
+  slow operation is retried with backoff, a persistently slow device
+  surfaces the error;
+
+* a :class:`CircuitBreaker` -- after ``failure_threshold`` consecutive
+  *exhausted* operations (the whole retry budget failed, not one slow
+  attempt) the breaker opens and subsequent calls are rejected
+  immediately with :class:`~repro.exceptions.CircuitOpenError` instead
+  of burning the retry budget against a dead device.  After
+  ``reset_seconds`` the breaker goes half-open and admits probe calls:
+  a successful probe closes it, a failed probe re-opens it.
+
+The breaker records *operation outcomes*, not attempt outcomes: the
+hybrid memory calls :meth:`CircuitBreaker.record_failure` only after
+its retry policy is exhausted, so transient errors that a retry
+absorbs never accumulate toward the threshold (property-tested).
+:class:`~repro.exceptions.CorruptionError` is *data* damage, not
+device unavailability -- it bypasses the breaker entirely: it neither
+counts as a failure nor settles a half-open probe.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.exceptions import CircuitOpenError, ConfigurationError
+
+#: Breaker states (:attr:`CircuitBreaker.state`).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Closed -> open after K consecutive failures -> half-open probe.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failed operations that open the breaker.
+    reset_seconds:
+        How long an open breaker rejects before admitting a half-open
+        probe.
+    name:
+        Label carried into :class:`~repro.exceptions.CircuitOpenError`
+        messages and :meth:`snapshot`.
+    clock:
+        Injectable monotonic clock, so tests step through the reset
+        window without sleeping.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_seconds: float = 0.25,
+        name: str = "device",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be at least 1")
+        if reset_seconds <= 0:
+            raise ConfigurationError("reset_seconds must be positive")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_seconds = float(reset_seconds)
+        self.name = name
+        self._clock = clock
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._half_open = False
+        #: Telemetry: open transitions / rejected calls / half-open
+        #: probes admitted.
+        self.times_opened = 0
+        self.rejections = 0
+        self.probes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half_open"`` right now.
+
+        An open breaker whose reset window has elapsed reports
+        ``half_open`` -- the next :meth:`allow` will admit a probe.
+        """
+        if self._opened_at is None:
+            return CLOSED
+        if self._half_open or self._clock() - self._opened_at >= self.reset_seconds:
+            return HALF_OPEN
+        return OPEN
+
+    def allow(self) -> None:
+        """Admit one operation or raise :class:`CircuitOpenError`.
+
+        Closed: always admits.  Open: rejects until ``reset_seconds``
+        have passed since the breaker opened.  Half-open: admits (a
+        probe); the probe's outcome -- reported back through
+        :meth:`record_success` / :meth:`record_failure` -- closes or
+        re-opens the breaker.  An outcome that is neither (corruption)
+        leaves the breaker half-open, so the next call probes again.
+        """
+        if self._opened_at is None:
+            return
+        if self._half_open or self._clock() - self._opened_at >= self.reset_seconds:
+            self._half_open = True
+            self.probes += 1
+            return
+        self.rejections += 1
+        raise CircuitOpenError(
+            f"{self.name} circuit breaker is open "
+            f"({self._consecutive_failures} consecutive failures; "
+            f"probing again after {self.reset_seconds}s)"
+        )
+
+    def record_success(self) -> None:
+        """One operation (or half-open probe) succeeded: close the breaker."""
+        self._consecutive_failures = 0
+        self._opened_at = None
+        self._half_open = False
+
+    def record_failure(self) -> None:
+        """One operation exhausted its retries; open at the threshold.
+
+        A failed half-open probe re-opens immediately (the device is
+        still down; restart the reset window).
+        """
+        self._consecutive_failures += 1
+        if self._half_open or self._consecutive_failures >= self.failure_threshold:
+            if self._opened_at is None:
+                self.times_opened += 1
+            self._opened_at = self._clock()
+            self._half_open = False
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A plain-dict view for ``health()`` reports and the CLI."""
+        return {
+            "name": self.name,
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "reset_seconds": self.reset_seconds,
+            "times_opened": self.times_opened,
+            "rejections": self.rejections,
+            "probes": self.probes,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(name={self.name!r}, state={self.state!r}, "
+            f"threshold={self.failure_threshold}, opened={self.times_opened})"
+        )

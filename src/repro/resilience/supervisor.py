@@ -23,6 +23,12 @@ recovery actions:
   and slice size is raised, after every other live worker is
   terminated.
 
+The overload plane (PR 8) adds an absolute per-attempt
+``worker_deadline`` -- unlike the straggler heuristic it needs no
+completed peer, so it bounds a cluster-wide hang -- plus an
+interruptible :meth:`WorkerSupervisor.request_shutdown` and a
+``max_backoff_seconds`` cap on the retry policy's exponential growth.
+
 The supervisor is deliberately mechanism-only: *what* a worker does,
 *how* its result is validated, and *what happens* on completion are
 callbacks, so the distributed ingest driver owns all snapshot/merge
@@ -31,11 +37,13 @@ semantics and the supervisor owns none.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.exceptions import WorkerFailure
+from repro.resilience.faults import interruptible_sleep
 
 #: How often the poll loop wakes up.  Workers run for whole slices, so
 #: a coarse poll costs nothing; stragglers are detected within one tick.
@@ -44,17 +52,27 @@ POLL_INTERVAL_SECONDS = 0.02
 
 @dataclass(frozen=True)
 class WorkerRetryPolicy:
-    """Bounded retry with exponential backoff for failed workers."""
+    """Bounded retry with exponential backoff for failed workers.
+
+    ``max_backoff_seconds`` caps the exponential growth: a worker on
+    its Nth retry waits at most that long, so a deep retry history
+    cannot stall the supervisor loop for minutes (``None`` removes the
+    cap).
+    """
 
     max_retries: int = 2
     backoff_seconds: float = 0.05
     backoff_multiplier: float = 2.0
+    max_backoff_seconds: Optional[float] = 5.0
 
     def delay(self, failures_so_far: int) -> float:
         """Backoff before re-dispatch number ``failures_so_far``."""
-        return self.backoff_seconds * self.backoff_multiplier ** max(
+        delay = self.backoff_seconds * self.backoff_multiplier ** max(
             failures_so_far - 1, 0
         )
+        if self.max_backoff_seconds is not None:
+            delay = min(delay, self.max_backoff_seconds)
+        return delay
 
 
 @dataclass
@@ -66,6 +84,7 @@ class WorkerRecord:
     attempts: int = 0
     failures: List[str] = field(default_factory=list)
     straggler_kills: int = 0
+    deadline_kills: int = 0
     completed: bool = False
 
 
@@ -96,6 +115,13 @@ class WorkerSupervisor:
         With at least one completed peer, a worker older than this many
         seconds (since its latest spawn) is killed and re-dispatched.
         ``None`` disables straggler handling.
+    worker_deadline:
+        A hard per-attempt wall-clock budget: a worker older than this
+        many seconds since its latest spawn is killed and re-dispatched
+        *regardless* of how its peers are doing -- unlike the relative
+        straggler heuristic, which needs a completed peer as evidence.
+        This is what bounds a cluster-wide hang (every worker stuck),
+        where no peer ever completes.  ``None`` disables it.
     """
 
     def __init__(
@@ -107,6 +133,7 @@ class WorkerSupervisor:
         describe_failure: Optional[Callable[[int], Optional[str]]] = None,
         retry: Optional[WorkerRetryPolicy] = None,
         straggler_timeout: Optional[float] = None,
+        worker_deadline: Optional[float] = None,
         poll_interval: float = POLL_INTERVAL_SECONDS,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -116,38 +143,56 @@ class WorkerSupervisor:
         self._describe_failure = describe_failure
         self.retry = retry or WorkerRetryPolicy()
         self.straggler_timeout = straggler_timeout
+        self.worker_deadline = worker_deadline
         self.poll_interval = poll_interval
         self._clock = clock
+        #: Set by :meth:`request_shutdown` (any thread): the run loop
+        #: terminates every active worker and returns promptly instead
+        #: of finishing the remaining slices; backoff sleeps are
+        #: interrupted too.
+        self._shutdown = threading.Event()
         self.records = [
             WorkerRecord(worker=k, slice_size=int(size))
             for k, size in enumerate(slice_sizes)
         ]
 
     # ------------------------------------------------------------------
+    def request_shutdown(self) -> None:
+        """Ask a running :meth:`run` loop to stop (callable from any thread).
+
+        Idempotent.  The loop terminates every active worker, joins
+        them, and returns the records as they stand (incomplete slices
+        keep ``completed=False``); an in-progress backoff sleep is
+        interrupted instead of running to completion.
+        """
+        self._shutdown.set()
+
     def run(self) -> List[WorkerRecord]:
         """Drive every slice to a validated result (or raise).
 
         Returns the per-worker records; every record has
-        ``completed=True`` on a normal return.
+        ``completed=True`` on a normal return.  A
+        :meth:`request_shutdown` from another thread makes the loop
+        terminate the remaining workers and return early instead.
         """
         active: Dict[int, tuple] = {}  # worker -> (process, started_at)
         try:
             for record in self.records:
+                if self._shutdown.is_set():
+                    break
                 active[record.worker] = self._launch(record)
-            while active:
+            while active and not self._shutdown.is_set():
                 for worker in list(active):
+                    if self._shutdown.is_set():
+                        break
                     process, started_at = active[worker]
                     record = self.records[worker]
                     if process.is_alive():
-                        if self._is_straggler(record, started_at):
+                        kill_reason = self._kill_reason(record, started_at)
+                        if kill_reason is not None:
                             process.terminate()
                             process.join()
-                            record.straggler_kills += 1
-                            self._note_failure(
-                                record,
-                                f"straggler killed after "
-                                f"{self._clock() - started_at:.2f}s",
-                            )
+                            self._note_failure(record, kill_reason)
                             active[worker] = self._launch(record)
                         continue
                     process.join()
@@ -160,8 +205,8 @@ class WorkerSupervisor:
                     else:
                         self._note_failure(record, reason)
                         active[worker] = self._launch(record)
-                if active:
-                    time.sleep(self.poll_interval)
+                if active and not self._shutdown.is_set():
+                    interruptible_sleep(self.poll_interval, self._shutdown)
         except BaseException:
             for process, _ in active.values():
                 if process.is_alive():
@@ -169,6 +214,12 @@ class WorkerSupervisor:
             for process, _ in active.values():
                 process.join()
             raise
+        if self._shutdown.is_set() and active:
+            for process, _ in active.values():
+                if process.is_alive():
+                    process.terminate()
+            for process, _ in active.values():
+                process.join()
         return self.records
 
     # ------------------------------------------------------------------
@@ -176,10 +227,27 @@ class WorkerSupervisor:
         if record.attempts > 0:
             delay = self.retry.delay(len(record.failures))
             if delay > 0:
-                time.sleep(delay)
+                interruptible_sleep(delay, self._shutdown)
         attempt = record.attempts
         record.attempts += 1
         return self._spawn(record.worker, attempt), self._clock()
+
+    def _kill_reason(self, record: WorkerRecord, started_at: float) -> Optional[str]:
+        """Why a live worker should be killed now, or ``None`` to let it run.
+
+        The absolute ``worker_deadline`` is checked first: it needs no
+        peer evidence, so it also fires when *every* worker is stuck.
+        The relative straggler heuristic only fires once a completed
+        peer proves the slice workload is feasible.
+        """
+        age = self._clock() - started_at
+        if self.worker_deadline is not None and age > self.worker_deadline:
+            record.deadline_kills += 1
+            return f"deadline killed after {age:.2f}s (budget {self.worker_deadline}s)"
+        if self._is_straggler(record, started_at):
+            record.straggler_kills += 1
+            return f"straggler killed after {age:.2f}s"
+        return None
 
     def _is_straggler(self, record: WorkerRecord, started_at: float) -> bool:
         if self.straggler_timeout is None:

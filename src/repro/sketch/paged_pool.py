@@ -192,7 +192,9 @@ class PagedTensorPool(NodeTensorPool):
         # The working set's RAM comes out of the shared budget: reserve
         # it from the hybrid memory's byte cache so pinned pages plus
         # cached payloads never exceed ``ram_bytes`` combined.
-        memory.reserve(self.resident_pages * self._page_bytes)
+        self._working_set_reserved = memory.reserve(
+            self.resident_pages * self._page_bytes
+        )
         # Combined-fold segment mapping (see _fold_columns): remapped
         # destination d' = (d // npp) * rounds * npp + d % npp makes the
         # page-pool-flat bucket offset affine in d', so one kernel call
@@ -230,6 +232,10 @@ class PagedTensorPool(NodeTensorPool):
         #: Dirty evictions whose device write-back raised ``OSError``
         #: (the page stayed resident and dirty -- no data was lost).
         self.page_writeback_failures = 0
+        #: Times the working set was degraded to the one-page floor by
+        #: a memory-pressure event (throughput drops, answers do not).
+        self.pressure_degradations = 0
+        memory.add_pressure_listener(self._on_memory_pressure)
 
     # ------------------------------------------------------------------
     # page geometry
@@ -367,6 +373,49 @@ class PagedTensorPool(NodeTensorPool):
                     self.page_writeback_failures += 1
                     return
                 self._dirty.discard(victim)
+
+    def _on_memory_pressure(self) -> None:
+        """Degrade the working set to the one-page floor under pressure.
+
+        Registered with the hybrid memory's pressure listeners: when a
+        reservation is refused or an injected allocation-pressure fault
+        fires, the pool shrinks ``resident_pages`` to 1, evicts down to
+        the new budget, and hands the freed reservation back to the
+        byte cache.  Throughput degrades (more page churn); answers do
+        not -- the fold/query paths never depended on the working-set
+        size.  The degradation is sticky until :meth:`restore_working_set`.
+        """
+        with self._lock:
+            if self.resident_pages <= 1:
+                return
+            freed = (self.resident_pages - 1) * self._page_bytes
+            self.resident_pages = 1
+            self._evict_to_budget()
+            released = self.memory.release(min(freed, self._working_set_reserved))
+            self._working_set_reserved -= released
+            self.pressure_degradations += 1
+
+    def restore_working_set(self, resident_pages: Optional[int] = None) -> int:
+        """Re-grow a degraded working set once pressure has passed.
+
+        Re-reserves bytes from the hybrid memory's cache for up to
+        ``resident_pages`` pages (the original construction-time budget
+        when ``None``) and raises the working-set budget by however
+        many whole pages the reservation actually covered.  Returns the
+        new budget.
+        """
+        with self._lock:
+            if resident_pages is None:
+                budget = (self.memory.ram_bytes or 0) // 2
+                resident_pages = budget // max(self._page_bytes, 1)
+            target = int(min(max(resident_pages, 1), self.num_pages))
+            if target <= self.resident_pages:
+                return self.resident_pages
+            wanted = (target - self.resident_pages) * self._page_bytes
+            taken = self.memory.reserve(wanted)
+            self._working_set_reserved += taken
+            self.resident_pages += taken // self._page_bytes
+            return self.resident_pages
 
     def sync(self) -> None:
         """Write every dirty resident page back to the hybrid memory.
@@ -970,6 +1019,7 @@ class PagedTensorPool(NodeTensorPool):
                 "page_writeback_failures": self.page_writeback_failures,
                 "partial_reads": self.partial_reads,
                 "query_slab_reserved_bytes": self._slab_reserved_bytes,
+                "pressure_degradations": self.pressure_degradations,
             }
 
     def __repr__(self) -> str:

@@ -1,0 +1,215 @@
+"""Chaos soak: composite fault schedules must never change answers.
+
+The individual resilience planes are tested in isolation elsewhere
+(``test_resilience``, ``test_integrity``, ``test_overload``); these
+tests compose them.  A seeded :class:`ChaosSchedule` mixes every fault
+family -- device raises, latency stalls, memory pressure, torn and
+corrupted snapshots, rotten blocks, and worker kills/hangs -- over
+repeated ingest -> query -> checkpoint -> scrub -> recover cycles, and
+the soak must end bit-identical to a fault-free serial shadow with the
+RAM budget and the wall clock both bounded throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import GraphZeppelinConfig
+from repro.core.graph_zeppelin import GraphZeppelin
+from repro.exceptions import ConfigurationError
+from repro.resilience import ChaosSchedule, FaultPlan, FaultSpec, run_chaos_soak
+
+NUM_NODES = 40
+
+
+def _random_edges(count: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    u = rng.integers(0, NUM_NODES, count)
+    v = rng.integers(0, NUM_NODES, count)
+    keep = u != v
+    return np.stack([u[keep], v[keep]], axis=1).astype(np.int64)
+
+
+def _serial_reference(edges: np.ndarray, config: GraphZeppelinConfig) -> GraphZeppelin:
+    engine = GraphZeppelin(NUM_NODES, config=config)
+    engine.ingest_batch(edges)
+    return engine
+
+
+def _assert_same_state(got: GraphZeppelin, expected: GraphZeppelin) -> None:
+    expected.flush()
+    got.flush()
+    ref_alpha, ref_gamma = expected.tensor_pool.raw_tensors()
+    got_alpha, got_gamma = got.tensor_pool.raw_tensors()
+    assert np.array_equal(ref_alpha, got_alpha)
+    assert np.array_equal(
+        np.asarray(ref_gamma, dtype=np.uint64),
+        np.asarray(got_gamma, dtype=np.uint64),
+    )
+    assert (
+        got.list_spanning_forest().partition_signature()
+        == expected.list_spanning_forest().partition_signature()
+    )
+
+
+# ----------------------------------------------------------------------
+# the schedule
+# ----------------------------------------------------------------------
+def test_schedule_is_a_pure_function_of_its_seed():
+    a = ChaosSchedule.random(seed=11, cycles=20, distributed_every=6)
+    b = ChaosSchedule.random(seed=11, cycles=20, distributed_every=6)
+    assert len(a) == len(b) == 20
+    for (kind_a, plan_a), (kind_b, plan_b) in zip(a.cycle_plans, b.cycle_plans):
+        assert kind_a == kind_b
+        assert plan_a.seed == plan_b.seed
+        assert [
+            (s.site, s.mode, s.at, s.worker, s.delay_seconds) for s in plan_a.faults
+        ] == [
+            (s.site, s.mode, s.at, s.worker, s.delay_seconds) for s in plan_b.faults
+        ]
+    different = ChaosSchedule.random(seed=12, cycles=20, distributed_every=6)
+    assert any(
+        pa.seed != pb.seed
+        for (_, pa), (_, pb) in zip(a.cycle_plans, different.cycle_plans)
+    )
+
+
+def test_random_schedule_spans_every_fault_family():
+    schedule = ChaosSchedule.random(seed=11, cycles=20, distributed_every=6)
+    # The acceptance bar is >= 5 distinct modes over >= 20 cycles; the
+    # rotating menus actually deliver all seven.
+    assert schedule.modes_covered >= {
+        "raise", "slow", "pressure", "torn", "corrupt", "kill", "hang",
+    }
+    assert schedule.distributed_cycles == 3
+    sites = {
+        spec.site for _, plan in schedule.cycle_plans for spec in plan.faults
+    }
+    assert "worker" in sites  # worker plane
+    assert sites & {"device.read", "device.write"}  # device plane
+    assert "snapshot" in sites  # snapshot plane
+
+
+def test_schedule_validation():
+    with pytest.raises(ConfigurationError):
+        ChaosSchedule([("sideways", FaultPlan([]))])
+    with pytest.raises(ConfigurationError):
+        ChaosSchedule([("serial", "not a plan")])
+    with pytest.raises(ConfigurationError):
+        ChaosSchedule.random(seed=1, cycles=0)
+    with pytest.raises(ConfigurationError):
+        ChaosSchedule.random(seed=1, distributed_every=0)
+
+
+def test_soak_requires_a_workdir():
+    with pytest.raises(ConfigurationError):
+        run_chaos_soak(
+            ChaosSchedule.random(seed=1, cycles=2),
+            _random_edges(50, seed=1),
+            NUM_NODES,
+        )
+
+
+# ----------------------------------------------------------------------
+# the soak itself
+# ----------------------------------------------------------------------
+def test_chaos_soak_flat_pool_is_bit_identical(tmp_path):
+    edges = _random_edges(1500, seed=71)
+    config = GraphZeppelinConfig(seed=3)
+    schedule = ChaosSchedule.random(
+        seed=11, cycles=20, distributed_every=6, hang_seconds=0.3
+    )
+    engine, report = run_chaos_soak(
+        schedule,
+        edges,
+        NUM_NODES,
+        config=config,
+        workdir=tmp_path,
+        straggler_timeout=0.25,
+        worker_deadline=2.0,
+    )
+    assert report.cycles == 20
+    assert report.distributed_cycles == 3
+    assert len(report.modes) >= 5
+    assert report.updates_total == edges.shape[0]
+    assert report.queries == 20
+    assert report.final_health["status"] in ("ok", "degraded")
+    assert report.elapsed_seconds < 120.0  # every stall is bounded
+    _assert_same_state(engine, _serial_reference(edges, config))
+
+
+def test_chaos_soak_paged_pool_is_bit_identical_and_budget_bounded(tmp_path):
+    # The paged configuration is where every plane is live at once:
+    # real device traffic (so raise/slow/corrupt faults land), a real
+    # RAM budget (so pressure degrades), checkpoints, scrub + repair.
+    edges = _random_edges(1500, seed=73)
+    config = GraphZeppelinConfig(
+        seed=3,
+        ram_budget_bytes=64_000,
+        nodes_per_page=8,
+        io_retry_attempts=2,
+        io_retry_backoff_seconds=0.001,
+        io_deadline_seconds=5.0,
+        io_breaker_threshold=4,
+    )
+    schedule = ChaosSchedule.random(
+        seed=11, cycles=20, distributed_every=6, hang_seconds=0.3
+    )
+    engine, report = run_chaos_soak(
+        schedule,
+        edges,
+        NUM_NODES,
+        config=config,
+        workdir=tmp_path,
+        straggler_timeout=0.25,
+        worker_deadline=2.0,
+    )
+    assert report.updates_total == edges.shape[0]
+    # Invariant 2: cached plus reserved bytes never exceeded the budget.
+    assert report.ram_budget_bytes == 64_000
+    assert 0 < report.peak_cached_bytes <= 64_000
+    # Invariant 3: bounded wall clock despite hangs, stalls, backoffs.
+    assert report.elapsed_seconds < 120.0
+    # The schedule's faults genuinely landed on this configuration.
+    assert (
+        report.recoveries + report.repairs + report.pressure_events
+        + report.io_retries + report.checkpoint_failures
+    ) > 0
+    assert report.worker_retries >= 1  # kill/hang cycles forced re-dispatch
+    # Invariant 1: bit-identity with the fault-free serial shadow.
+    _assert_same_state(engine, _serial_reference(edges, config))
+
+
+def test_targeted_schedule_serial_families_only(tmp_path):
+    # A hand-built schedule (no distributed cycles) exercises the
+    # constructor path and keeps every recovery on the serial plane.
+    edges = _random_edges(600, seed=79)
+    config = GraphZeppelinConfig(
+        seed=3, ram_budget_bytes=64_000, nodes_per_page=8,
+        io_retry_attempts=2, io_retry_backoff_seconds=0.001,
+    )
+    schedule = ChaosSchedule(
+        [
+            ("serial", FaultPlan([FaultSpec(site="device.write", at=2)], seed=1)),
+            ("serial", FaultPlan([], seed=2)),
+            (
+                "serial",
+                FaultPlan(
+                    [FaultSpec(site="device.read", at=1, mode="slow",
+                               delay_seconds=0.01)],
+                    seed=3,
+                ),
+            ),
+            ("serial", FaultPlan([FaultSpec(site="memory", at=1,
+                                            mode="pressure")], seed=4)),
+            ("serial", FaultPlan([], seed=5)),
+        ]
+    )
+    assert schedule.distributed_cycles == 0
+    engine, report = run_chaos_soak(
+        schedule, edges, NUM_NODES, config=config, workdir=tmp_path
+    )
+    assert report.cycles == 5
+    assert report.updates_total == edges.shape[0]
+    _assert_same_state(engine, _serial_reference(edges, config))
