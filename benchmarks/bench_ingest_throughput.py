@@ -58,11 +58,19 @@ def _random_edges(num_nodes: int, count: int, seed: int) -> np.ndarray:
     return np.stack([u[keep], v[keep]], axis=1).astype(np.int64)
 
 
+#: Hot-kernel backend of the measured engines (set
+#: ``REPRO_BENCH_KERNEL_BACKEND=auto``/``native`` to ledger the
+#: compiled kernels; the committed ledger is the numpy baseline --
+#: ``BENCH_kernels.json`` holds the native-vs-numpy comparison).
+KERNEL_BACKEND = os.environ.get("REPRO_BENCH_KERNEL_BACKEND", "numpy")
+
+
 def _engine(backend: str = "flat") -> GraphZeppelin:
     return GraphZeppelin(
         NUM_NODES,
         config=GraphZeppelinConfig(
-            buffering=BufferingMode.LEAF_GUTTERS, seed=3, sketch_backend=backend
+            buffering=BufferingMode.LEAF_GUTTERS, seed=3, sketch_backend=backend,
+            kernel_backend=KERNEL_BACKEND,
         ),
     )
 
@@ -140,6 +148,7 @@ def test_ingest_throughput_ledger():
     payload = {
         "num_nodes": NUM_NODES,
         "num_edge_updates": int(edges.shape[0]),
+        "kernel_backend": _engine().resolved_kernel_backend,
         "smoke": SMOKE,
         "rows": rows,
     }

@@ -128,6 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="whole-round vectorized Boruvka (default) or the per-component reference",
     )
     components_parser.add_argument(
+        "--kernel-backend", choices=["numpy", "native", "auto"], default="numpy",
+        help="hot-kernel implementation: pure numpy (default), a compiled "
+             "native provider (numba/cc; errors when unavailable), or auto "
+             "(native when available, numpy otherwise); bit-identical results",
+    )
+    components_parser.add_argument(
         "--workers", type=int, default=1,
         help="parallel ingest workers; above 1 the stream is ingested through "
              "the sharded columnar pipeline (or the legacy worker pool)",
@@ -192,7 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
     # components subcommand's defaults; set once so they cannot drift.
     snapshot_parser.set_defaults(
         buffering=BufferingMode.LEAF_GUTTERS.value, query_backend="vectorized",
-        workers=1, parallel_backend="threads",
+        workers=1, parallel_backend="threads", kernel_backend="numpy",
     )
 
     resume_parser = subparsers.add_parser(
@@ -354,6 +360,7 @@ def _engine_config(args, **overrides) -> GraphZeppelinConfig:
         ram_budget_bytes=_ram_budget_bytes(args),
         seed=args.seed,
         query_backend=args.query_backend,
+        kernel_backend=getattr(args, "kernel_backend", "numpy"),
         num_workers=max(args.workers, 1),
         parallel_backend=args.parallel_backend,
     )
@@ -384,6 +391,8 @@ def _print_checkpointer(checkpointer) -> None:
 def _print_io_report(engine, checkpointer=None) -> None:
     """The --report ledger: every fault and integrity counter in one place."""
     health = engine.health()
+    print(f"kernel backend   : {health['kernel_backend']} "
+          f"(requested {engine.config.kernel_backend})")
     stats = engine.io_stats
     if stats is None:
         print("io report        : engine is fully in RAM (no byte tier)")

@@ -119,6 +119,18 @@ class GraphZeppelinConfig:
         component.  ``"scalar"`` keeps the per-component loop, the
         bit-identical reference (the property tests assert both return
         the same forest, stats, and samples under the same seed).
+    kernel_backend:
+        Which implementation of the three hot kernels (ingest fold,
+        whole-round segmented XOR, batched bucket decode) the engine
+        runs: ``"numpy"`` (default) uses the pure-numpy kernels,
+        ``"native"`` requires a compiled provider (numba via
+        ``pip install .[native]``, or the runtime-compiled C library)
+        and raises when none is usable, ``"auto"`` prefers a compiled
+        provider and falls back to numpy silently.  Every provider is
+        property-tested bit-identical to numpy under the same seed, so
+        this field deliberately stays **out** of
+        :meth:`sketch_fingerprint` -- snapshots interchange freely
+        across kernel backends.
     """
 
     delta: float = 0.01
@@ -135,6 +147,7 @@ class GraphZeppelinConfig:
     seed: int = 0
     sketch_backend: str = "flat"
     query_backend: str = "vectorized"
+    kernel_backend: str = "numpy"
     io_retry_attempts: int = 1
     io_retry_backoff_seconds: float = 0.01
     io_deadline_seconds: Optional[float] = None
@@ -152,6 +165,11 @@ class GraphZeppelinConfig:
             raise ConfigurationError(
                 f"unknown query_backend {self.query_backend!r} "
                 "(use 'vectorized' or 'scalar')"
+            )
+        if self.kernel_backend not in ("numpy", "native", "auto"):
+            raise ConfigurationError(
+                f"unknown kernel_backend {self.kernel_backend!r} "
+                "(use 'numpy', 'native', or 'auto')"
             )
         if self.gutter_fraction <= 0:
             raise ConfigurationError("gutter_fraction must be positive")

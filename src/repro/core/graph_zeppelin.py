@@ -135,6 +135,12 @@ class GraphZeppelin:
             self.memory = None
 
         self._backend = self.config.sketch_backend
+        # Resolve the hot-kernel provider once; every pool and per-node
+        # sketch this engine builds shares the same instance (providers
+        # are stateless singletons, so sharing is free).
+        from repro.kernels import resolve_kernels
+
+        self._kernels = resolve_kernels(self.config.kernel_backend)
         external = self.memory is not None and not self.memory.is_unbounded
         self._pool: Optional[NodeTensorPool] = None
         self._store: Optional[SketchStore] = None
@@ -147,6 +153,7 @@ class GraphZeppelin:
                 graph_seed=self.config.seed,
                 delta=self.config.delta,
                 num_rounds=self.num_rounds,
+                kernels=self._kernels,
             )
         elif self._backend == "flat" and self.config.out_of_core_pool == "paged":
             # RAM budget: the same tensors in node-group pages behind
@@ -159,11 +166,16 @@ class GraphZeppelin:
                 delta=self.config.delta,
                 num_rounds=self.num_rounds,
                 nodes_per_page=self.config.nodes_per_page,
+                kernels=self._kernels,
             )
         else:
             if self._backend == "flat":
                 deserialize = lambda payload: FlatNodeSketch.from_bytes(
-                    payload, self.encoder, self.config.seed, delta=self.config.delta
+                    payload,
+                    self.encoder,
+                    self.config.seed,
+                    delta=self.config.delta,
+                    kernels=self._kernels,
                 )
             else:
                 deserialize = lambda payload: NodeSketch.from_bytes(
@@ -701,6 +713,7 @@ class GraphZeppelin:
         report: dict = {
             "status": "ok",
             "updates_processed": self._updates_processed,
+            "kernel_backend": self.resolved_kernel_backend,
         }
         degraded = False
         circuit_open = False
@@ -739,6 +752,16 @@ class GraphZeppelin:
         return self._buffering
 
     @property
+    def resolved_kernel_backend(self) -> str:
+        """Which hot-kernel implementation this engine actually runs.
+
+        ``config.kernel_backend`` is the *request* (``"auto"`` may fall
+        back); this is the outcome: the provider's name (``"numba"`` or
+        ``"cc"``) when a native provider is live, else ``"numpy"``.
+        """
+        return self._kernels.name if self._kernels is not None else "numpy"
+
+    @property
     def tensor_pool(self) -> Optional[NodeTensorPool]:
         """The whole-graph tensor pool (``None`` for object-store backends).
 
@@ -757,8 +780,16 @@ class GraphZeppelin:
     # internals
     # ------------------------------------------------------------------
     def _new_node_sketch(self, node: int) -> Union[NodeSketch, FlatNodeSketch]:
-        sketch_class = FlatNodeSketch if self._backend == "flat" else NodeSketch
-        return sketch_class(
+        if self._backend == "flat":
+            return FlatNodeSketch(
+                node,
+                self.encoder,
+                graph_seed=self.config.seed,
+                delta=self.config.delta,
+                num_rounds=self.num_rounds,
+                kernels=self._kernels,
+            )
+        return NodeSketch(
             node,
             self.encoder,
             graph_seed=self.config.seed,

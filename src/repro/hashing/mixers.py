@@ -162,7 +162,9 @@ def finalise_hash64_inplace(keys: np.ndarray) -> np.ndarray:
     return _finalise_inplace(keys)
 
 
-def seeded_hash64_matrix(values: np.ndarray, mixed_seeds: np.ndarray) -> np.ndarray:
+def seeded_hash64_matrix(
+    values: np.ndarray, mixed_seeds: np.ndarray, out: np.ndarray = None
+) -> np.ndarray:
     """Hash ``K`` values under ``S`` seeds in one shot, as a ``(K, S)`` matrix.
 
     ``mixed_seeds`` must already be diffused with :func:`mix_seed_array`;
@@ -171,13 +173,16 @@ def seeded_hash64_matrix(values: np.ndarray, mixed_seeds: np.ndarray) -> np.ndar
     kernel of the columnar sketch engine: one batch of edge-slot indices
     is hashed against every (round, column) hash function with a single
     broadcasted expression instead of a Python loop per column.
+    ``out``, when given, must be a ``(K, S)`` uint64 buffer and receives
+    the result in place of a fresh allocation -- the fold kernel's
+    scratch arena threads its reusable hash buffers through here.
     """
     v = np.asarray(values).astype(np.uint64, copy=False)
     m = np.asarray(mixed_seeds).astype(np.uint64, copy=False)
     if v.ndim != 1 or m.ndim != 1:
         raise ValueError("seeded_hash64_matrix expects 1-D values and 1-D seeds")
     with np.errstate(over="ignore"):
-        keys = v[:, None] ^ m[None, :]
+        keys = np.bitwise_xor(v[:, None], m[None, :], out=out)
     return _finalise_inplace(keys)
 
 

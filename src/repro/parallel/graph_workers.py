@@ -282,6 +282,11 @@ class ShardedIngestor:
         if max_queued_bytes < 1:
             raise ConfigurationError("max_queued_bytes must be at least 1")
         self.max_queued_bytes = int(max_queued_bytes)
+        # Hash-hoist only pays on the numpy thread path: native kernels
+        # fuse hashing into the fold (and release the GIL there), so a
+        # producer-side hash pass would serialise work the workers can
+        # do concurrently in compiled code.
+        self._hoist_hash = self.backend == "threads" and pool._kernels is None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._proc_pool = None
         self._batches_ingested = 0
@@ -469,12 +474,15 @@ class ShardedIngestor:
         """Producer half: canonicalise, hash, mirror, and partition a batch.
 
         The hash matrices depend only on the edge slot, so for the
-        thread backend they are computed **once per edge** here and
+        numpy thread backend they are computed **once per edge** here and
         shared by reference with every worker (each gathers its group's
         rows) -- half the hash cost of hashing per mirrored copy.  The
         process backend hashes inside the workers instead: shipping the
         ``(K, slots)`` matrices through the task pipe would cost far
-        more than the duplicate hash.
+        more than the duplicate hash.  Native kernels likewise skip the
+        hoist: the fold re-hashes per update inside compiled, GIL-free
+        code, so the producer stays a pure partitioner and the workers
+        scale past the hash-bound ceiling.
         """
         lo, hi = self.engine._canonical_edge_columns(edges)
         if lo is None:
@@ -487,7 +495,7 @@ class ShardedIngestor:
             for shard in range(self.num_shards)
             if cuts[shard + 1] > cuts[shard]
         ]
-        if self.backend == "threads":
+        if self._hoist_hash:
             depths, checksums = hash_depths_checksums(
                 indices, pool._mixed_membership, pool._mixed_checksum, pool.num_rows
             )
@@ -518,18 +526,25 @@ class ShardedIngestor:
     def _dispatch(self, groups: list) -> list:
         """Hand the per-shard groups to the workers; returns wait handles."""
         if self.backend == "threads":
+            if self._hoist_hash:
+                return [
+                    self._executor.submit(
+                        self.pool.fold_shard_hashed,
+                        dsts,
+                        rows,
+                        indices,
+                        depths,
+                        checksums,
+                        node_lo,
+                        node_hi,
+                    )
+                    for node_lo, node_hi, dsts, rows, indices, depths, checksums in groups
+                ]
             return [
                 self._executor.submit(
-                    self.pool.fold_shard_hashed,
-                    dsts,
-                    rows,
-                    indices,
-                    depths,
-                    checksums,
-                    node_lo,
-                    node_hi,
+                    self.pool.fold_shard, dsts, indices, node_lo, node_hi
                 )
-                for node_lo, node_hi, dsts, rows, indices, depths, checksums in groups
+                for node_lo, node_hi, dsts, indices in groups
             ]
         return [self._proc_pool.map_async(_fold_shard_task, groups, chunksize=1)]
 

@@ -38,6 +38,7 @@ disk layout sequential.
 
 from __future__ import annotations
 
+import threading
 from functools import lru_cache
 from typing import Iterable, Optional, Sequence, Tuple
 
@@ -68,6 +69,34 @@ _ZERO64 = np.uint64(0)
 #: ``(K, slots)`` temporaries to a few tens of megabytes while keeping
 #: per-chunk fixed costs amortised.
 BATCH_CHUNK = 1 << 15
+
+#: Thread-local scratch arena for the fold kernel's large temporaries
+#: (the ``(K, S)`` hash matrices and the ``(S, K)`` int16 sort keys).
+#: Chunked ingest folds millions of same-shaped batches, so reusing the
+#: buffers removes the dominant allocator churn of the numpy path;
+#: thread-local storage keeps concurrent shard folds from sharing them.
+_FOLD_SCRATCH = threading.local()
+
+
+def fold_scratch(tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+    """A reusable per-thread scratch buffer keyed by role, shape and dtype.
+
+    Buffers live until the thread exits; distinct batch shapes get
+    distinct buffers, and the chunked callers quantise their batch
+    sizes, so the arena stays small.  Callers must finish consuming a
+    buffer before requesting the same ``(tag, shape, dtype)`` again on
+    the same thread.
+    """
+    buffers = getattr(_FOLD_SCRATCH, "buffers", None)
+    if buffers is None:
+        buffers = {}
+        _FOLD_SCRATCH.buffers = buffers
+    key = (tag, shape, np.dtype(dtype).str)
+    buffer = buffers.get(key)
+    if buffer is None:
+        buffer = np.empty(shape, dtype=dtype)
+        buffers[key] = buffer
+    return buffer
 
 
 @lru_cache(maxsize=64)
@@ -129,17 +158,32 @@ def hash_depths_checksums(
     mixed_membership: np.ndarray,
     mixed_checksum: np.ndarray,
     num_rows: int,
+    reuse_scratch: bool = False,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Hash phase of the fold kernel: ``(K, S)`` depths and checksums.
 
     Split out so callers folding the *same* indices into several
     destinations (the mirrored halves of an edge batch) hash once and
-    reuse the matrices.
+    reuse the matrices.  ``reuse_scratch`` backs the hash matrices with
+    the per-thread :func:`fold_scratch` arena instead of fresh
+    allocations; the returned arrays are then only valid until this
+    thread's next ``reuse_scratch`` call with the same batch shape, so
+    it is for callers (like :func:`columnar_fold`) that consume them
+    immediately.
     """
     idx = indices.astype(np.uint64, copy=False)
-    membership = seeded_hash64_matrix(idx, mixed_membership)
+    shape = (idx.size, mixed_membership.size)
+    membership = seeded_hash64_matrix(
+        idx,
+        mixed_membership,
+        out=fold_scratch("membership", shape, np.uint64) if reuse_scratch else None,
+    )
     depths = hash_to_depth(membership, num_rows)
-    checksums = seeded_hash64_matrix(idx, mixed_checksum)
+    checksums = seeded_hash64_matrix(
+        idx,
+        mixed_checksum,
+        out=fold_scratch("checksum", shape, np.uint64) if reuse_scratch else None,
+    )
     checksums &= _GAMMA_MASK
     return depths, checksums
 
@@ -196,10 +240,12 @@ def fold_hashed(
         # Sorting each slot column independently lets numpy use its
         # radix sort for short integers (~7x faster than argsorting the
         # flat int64 composite key) and the segment structure is known
-        # without decoding any keys.
-        inv_depth = np.ascontiguousarray(
-            (np.int64(num_rows) - depths).T, dtype=np.int16
-        )
+        # without decoding any keys.  The (S, K) key buffer comes from
+        # the per-thread scratch arena (it never escapes this call) and
+        # the subtract writes it directly, skipping the int64
+        # intermediate the expression form would materialise.
+        inv_depth = fold_scratch("key16", (num_slots, k), np.int16)
+        np.subtract(np.int64(num_rows), depths.T, out=inv_depth, casting="unsafe")
         order_rows = np.argsort(inv_depth, axis=1, kind="stable")
         sorted_depth = np.int64(num_rows) - np.take_along_axis(
             inv_depth, order_rows, axis=1
@@ -222,10 +268,12 @@ def fold_hashed(
         # ranges no wider than :func:`max_radix_dst_span`.
         stride = num_slots if dst_stride is None else int(dst_stride)
         dloc = dst_arr - np.int64(dst_min)
-        key16 = np.ascontiguousarray(
-            (dloc[:, None] * (num_rows + 1) + (np.int64(num_rows) - depths)).T,
-            dtype=np.int16,
-        )
+        # Same arena-backed (S, K) key buffer as the single-destination
+        # branch: inverted depth written in place, then the node-local
+        # destination term added broadcast per column.
+        key16 = fold_scratch("key16", (num_slots, k), np.int16)
+        np.subtract(np.int64(num_rows), depths.T, out=key16, casting="unsafe")
+        key16 += (dloc * np.int64(num_rows + 1)).astype(np.int16)[None, :]
         order_rows = np.argsort(key16, axis=1, kind="stable")
         sorted_key = (
             np.take_along_axis(key16, order_rows, axis=1).astype(np.int64).ravel()
@@ -313,6 +361,7 @@ def columnar_fold(
     dsts: Optional[np.ndarray] = None,
     dst_stride: Optional[int] = None,
     slot_offsets: Optional[np.ndarray] = None,
+    reuse_scratch: bool = True,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """The columnar engine's whole update kernel, over one chunk.
 
@@ -332,9 +381,14 @@ def columnar_fold(
     tensor pool -- and the values to XOR into them.  Targets are unique
     within one call, so the caller can fold with a fancy-indexed
     ``pool[targets] ^= values`` (no slow ``ufunc.at`` scatter needed).
+
+    The ``(K, S)`` hash matrices live in the per-thread scratch arena by
+    default (they are consumed before this function returns); pass
+    ``reuse_scratch=False`` to force fresh allocations.
     """
     depths, checksums = hash_depths_checksums(
-        indices, mixed_membership, mixed_checksum, num_rows
+        indices, mixed_membership, mixed_checksum, num_rows,
+        reuse_scratch=reuse_scratch,
     )
     return fold_hashed(
         indices,
@@ -569,6 +623,7 @@ def query_bucket_arrays_batch(
     gamma: np.ndarray,
     vector_length: int,
     checksum_seeds: Sequence[int],
+    kernels=None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """CubeSketch's query over ``C`` components' bucket tensors at once.
 
@@ -586,6 +641,10 @@ def query_bucket_arrays_batch(
     components resolved by an early column drop out of later columns'
     work, which is what makes whole-round Boruvka queries cheap: most
     components sample successfully from column 0.
+
+    ``kernels``, when given, is a native kernel provider (see
+    :mod:`repro.kernels`) whose bit-identical compiled decoder replaces
+    :func:`decode_column_batch` for each column pass.
     """
     alpha = np.asarray(alpha)
     gamma = np.asarray(gamma)
@@ -596,13 +655,14 @@ def query_bucket_arrays_batch(
     if seeds.shape != (num_columns,):
         raise ValueError("need exactly one checksum seed per column")
     mixed = mix_seed_array(seeds)
+    decode = decode_column_batch if kernels is None else kernels.decode_column
 
     statuses = np.full(count, SAMPLE_FAIL, dtype=np.uint8)
     indices = np.full(count, -1, dtype=np.int64)
     seen_nonzero = np.zeros(count, dtype=bool)
     undecided = np.arange(count)
     for col in range(num_columns):
-        good, zero, index = decode_column_batch(
+        good, zero, index = decode(
             alpha[undecided, col], gamma[undecided, col], vector_length, mixed[col]
         )
         seen_nonzero[undecided] |= ~zero
@@ -639,6 +699,7 @@ class FlatNodeSketch:
         "_checksum_seeds",
         "_mixed_membership",
         "_mixed_checksum",
+        "_kernels",
     )
 
     def __init__(
@@ -648,6 +709,7 @@ class FlatNodeSketch:
         graph_seed: int = 0,
         delta: float = 0.01,
         num_rounds: int | None = None,
+        kernels=None,
     ) -> None:
         from repro.core.node_sketch import num_boruvka_rounds
 
@@ -675,6 +737,9 @@ class FlatNodeSketch:
             self._mixed_membership,
             self._mixed_checksum,
         ) = flat_seed_matrices(self.graph_seed, self.num_rounds, self.num_columns)
+        #: Optional native kernel provider (see :mod:`repro.kernels`);
+        #: ``None`` keeps the numpy fold.  Bit-identical either way.
+        self._kernels = kernels
 
     # ------------------------------------------------------------------
     # geometry
@@ -705,6 +770,10 @@ class FlatNodeSketch:
         """Fold pre-encoded edge-slot indices into every round at once."""
         idx = validate_indices(indices, self.encoder.vector_length)
         if idx is None:
+            return
+        kernels = getattr(self, "_kernels", None)
+        if kernels is not None:
+            kernels.fold_bundle(self, idx)
             return
         alpha_flat = self._alpha.reshape(-1)
         gamma_flat = self._gamma.reshape(-1)
@@ -790,6 +859,7 @@ class FlatNodeSketch:
         clone._checksum_seeds = self._checksum_seeds
         clone._mixed_membership = self._mixed_membership
         clone._mixed_checksum = self._mixed_checksum
+        clone._kernels = getattr(self, "_kernels", None)
         return clone
 
     # ------------------------------------------------------------------
@@ -823,13 +893,16 @@ class FlatNodeSketch:
         encoder: EdgeEncoder,
         graph_seed: int,
         delta: float = 0.01,
+        kernels=None,
     ) -> "FlatNodeSketch":
         """Reconstruct a bundle serialised with :meth:`to_bytes`."""
         from repro.sketch.serialization import flat_node_sketch_from_bytes
 
-        return flat_node_sketch_from_bytes(
+        sketch = flat_node_sketch_from_bytes(
             payload, encoder, graph_seed=graph_seed, delta=delta
         )
+        sketch._kernels = kernels
+        return sketch
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, FlatNodeSketch):

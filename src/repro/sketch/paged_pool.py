@@ -149,6 +149,7 @@ class PagedTensorPool(NodeTensorPool):
         force_wide: bool = False,
         nodes_per_page: Optional[int] = None,
         resident_pages: Optional[int] = None,
+        kernels=None,
     ) -> None:
         if memory is None or memory.is_unbounded:
             raise ConfigurationError(
@@ -162,6 +163,7 @@ class PagedTensorPool(NodeTensorPool):
             delta=delta,
             num_rounds=num_rounds,
             force_wide=force_wide,
+            kernels=kernels,
             _allocate=False,
         )
         self.memory = memory
@@ -525,6 +527,18 @@ class PagedTensorPool(NodeTensorPool):
         """
         node_lo = int(self.page_bounds[page])
         local = dsts - np.int64(node_lo)
+        if self._kernels is not None:
+            # Native fold: hash + depth + scatter fused per update in
+            # the compiled kernel (re-hashing precomputed batches is
+            # deterministic, so the result stays bit-identical).
+            entry = self._pin(page)
+            try:
+                self._kernels.fold_page(self, entry, indices, local)
+                with self._lock:
+                    self._dirty.add(page)
+            finally:
+                self._unpin(page)
+            return
         chunk = (
             int(chunk_size) if chunk_size else auto_fold_chunk(self.num_slots, dsts.size)
         )
@@ -634,7 +648,10 @@ class PagedTensorPool(NodeTensorPool):
         """
         pages = np.searchsorted(self.page_bounds, dsts, side="right") - 1
         touched = int(np.unique(pages).size)
-        if dsts.size >= COMBINED_FOLD_THRESHOLD * touched:
+        # Native kernels fold straight into a pinned page tensor (the
+        # fused scatter has no per-page fixed cost worth amortising), so
+        # they always take the per-page split.
+        if self._kernels is not None or dsts.size >= COMBINED_FOLD_THRESHOLD * touched:
             for page, (page_dsts, rows) in self._split_by_page(
                 dsts, [np.arange(dsts.size)], pages=pages
             ):
@@ -764,18 +781,23 @@ class PagedTensorPool(NodeTensorPool):
         hi = np.asarray(hi)
         self._check_destinations(lo)
         self._check_destinations(hi)
-        depths, checksums = hash_depths_checksums(
-            idx, self._mixed_membership, self._mixed_checksum, self.num_rows
-        )
         dsts = np.concatenate([lo, hi]).astype(np.int64, copy=False)
         two_rows = np.concatenate([np.arange(idx.size)] * 2)
-        self._fold_columns(
-            dsts,
-            idx[two_rows],
-            depths=depths[two_rows],
-            checksums=checksums[two_rows],
-            chunk_size=chunk_size,
-        )
+        if self._kernels is not None:
+            # The native fold re-hashes inside the kernel, so the
+            # shared-hash hoist below would be wasted work.
+            self._fold_columns(dsts, idx[two_rows], chunk_size=chunk_size)
+        else:
+            depths, checksums = hash_depths_checksums(
+                idx, self._mixed_membership, self._mixed_checksum, self.num_rows
+            )
+            self._fold_columns(
+                dsts,
+                idx[two_rows],
+                depths=depths[two_rows],
+                checksums=checksums[two_rows],
+                chunk_size=chunk_size,
+            )
         self._version += 1
         self._updates_applied += 2 * int(idx.size)
 

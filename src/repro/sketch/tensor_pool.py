@@ -174,6 +174,12 @@ class NodeTensorPool:
         the edge-slot universe would fit packed buckets.  Wide mode
         only self-selects above 65536 nodes, so this exists to let the
         equivalence tests exercise it at test-sized graphs.
+    kernels:
+        Optional native kernel provider (see :mod:`repro.kernels`).
+        When given, the fold, segmented-XOR, and decode hot paths run
+        the provider's compiled kernels instead of the numpy ones; all
+        providers are bit-identical to numpy under the same seed, so
+        pool state and query results do not depend on this choice.
     """
 
     def __init__(
@@ -184,6 +190,7 @@ class NodeTensorPool:
         delta: float = 0.01,
         num_rounds: Optional[int] = None,
         force_wide: bool = False,
+        kernels=None,
         _allocate: bool = True,
     ) -> None:
         from repro.core.node_sketch import num_boruvka_rounds
@@ -238,6 +245,7 @@ class NodeTensorPool:
             self._mixed_checksum,
         ) = flat_seed_matrices(self.graph_seed, self.num_rounds, self.num_columns)
         self._updates_applied = 0
+        self._kernels = kernels
         # Whole-slab XOR totals per (round, tensor) for the query
         # engine's complement trick; invalidated by any fold.
         self._version = 0
@@ -290,6 +298,13 @@ class NodeTensorPool:
         if idx is None:
             return
         self._check_destinations(dsts)
+        if self._kernels is not None:
+            # The native fold fuses hash + depth + XOR scatter with no
+            # temporaries, so the whole batch goes in one call.
+            self._kernels.fold_pool(self, idx, dsts)
+            self._version += 1
+            self._updates_applied += int(idx.size)
+            return
         chunk = int(chunk_size) if chunk_size else auto_fold_chunk(self.num_slots, idx.size)
         for start in range(0, idx.size, chunk):
             targets, alpha_vals, gamma_vals = columnar_fold(
@@ -330,6 +345,13 @@ class NodeTensorPool:
             return
         self._check_destinations(np.asarray(lo))
         self._check_destinations(np.asarray(hi))
+        if self._kernels is not None:
+            # Mirrored native fold: hashes each edge slot once and
+            # scatters to both endpoints' bundles in the same pass.
+            self._kernels.fold_pool_edges(self, idx, lo, hi)
+            self._version += 1
+            self._updates_applied += 2 * int(idx.size)
+            return
         if chunk_size:
             edge_chunk = max(int(chunk_size), 1)
         else:
@@ -363,6 +385,13 @@ class NodeTensorPool:
         """
         indices = self.encoder.encode_batch(node, neighbors)
         if indices.size == 0:
+            return
+        if self._kernels is not None:
+            self._kernels.fold_pool(
+                self, indices, np.full(indices.size, int(node), dtype=np.int64)
+            )
+            self._version += 1
+            self._updates_applied += int(indices.size)
             return
         rows = np.int64(self.num_rows)
         node_base = np.int64(node * self.num_columns)
@@ -423,6 +452,13 @@ class NodeTensorPool:
             raise ValueError(
                 f"destination node outside shard range [{node_lo}, {node_hi})"
             )
+        if self._kernels is not None:
+            # Shard folds stay lock-free under the native kernels for
+            # the same reason as the numpy path (disjoint node ranges),
+            # and the compiled region releases the GIL, so concurrent
+            # thread-backend shards now overlap fully.
+            self._kernels.fold_pool(self, idx, dsts)
+            return int(idx.size)
         chunk = int(chunk_size) if chunk_size else auto_fold_chunk(self.num_slots, idx.size)
         for start in range(0, idx.size, chunk):
             targets, alpha_vals, gamma_vals = columnar_fold(
@@ -474,6 +510,13 @@ class NodeTensorPool:
             raise ValueError(
                 f"destination node outside shard range [{node_lo}, {node_hi})"
             )
+        if self._kernels is not None:
+            # The native fold hashes in-kernel for less than the cost of
+            # gathering the precomputed matrices, and hashing is
+            # deterministic, so re-deriving depths/checksums from the
+            # indices keeps the buckets bit-identical.
+            self._kernels.fold_pool(self, np.asarray(indices)[edge_rows], dsts)
+            return int(dsts.size)
         chunk = (
             int(chunk_size) if chunk_size else auto_fold_chunk(self.num_slots, dsts.size)
         )
@@ -726,7 +769,10 @@ class NodeTensorPool:
         alpha0, gamma0 = self._merged_round_cols(
             sorted_nodes, seg_starts, excluded, round_index, 0, 1
         )
-        good, column0_zero, index = decode_column_batch(
+        decode = (
+            decode_column_batch if self._kernels is None else self._kernels.decode_column
+        )
+        good, column0_zero, index = decode(
             alpha0.reshape(count, self.num_rows),
             gamma0.reshape(count, self.num_rows),
             self.encoder.vector_length,
@@ -765,6 +811,7 @@ class NodeTensorPool:
             rest_gamma.reshape(rest_shape),
             self.encoder.vector_length,
             self._checksum_seeds[base + 1 : base + self.num_columns],
+            kernels=self._kernels,
         )
 
         positions = np.flatnonzero(unresolved)
@@ -820,7 +867,19 @@ class NodeTensorPool:
         cached = self._slab_cache.get((round_index, key))
         if cached is not None and cached[0] == self._version:
             return cached[1]
-        total = np.bitwise_xor.reduce(self._round_view(key, round_index), axis=0)
+        slab = self._round_view(key, round_index)
+        if self._kernels is not None:
+            # One single-segment fused reduce over every node's row.
+            total = self._kernels.segment_xor(
+                slab,
+                np.arange(self.num_nodes, dtype=np.int64),
+                np.zeros(1, dtype=np.int64),
+                0,
+                self.num_columns,
+                self.num_rows,
+            )[0].reshape(self.num_columns, self.num_rows)
+        else:
+            total = np.bitwise_xor.reduce(slab, axis=0)
         self._slab_cache[(round_index, key)] = (self._version, total)
         return total
 
@@ -863,7 +922,16 @@ class NodeTensorPool:
         use_complement = largest_size > 1 and 2 * largest_size * width > (
             slab_cost + 2 * excluded_nodes.size * width
         )
+        # The native segmented XOR fuses the gather with the reduce (one
+        # cache-blocked pass per segment, no reordered copy of the slab
+        # rows); XOR associativity keeps it bit-identical to the
+        # gather + segmented_xor composition below.
+        kernels = self._kernels
         if not use_complement:
+            if kernels is not None:
+                return kernels.segment_xor(
+                    slab, sorted_nodes, seg_starts, col_start, col_stop, self.num_rows
+                )
             gathered = slab[sorted_nodes, col_start:col_stop]
             return segmented_xor(gathered.reshape(total, width), seg_starts)
 
@@ -872,10 +940,15 @@ class NodeTensorPool:
         other_nodes = np.concatenate([sorted_nodes[:lo], sorted_nodes[hi:]])
         other_starts = np.delete(seg_starts, largest)
         other_starts[largest:] -= largest_size
-        other_sums = segmented_xor(
-            slab[other_nodes, col_start:col_stop].reshape(other_nodes.size, width),
-            other_starts,
-        )
+        if kernels is not None:
+            other_sums = kernels.segment_xor(
+                slab, other_nodes, other_starts, col_start, col_stop, self.num_rows
+            )
+        else:
+            other_sums = segmented_xor(
+                slab[other_nodes, col_start:col_stop].reshape(other_nodes.size, width),
+                other_starts,
+            )
         largest_sum = (
             self._round_slab_total(key, round_index)[col_start:col_stop]
             .reshape(width)
@@ -884,12 +957,19 @@ class NodeTensorPool:
         if other_sums.shape[0]:
             largest_sum ^= np.bitwise_xor.reduce(other_sums, axis=0)
         if excluded_nodes.size:
-            largest_sum ^= np.bitwise_xor.reduce(
-                slab[excluded_nodes, col_start:col_stop].reshape(
-                    excluded_nodes.size, width
-                ),
-                axis=0,
-            )
+            if kernels is not None:
+                # One single-segment fused reduce over the excluded rows.
+                largest_sum ^= kernels.segment_xor(
+                    slab, excluded_nodes, np.zeros(1, dtype=np.int64),
+                    col_start, col_stop, self.num_rows,
+                )[0]
+            else:
+                largest_sum ^= np.bitwise_xor.reduce(
+                    slab[excluded_nodes, col_start:col_stop].reshape(
+                        excluded_nodes.size, width
+                    ),
+                    axis=0,
+                )
         merged = np.empty((seg_starts.size, width), dtype=slab.dtype)
         merged[:largest] = other_sums[:largest]
         merged[largest] = largest_sum
@@ -944,6 +1024,10 @@ class NodeTensorPool:
             "num_rounds": self.num_rounds,
             "packed": self._packed,
             "shm_names": [segment.name for segment in self._shm],
+            # Workers fold with the same kernel family when they can;
+            # bit-identity means a worker that cannot load a native
+            # provider still produces the exact same buckets via numpy.
+            "kernel_backend": "auto" if self._kernels is not None else "numpy",
         }
 
     @classmethod
@@ -958,6 +1042,8 @@ class NodeTensorPool:
         """
         from multiprocessing import shared_memory
 
+        from repro.kernels import resolve_kernels
+
         pool = cls(
             meta["num_nodes"],
             EdgeEncoder(meta["num_nodes"]),
@@ -965,6 +1051,7 @@ class NodeTensorPool:
             delta=meta["delta"],
             num_rounds=meta["num_rounds"],
             force_wide=not meta["packed"],
+            kernels=resolve_kernels(meta.get("kernel_backend", "numpy")),
             _allocate=False,
         )
         shape = (pool.num_rounds, pool.num_nodes, pool.num_columns, pool.num_rows)
@@ -1054,6 +1141,7 @@ class NodeTensorPool:
             graph_seed=self.graph_seed,
             delta=self.delta,
             num_rounds=self.num_rounds,
+            kernels=self._kernels,
         )
         sketch._alpha, sketch._gamma = self._node_bundle_arrays(node)
         return sketch
