@@ -189,7 +189,12 @@ def test_chaos_ledger():
             straggler_timeout=STRAGGLER_TIMEOUT,
             worker_deadline=WORKER_DEADLINE,
         )
+        # What the bit-identity verification itself costs in device
+        # traffic: snapshot the soaked engine's IO counters, run the
+        # full-pool comparison (which pages everything back in), diff.
+        verify_io_before = paged_engine.io_stats.snapshot()
         paged_identical = _pools_equal(paged_engine, chaos_shadow_paged)
+        verify_io = paged_engine.io_stats.diff(verify_io_before)
     finally:
         shutil.rmtree(workroot, ignore_errors=True)
 
@@ -227,6 +232,14 @@ def test_chaos_ledger():
         rows.append(
             {
                 "path": name,
+                **(
+                    {
+                        "verify_block_reads": verify_io["block_reads"],
+                        "verify_bytes_read": verify_io["bytes_read"],
+                    }
+                    if name.endswith("(paged)")
+                    else {}
+                ),
                 "updates": report.updates_total,
                 "seconds": round(report.elapsed_seconds, 4),
                 "cycles": report.cycles,

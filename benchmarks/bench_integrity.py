@@ -165,10 +165,13 @@ def test_integrity_ledger():
         # engine re-hashed; clean storage must stay clean.
         engine = kept[checked_label]
         _settle(engine)
+        before_scrub = engine.memory.stats.snapshot()
         start = time.perf_counter()
         corrupt_pages = engine.scrub_storage()
         scrub_seconds = time.perf_counter() - start
-        blocks_scrubbed = engine.memory.stats.blocks_scrubbed
+        # Delta, not the absolute counter: only blocks this scrub pass
+        # re-hashed, regardless of what ingest/settling already scrubbed.
+        blocks_scrubbed = engine.memory.stats.diff(before_scrub)["blocks_scrubbed"]
         false_positives = len(corrupt_pages)
         reference_forest = engine.list_spanning_forest().partition_signature()
 

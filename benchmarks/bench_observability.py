@@ -1,0 +1,286 @@
+"""Observability benchmark: full instrumentation must be (nearly) free.
+
+The repo's performance ledger for the observability plane (ISSUE 10).
+Two timed comparisons over the same random multi-graph stream on the
+flat in-RAM engine -- the hottest paths the span instrumentation
+touches -- plus one cross-process aggregation check:
+
+* ``instrumented ingest``: serial columnar ingest with the metrics
+  registry enabled *and* a trace ring installed (the most expensive
+  configuration).  Acceptance: **overhead <= 3%** over the same ingest
+  with observability disabled, and the two runs stay **bit-identical**
+  (instrumentation never perturbs a sketch bit);
+* ``instrumented query``: a whole Boruvka connectivity query (every
+  round spanned, rounds counted) against the disabled fast path, same
+  bound, same engine, identical forests;
+* ``distributed aggregation``: two worker processes ingest disjoint
+  slices, each ships its registry snapshot next to its pool snapshot,
+  and the merged ``report.metrics`` counter totals must equal the
+  serial run's -- the metrics analogue of the XOR merge identity.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, CI) shrinks the workload and only
+asserts the correctness properties (bit-identity, counter equality) --
+the overhead ratios are meaningless at smoke scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from _timing import TIMING_REPS, interleaved_medians
+from conftest import print_table
+
+from repro.analysis.tables import render_table
+from repro.core.config import GraphZeppelinConfig
+from repro.core.graph_zeppelin import GraphZeppelin
+from repro.generators.random_graphs import random_multigraph_edges
+from repro.observability import (
+    default_registry,
+    disable,
+    enable,
+    install_trace_ring,
+)
+from repro.observability.tracing import remove_trace_ring
+from repro.parallel.cost_model import usable_cores
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+NUM_NODES = 400 if SMOKE else 2_000
+NUM_EDGES = 2_000 if SMOKE else 60_000
+CHUNK = 500 if SMOKE else 1 << 13
+#: Cold whole-round queries per timed repetition (one query sits under
+#: the perf_counter noise floor).
+QUERY_LOOPS = 2 if SMOKE else 50
+#: The query rows use more repetitions than the multi-second ingest
+#: rows: each is short enough that host-load spikes dominate a
+#: median-of-3.
+QUERY_REPS = TIMING_REPS if SMOKE else 7
+#: ISSUE 10 acceptance: full instrumentation (registry + trace ring)
+#: may cost at most this fraction on the serial ingest and query paths.
+MAX_OBSERVABILITY_OVERHEAD = 0.03
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_observability.json"
+
+SEED = 43
+
+
+def _config() -> GraphZeppelinConfig:
+    return GraphZeppelinConfig(seed=SEED)
+
+
+def _ingest(engine: GraphZeppelin, edges: np.ndarray) -> GraphZeppelin:
+    for start in range(0, edges.shape[0], CHUNK):
+        engine.ingest_batch(edges[start : start + CHUNK])
+    return engine
+
+
+def _tensors_equal(a: GraphZeppelin, b: GraphZeppelin) -> bool:
+    return all(
+        np.array_equal(np.asarray(x, dtype=np.uint64), np.asarray(y, dtype=np.uint64))
+        for x, y in zip(a.tensor_pool.raw_tensors(), b.tensor_pool.raw_tensors())
+    )
+
+
+def test_observability_ledger():
+    from repro.distributed.multi_ingestor import distributed_ingest
+
+    edges = random_multigraph_edges(NUM_NODES, NUM_EDGES, seed=5)
+    count = int(edges.shape[0])
+
+    # ------------------------------------------------------------------
+    # serial columnar ingest, observability on (registry + ring) vs off
+    # ------------------------------------------------------------------
+    def ingest_on():
+        enable()
+        install_trace_ring()
+        return _ingest(GraphZeppelin(NUM_NODES, config=_config()), edges)
+
+    def ingest_off():
+        disable()
+        remove_trace_ring()
+        return _ingest(GraphZeppelin(NUM_NODES, config=_config()), edges)
+
+    on_label = "instrumented ingest (registry + trace ring)"
+    off_label = "bare ingest (observability off)"
+    ingest_specs = [(on_label, ingest_on), (off_label, ingest_off)]
+
+    kept = {}
+    identical = {}
+
+    def on_ingest_result(label: str, rep: int, engine: GraphZeppelin) -> None:
+        if rep == 0:
+            kept[label] = engine
+            if len(kept) == 2:
+                identical["ingest_on_vs_off"] = _tensors_equal(
+                    kept[on_label], kept[off_label]
+                )
+
+    try:
+        ingest_medians = interleaved_medians(
+            ingest_specs, reps=TIMING_REPS, on_result=on_ingest_result
+        )
+        ingest_overhead = ingest_medians[on_label] / ingest_medians[off_label] - 1.0
+
+        # --------------------------------------------------------------
+        # whole-round query, same settled engine, toggled instrumentation
+        # --------------------------------------------------------------
+        engine = kept[on_label]
+        forests = {}
+
+        # One query is a few milliseconds -- under the timer's noise
+        # floor -- so each timed repetition runs a small loop of full
+        # cold queries and the ledger reports the per-query median.
+        def query_on():
+            enable()
+            forest = None
+            for _ in range(QUERY_LOOPS):
+                engine._cached_forest = None
+                forest = engine.list_spanning_forest()
+            return forest
+
+        def query_off():
+            disable()
+            forest = None
+            for _ in range(QUERY_LOOPS):
+                engine._cached_forest = None
+                forest = engine.list_spanning_forest()
+            return forest
+
+        q_on_label = "instrumented query (spans + round counter)"
+        q_off_label = "bare query (observability off)"
+        query_specs = [(q_on_label, query_on), (q_off_label, query_off)]
+
+        def on_query_result(label: str, rep: int, forest) -> None:
+            if rep == 0:
+                forests[label] = forest.partition_signature()
+
+        query_medians = interleaved_medians(
+            query_specs, reps=QUERY_REPS, on_result=on_query_result
+        )
+        query_overhead = query_medians[q_on_label] / query_medians[q_off_label] - 1.0
+        identical["query_on_vs_off"] = forests[q_on_label] == forests[q_off_label]
+        kept.clear()
+    finally:
+        enable()
+        remove_trace_ring()
+
+    # ------------------------------------------------------------------
+    # distributed aggregation: merged worker counters == serial counters
+    # ------------------------------------------------------------------
+    default_registry().reset()
+    serial = _ingest(GraphZeppelin(NUM_NODES, config=_config()), edges)
+    serial_updates = default_registry().snapshot().counters["ingest.updates"]
+
+    default_registry().reset()
+    workroot = Path(tempfile.mkdtemp(prefix="repro-bench-observability-"))
+    try:
+        merged, report = distributed_ingest(
+            edges, NUM_NODES, config=_config(), num_ingestors=2, workdir=workroot
+        )
+    finally:
+        shutil.rmtree(workroot, ignore_errors=True)
+    distributed_updates = (
+        report.metrics.counters.get("ingest.updates", 0)
+        if report.metrics is not None
+        else 0
+    )
+    counters_equal = distributed_updates == serial_updates == count
+    identical["distributed_vs_serial"] = _tensors_equal(merged, serial)
+    default_registry().reset()
+
+    rows = [
+        {
+            "path": on_label,
+            "updates": count,
+            "seconds": round(ingest_medians[on_label], 4),
+            "updates_per_sec": round(count / ingest_medians[on_label], 1),
+            "overhead_vs_bare": round(ingest_overhead, 4),
+            "bit_identical": identical["ingest_on_vs_off"],
+        },
+        {
+            "path": off_label,
+            "updates": count,
+            "seconds": round(ingest_medians[off_label], 4),
+            "updates_per_sec": round(count / ingest_medians[off_label], 1),
+        },
+        {
+            "path": q_on_label,
+            "seconds": round(query_medians[q_on_label] / QUERY_LOOPS, 5),
+            "overhead_vs_bare": round(query_overhead, 4),
+            "bit_identical": identical["query_on_vs_off"],
+        },
+        {
+            "path": q_off_label,
+            "seconds": round(query_medians[q_off_label] / QUERY_LOOPS, 5),
+        },
+        {
+            "path": "distributed x2 (merged worker metrics)",
+            "updates": distributed_updates,
+            "counters_equal_serial": counters_equal,
+            "bit_identical": identical["distributed_vs_serial"],
+        },
+    ]
+
+    print_table(
+        render_table(
+            rows,
+            columns=[
+                "path",
+                "updates",
+                "seconds",
+                "updates_per_sec",
+                "overhead_vs_bare",
+                "counters_equal_serial",
+                "bit_identical",
+            ],
+            title=(
+                f"Observability plane ({NUM_NODES} nodes, {count} edge updates, "
+                f"{usable_cores()} cores{', smoke' if SMOKE else ''})"
+            ),
+        )
+    )
+
+    payload = {
+        "num_nodes": NUM_NODES,
+        "num_edge_updates": count,
+        "cores": usable_cores(),
+        "smoke": SMOKE,
+        "ingest_overhead": round(ingest_overhead, 4),
+        "query_overhead": round(query_overhead, 4),
+        "max_observability_overhead": MAX_OBSERVABILITY_OVERHEAD,
+        "serial_ingest_updates_counter": serial_updates,
+        "distributed_merged_updates_counter": distributed_updates,
+        "counters_equal_serial": counters_equal,
+        "rows": rows,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+
+    assert identical["ingest_on_vs_off"], (
+        "instrumentation perturbed engine state: the on/off ingests diverged"
+    )
+    assert identical["query_on_vs_off"], (
+        "instrumentation changed a query answer"
+    )
+    assert identical["distributed_vs_serial"], (
+        "the distributed merge diverged from serial ingest"
+    )
+    assert counters_equal, (
+        f"merged worker counters claim {distributed_updates} updates, serial "
+        f"counted {serial_updates} (stream holds {count})"
+    )
+    if SMOKE:
+        return
+    assert ingest_overhead <= MAX_OBSERVABILITY_OVERHEAD, (
+        f"instrumented ingest costs {ingest_overhead:.1%} over the disabled "
+        f"path (acceptance: <= {MAX_OBSERVABILITY_OVERHEAD:.0%})"
+    )
+    assert query_overhead <= MAX_OBSERVABILITY_OVERHEAD, (
+        f"instrumented query costs {query_overhead:.1%} over the disabled "
+        f"path (acceptance: <= {MAX_OBSERVABILITY_OVERHEAD:.0%})"
+    )

@@ -62,6 +62,7 @@ from repro.baselines.adjacency_matrix import AdjacencyMatrixGraph
 from repro.core.config import BufferingMode, GraphZeppelinConfig
 from repro.core.graph_zeppelin import GraphZeppelin
 from repro.generators.datasets import DATASET_SPECS, available_datasets, load_dataset
+from repro.observability.log import configure_logging
 from repro.streaming.io import (
     read_stream_binary,
     read_stream_text,
@@ -78,6 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="GraphZeppelin reproduction: streaming connected components tools",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="structured diagnostics on stderr (-v info, -vv debug)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     datasets_parser = subparsers.add_parser(
@@ -175,6 +180,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true",
         help="print the I/O and integrity counter ledger after the run",
     )
+    components_parser.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="FILE",
+        help="write the run's metrics registry to FILE in Prometheus text "
+             "exposition format ('-' for stdout)",
+    )
+    components_parser.add_argument(
+        "--trace-out", type=Path, default=None, metavar="FILE",
+        help="record spans into a bounded trace ring and write Chrome "
+             "trace_event JSON to FILE (load via chrome://tracing)",
+    )
 
     snapshot_parser = subparsers.add_parser(
         "snapshot", help="ingest a stream (prefix) and checkpoint the pool to a file"
@@ -224,6 +239,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true",
         help="print the I/O and integrity counter ledger after the run",
     )
+    resume_parser.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="FILE",
+        help="write the run's metrics registry to FILE in Prometheus text "
+             "exposition format ('-' for stdout)",
+    )
+    resume_parser.add_argument(
+        "--trace-out", type=Path, default=None, metavar="FILE",
+        help="record spans into a bounded trace ring and write Chrome "
+             "trace_event JSON to FILE (load via chrome://tracing)",
+    )
+
+    stats_parser = subparsers.add_parser(
+        "stats",
+        help="ingest a stream, query once, and print the metrics registry",
+    )
+    stats_parser.add_argument("stream", type=Path)
+    stats_parser.add_argument(
+        "--text", action="store_true", help="the file is in the text format"
+    )
+    stats_parser.add_argument("--seed", type=int, default=0)
+    stats_parser.add_argument(
+        "--ram-budget-mib", type=float, default=None,
+        help="optional RAM budget; sketches beyond it page to the simulated SSD",
+    )
+    stats_parser.add_argument(
+        "--format", choices=["prometheus", "json"], default="prometheus",
+        help="exposition format (default prometheus text)",
+    )
+    stats_parser.set_defaults(
+        buffering=BufferingMode.LEAF_GUTTERS.value, query_backend="vectorized",
+        workers=1, parallel_backend="threads", kernel_backend="numpy",
+    )
 
     scrub_parser = subparsers.add_parser(
         "scrub", help="verify the payload digests of snapshots/checkpoints"
@@ -249,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose)
     handlers = {
         "datasets": _cmd_datasets,
         "generate": _cmd_generate,
@@ -258,6 +306,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "resume": _cmd_resume,
         "merge": _cmd_merge,
         "scrub": _cmd_scrub,
+        "stats": _cmd_stats,
     }
     return handlers[args.command](args)
 
@@ -388,23 +437,45 @@ def _print_checkpointer(checkpointer) -> None:
           f"{checkpointer.checkpoint_failures} failed)")
 
 
+#: Histograms the --report ledger summarises, in print order (any that
+#: recorded nothing are skipped).
+_REPORT_SPANS = (
+    "ingest.batch",
+    "ingest.fold",
+    "query.round",
+    "page.pin",
+    "device.read",
+    "device.write",
+    "checkpoint.write",
+    "scrub.pass",
+)
+
+
 def _print_io_report(engine, checkpointer=None) -> None:
-    """The --report ledger: every fault and integrity counter in one place."""
+    """The --report ledger: every fault and integrity counter in one place.
+
+    Counters come from the same :class:`IOStats` snapshot and metrics
+    registry that ``stats`` / ``--metrics-out`` expose, so the ledger
+    and the exposition formats can never disagree.
+    """
     health = engine.health()
+    snap = engine.metrics()
     print(f"kernel backend   : {health['kernel_backend']} "
           f"(requested {engine.config.kernel_backend})")
     stats = engine.io_stats
     if stats is None:
         print("io report        : engine is fully in RAM (no byte tier)")
     else:
-        print(f"io failures      : {stats.read_failures} read, "
-              f"{stats.write_failures} write, {stats.io_retries} retried")
-        print(f"integrity        : {stats.checksum_failures} checksum failures, "
-              f"{stats.blocks_scrubbed} blocks scrubbed, "
-              f"{stats.pages_repaired} pages repaired")
-        print(f"overload         : {stats.pressure_events} pressure events, "
-              f"{stats.deadline_misses} deadline misses, "
-              f"{stats.breaker_rejections} breaker rejections")
+        counters = stats.snapshot()
+        print(f"io failures      : {counters['read_failures']} read, "
+              f"{counters['write_failures']} write, "
+              f"{counters['io_retries']} retried")
+        print(f"integrity        : {counters['checksum_failures']} checksum failures, "
+              f"{counters['blocks_scrubbed']} blocks scrubbed, "
+              f"{counters['pages_repaired']} pages repaired")
+        print(f"overload         : {counters['pressure_events']} pressure events, "
+              f"{counters['deadline_misses']} deadline misses, "
+              f"{counters['breaker_rejections']} breaker rejections")
     breaker = health.get("breaker")
     if breaker is not None:
         print(f"circuit breaker  : {breaker['state']} "
@@ -418,12 +489,51 @@ def _print_io_report(engine, checkpointer=None) -> None:
     if checkpointer is not None:
         print(f"checkpoint errors: {checkpointer.checkpoint_failures} writes "
               f"failed, {checkpointer.rotation_failures} rotations failed")
+    for name in _REPORT_SPANS:
+        hist = snap.histograms.get(name)
+        if hist is None or hist.count == 0:
+            continue
+        print(f"span {name:<12}: {hist.count} x, "
+              f"p50 {hist.quantile(0.50) * 1e3:.3f}ms, "
+              f"p99 {hist.quantile(0.99) * 1e3:.3f}ms, "
+              f"total {hist.sum:.3f}s")
     print(f"health           : {health['status']}")
+
+
+def _install_cli_trace(args) -> None:
+    """Install the process trace ring when --trace-out was requested."""
+    if getattr(args, "trace_out", None) is not None:
+        from repro.observability.tracing import install_trace_ring
+
+        install_trace_ring()
+
+
+def _write_observability_outputs(args, engine) -> None:
+    """Honour --metrics-out / --trace-out after a run."""
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is not None:
+        text = engine.metrics("prometheus")
+        if str(metrics_out) == "-":
+            print(text, end="")
+        else:
+            metrics_out.write_text(text)
+            print(f"metrics          : wrote {metrics_out}")
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is not None:
+        import json
+
+        from repro.observability.tracing import chrome_trace
+
+        trace = chrome_trace()
+        trace_out.write_text(json.dumps(trace))
+        print(f"trace            : wrote {trace_out} "
+              f"({len(trace['traceEvents'])} spans)")
 
 
 def _cmd_components(args) -> int:
     stream = _read_stream(args.stream, args.text)
     config = _engine_config(args)
+    _install_cli_trace(args)
     if args.checkpoint_every is not None and args.checkpoint_dir is None:
         print("error: --checkpoint-every requires --checkpoint-dir")
         return 1
@@ -456,6 +566,7 @@ def _cmd_components(args) -> int:
         _print_forest(engine, stream.num_nodes, ingest_mode, args.show)
         if args.report:
             _print_io_report(engine)
+        _write_observability_outputs(args, engine)
         return _verify_components(args, stream, engine)
     engine = GraphZeppelin(stream.num_nodes, config=config)
     checkpointer = _attach_cli_checkpointer(args, engine)
@@ -491,6 +602,7 @@ def _cmd_components(args) -> int:
     _print_checkpointer(checkpointer)
     if args.report:
         _print_io_report(engine, checkpointer)
+    _write_observability_outputs(args, engine)
     return _verify_components(args, stream, engine)
 
 
@@ -555,6 +667,7 @@ def _cmd_resume(args) -> int:
     from repro.exceptions import RecoveryError, StreamFormatError
 
     stream = _read_stream(args.stream, args.text)
+    _install_cli_trace(args)
     ram_budget = _ram_budget_bytes(args)
     if args.snapshot.is_dir():
         # A checkpoint directory: auto-recover from the newest valid
@@ -619,6 +732,23 @@ def _cmd_resume(args) -> int:
     _print_forest(engine, stream.num_nodes, mode, args.show)
     if args.report:
         _print_io_report(engine)
+    _write_observability_outputs(args, engine)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    """Ingest a stream, query once, and print the metrics exposition."""
+    import json
+
+    stream = _read_stream(args.stream, args.text)
+    config = _engine_config(args)
+    engine = GraphZeppelin(stream.num_nodes, config=config)
+    engine.ingest_batch(stream.edge_array())
+    engine.list_spanning_forest()
+    if args.format == "json":
+        print(json.dumps(engine.metrics("json"), indent=2, sort_keys=True))
+    else:
+        print(engine.metrics("prometheus"), end="")
     return 0
 
 

@@ -26,6 +26,8 @@ from repro.core.dsu import DisjointSetUnion
 from repro.core.edge_encoding import EdgeEncoder
 from repro.core.spanning_forest import SpanningForest
 from repro.exceptions import ConnectivityError
+from repro.observability.metrics import default_registry
+from repro.observability.tracing import span
 from repro.sketch.flat_node_sketch import group_nodes_by_label
 from repro.sketch.sketch_base import (
     SAMPLE_FAIL,
@@ -267,84 +269,89 @@ def vectorized_spanning_forest(
 
         found_edge = False
         stats.rounds_used = round_index + 1
-        active = ~settled[labels]
-        roots, statuses, indices = batch_cut_sampler(round_index, labels, active)
-        stats.component_queries += int(roots.size)
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("query.rounds").inc()
+        with span("query.round"):
+            active = ~settled[labels]
+            roots, statuses, indices = batch_cut_sampler(round_index, labels, active)
+            stats.component_queries += int(roots.size)
 
-        zero_mask = statuses == SAMPLE_ZERO
-        settled[roots[zero_mask]] = True
-        stats.zero_samples += int(np.count_nonzero(zero_mask))
-        failures_this_round = int(np.count_nonzero(statuses == SAMPLE_FAIL))
-        stats.failed_samples += failures_this_round
+            zero_mask = statuses == SAMPLE_ZERO
+            settled[roots[zero_mask]] = True
+            stats.zero_samples += int(np.count_nonzero(zero_mask))
+            failures_this_round = int(np.count_nonzero(statuses == SAMPLE_FAIL))
+            stats.failed_samples += failures_this_round
 
-        good_mask = statuses == SAMPLE_GOOD
-        stats.good_samples += int(np.count_nonzero(good_mask))
-        good_indices = indices[good_mask]
-        valid = encoder.valid_index_mask(good_indices)
-        # Corrupted buckets that slipped past their checksums; ignore them.
-        stats.invalid_samples += int(good_indices.size - np.count_nonzero(valid))
-        good_indices = good_indices[valid]
-        # Sampled edges the scalar merge loop would skip without touching
-        # anything are dropped vectorised before the Python loop: an edge
-        # inside one pre-round component (its endpoints' roots already
-        # match), and re-occurrences of an edge two components sampled
-        # from both sides (the first union makes the second a no-op, and
-        # if the first is skipped so is the second).
-        sampled_u, sampled_v = encoder.decode_endpoints(good_indices)
-        crossing = labels[sampled_u] != labels[sampled_v]
-        good_indices = good_indices[crossing]
-        _, first_occurrence = np.unique(good_indices, return_index=True)
-        keep = np.sort(first_occurrence)
-        sampled_u = sampled_u[crossing][keep]
-        sampled_v = sampled_v[crossing][keep]
+            good_mask = statuses == SAMPLE_GOOD
+            stats.good_samples += int(np.count_nonzero(good_mask))
+            good_indices = indices[good_mask]
+            valid = encoder.valid_index_mask(good_indices)
+            # Corrupted buckets that slipped past their checksums; ignore them.
+            stats.invalid_samples += int(good_indices.size - np.count_nonzero(valid))
+            good_indices = good_indices[valid]
+            # Sampled edges the scalar merge loop would skip without touching
+            # anything are dropped vectorised before the Python loop: an edge
+            # inside one pre-round component (its endpoints' roots already
+            # match), and re-occurrences of an edge two components sampled
+            # from both sides (the first union makes the second a no-op, and
+            # if the first is skipped so is the second).
+            sampled_u, sampled_v = encoder.decode_endpoints(good_indices)
+            crossing = labels[sampled_u] != labels[sampled_v]
+            good_indices = good_indices[crossing]
+            _, first_occurrence = np.unique(good_indices, return_index=True)
+            keep = np.sort(first_occurrence)
+            sampled_u = sampled_u[crossing][keep]
+            sampled_v = sampled_v[crossing][keep]
 
-        merges_this_round = 0
-        changed_roots: List[int] = []
-        for u, v in zip(sampled_u.tolist(), sampled_v.tolist()):
-            root_u = u
-            while parent[root_u] != root_u:
-                root_u = parent[root_u]
-            root_v = v
-            while parent[root_v] != root_v:
-                root_v = parent[root_v]
-            if root_u == root_v:
-                continue
-            if size[root_u] < size[root_v]:
-                root_u, root_v = root_v, root_u
-            parent[root_v] = root_u
-            size[root_u] += size[root_v]
-            num_components -= 1
-            settled[root_u] = False
-            settled[root_v] = False
-            changed_roots.append(root_u)
-            changed_roots.append(root_v)
-            # Valid slots decode to canonical u < v, so the edge is
-            # already in forest orientation.
-            forest_edges.append((u, v))
-            merges_this_round += 1
-            found_edge = True
+            with span("query.unionfind"):
+                merges_this_round = 0
+                changed_roots: List[int] = []
+                for u, v in zip(sampled_u.tolist(), sampled_v.tolist()):
+                    root_u = u
+                    while parent[root_u] != root_u:
+                        root_u = parent[root_u]
+                    root_v = v
+                    while parent[root_v] != root_v:
+                        root_v = parent[root_v]
+                    if root_u == root_v:
+                        continue
+                    if size[root_u] < size[root_v]:
+                        root_u, root_v = root_v, root_u
+                    parent[root_v] = root_u
+                    size[root_u] += size[root_v]
+                    num_components -= 1
+                    settled[root_u] = False
+                    settled[root_v] = False
+                    changed_roots.append(root_u)
+                    changed_roots.append(root_v)
+                    # Valid slots decode to canonical u < v, so the edge is
+                    # already in forest orientation.
+                    forest_edges.append((u, v))
+                    merges_this_round += 1
+                    found_edge = True
 
-        if merges_this_round > num_nodes // 64:
-            # Mass-merge round: re-derive every node's root in a few
-            # whole-array gathers by chasing the parent array to its
-            # fixed point (union by size keeps the trees a handful of
-            # levels deep).
-            parent_array = np.asarray(parent, dtype=np.int64)
-            labels = parent_array[labels]
-            chased = parent_array[labels]
-            while not np.array_equal(chased, labels):
-                labels = chased
-                chased = parent_array[labels]
-        elif merges_this_round:
-            # Few merges: patch only the roots that took part in a
-            # union instead of converting the whole parent list.
-            relabel = np.arange(num_nodes, dtype=np.int64)
-            for old_root in changed_roots:
-                new_root = old_root
-                while parent[new_root] != new_root:
-                    new_root = parent[new_root]
-                relabel[old_root] = new_root
-            labels = relabel[labels]
+                if merges_this_round > num_nodes // 64:
+                    # Mass-merge round: re-derive every node's root in a few
+                    # whole-array gathers by chasing the parent array to its
+                    # fixed point (union by size keeps the trees a handful of
+                    # levels deep).
+                    parent_array = np.asarray(parent, dtype=np.int64)
+                    labels = parent_array[labels]
+                    chased = parent_array[labels]
+                    while not np.array_equal(chased, labels):
+                        labels = chased
+                        chased = parent_array[labels]
+                elif merges_this_round:
+                    # Few merges: patch only the roots that took part in a
+                    # union instead of converting the whole parent list.
+                    relabel = np.arange(num_nodes, dtype=np.int64)
+                    for old_root in changed_roots:
+                        new_root = old_root
+                        while parent[new_root] != new_root:
+                            new_root = parent[new_root]
+                        relabel[old_root] = new_root
+                    labels = relabel[labels]
 
         stats.merges += merges_this_round
         stats.per_round_merges.append(merges_this_round)

@@ -68,6 +68,8 @@ from repro.exceptions import (
 )
 from repro.memory.hybrid import HybridMemory, SketchStore
 from repro.memory.metrics import IOStats
+from repro.observability.metrics import default_registry
+from repro.observability.tracing import span
 from repro.sketch.flat_node_sketch import FlatNodeSketch, merged_round_query
 from repro.sketch.paged_pool import PagedTensorPool
 from repro.sketch.sizes import node_sketch_size_bytes
@@ -209,6 +211,11 @@ class GraphZeppelin:
         # Policy-driven checkpointing, attached via attach_checkpointer;
         # every ingest entry point notifies it.
         self._checkpointer = None
+        # Checkpoint failures from checkpointers that were since detached
+        # or replaced -- health() must keep reporting them, or a failed
+        # checkpoint disappears from the degradation record the moment a
+        # new checkpointer is attached.
+        self._checkpoint_failures_absorbed = 0
 
     # ------------------------------------------------------------------
     # stream ingestion (user API)
@@ -282,27 +289,29 @@ class GraphZeppelin:
         count = int(lo.size)
         self._updates_processed += count
         self._cached_forest = None
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("ingest.updates").inc(count)
 
-        if self._pool is not None and (
-            self._buffering is None or not self._pool.is_paged
-        ):
-            # In-RAM pools fold directly even when buffering is
-            # configured (the gutters would only copy); the paged pool
-            # keeps the buffering layer in front so small batches still
-            # amortise page pins.
-            self._pool.apply_edges(
-                lo, hi, self.encoder.encode_canonical_pairs(lo, hi)
-            )
-            self._batches_applied += 1
-            self._note_checkpoint_progress(count)
-            return count
-
-        dsts = np.concatenate([lo, hi])
-        neighbors = np.concatenate([hi, lo])
-        if self._buffering is not None:
-            self._apply_emitted(self._buffering.insert_batch(dsts, neighbors))
-        else:
-            self._apply_grouped(dsts, neighbors)
+        with span("ingest.batch"):
+            if self._pool is not None and (
+                self._buffering is None or not self._pool.is_paged
+            ):
+                # In-RAM pools fold directly even when buffering is
+                # configured (the gutters would only copy); the paged pool
+                # keeps the buffering layer in front so small batches still
+                # amortise page pins.
+                self._pool.apply_edges(
+                    lo, hi, self.encoder.encode_canonical_pairs(lo, hi)
+                )
+                self._batches_applied += 1
+            else:
+                dsts = np.concatenate([lo, hi])
+                neighbors = np.concatenate([hi, lo])
+                if self._buffering is not None:
+                    self._apply_emitted(self._buffering.insert_batch(dsts, neighbors))
+                else:
+                    self._apply_grouped(dsts, neighbors)
         self._note_checkpoint_progress(count)
         return count
 
@@ -386,6 +395,9 @@ class GraphZeppelin:
         if count:
             self._updates_processed += int(count)
             self._batches_applied += 1
+            registry = default_registry()
+            if registry.enabled:
+                registry.counter("ingest.updates").inc(int(count))
         self._cached_forest = None
         if self._pool is not None:
             self._pool.mark_external_updates(2 * int(count))
@@ -556,12 +568,21 @@ class GraphZeppelin:
         kwargs = {"policy": policy, "fault_plan": fault_plan}
         if clock is not None:
             kwargs["clock"] = clock
+        if self._checkpointer is not None:
+            self._checkpoint_failures_absorbed += self._checkpointer.checkpoint_failures
         self._checkpointer = Checkpointer(self, directory, **kwargs)
         return self._checkpointer
 
     def detach_checkpointer(self):
-        """Detach and return the active checkpointer (``None`` if none)."""
+        """Detach and return the active checkpointer (``None`` if none).
+
+        The detached checkpointer's failure count folds into the
+        engine's absorbed total so :meth:`health` keeps reporting the
+        degradation after the checkpointer is gone.
+        """
         checkpointer, self._checkpointer = self._checkpointer, None
+        if checkpointer is not None:
+            self._checkpoint_failures_absorbed += checkpointer.checkpoint_failures
         return checkpointer
 
     @property
@@ -656,12 +677,13 @@ class GraphZeppelin:
         """
         if self.memory is None or self.memory.is_unbounded:
             return []
-        self.flush()
-        if self._pool is not None and self._pool.is_paged:
-            self._pool.sync()
-            return self._pool.scrub()
-        self.memory.flush()
-        return self.memory.scrub()
+        with span("scrub.pass"):
+            self.flush()
+            if self._pool is not None and self._pool.is_paged:
+                self._pool.sync()
+                return self._pool.scrub()
+            self.memory.flush()
+            return self.memory.scrub()
 
     # ------------------------------------------------------------------
     # accounting
@@ -698,6 +720,78 @@ class GraphZeppelin:
         """I/O counters of the hybrid memory (``None`` when fully in RAM)."""
         return self.memory.stats if self.memory is not None else None
 
+    @property
+    def checkpoint_failures(self) -> int:
+        """Policy-driven checkpoint failures over the engine's lifetime.
+
+        Counts the attached checkpointer's failures *plus* those of any
+        checkpointer that was since detached or replaced -- a swallowed
+        checkpoint failure stays on the health record either way.
+        """
+        current = (
+            self._checkpointer.checkpoint_failures
+            if self._checkpointer is not None
+            else 0
+        )
+        return self._checkpoint_failures_absorbed + current
+
+    def publish_metrics(self) -> None:
+        """Publish engine-level levels as gauges in the default registry.
+
+        Event totals (fold spans, query rounds, checkpoint writes) are
+        recorded at event time by the instrumented subsystems; the
+        levels that only the engine can see -- update totals, I/O
+        counters, breaker and page state -- are published here, called
+        by :meth:`metrics` and :meth:`health` so every exposition path
+        sees a complete registry.
+        """
+        registry = default_registry()
+        if not registry.enabled:
+            return
+        registry.gauge("engine.updates_processed").set(float(self._updates_processed))
+        registry.gauge("engine.batches_applied").set(float(self._batches_applied))
+        stats = self.io_stats
+        if stats is not None:
+            for key, value in stats.snapshot().items():
+                registry.gauge(f"io.{key}").set(float(value))
+        breaker = self.memory.breaker if self.memory is not None else None
+        if breaker is not None:
+            registry.gauge("breaker.times_opened").set(float(breaker.times_opened))
+            registry.gauge("breaker.rejections").set(float(breaker.rejections))
+            registry.gauge("breaker.probes").set(float(breaker.probes))
+            registry.gauge("breaker.open").set(1.0 if breaker.state == "open" else 0.0)
+        if self._pool is not None and self._pool.is_paged:
+            for key, value in self._pool.page_stats().items():
+                registry.gauge(f"page.{key}").set(float(value))
+        registry.gauge("checkpoint.failures_total").set(float(self.checkpoint_failures))
+
+    def metrics(self, format: str = "snapshot"):
+        """The process-wide metrics, engine gauges freshly published.
+
+        ``format`` selects the representation: ``"snapshot"`` (default)
+        returns the picklable
+        :class:`~repro.observability.metrics.MetricsSnapshot`,
+        ``"prometheus"`` the text exposition string, ``"json"`` a
+        plain-dict dump.  The registry is process-wide, so spans from
+        every engine in the process land in one place -- exactly like
+        ``default_registry().snapshot()``, plus this engine's gauges.
+        """
+        self.publish_metrics()
+        snap = default_registry().snapshot()
+        if format == "snapshot":
+            return snap
+        if format == "prometheus":
+            from repro.observability.exposition import prometheus_text
+
+            return prometheus_text(snap)
+        if format == "json":
+            from repro.observability.exposition import metrics_json
+
+            return metrics_json(snap)
+        raise ValueError(
+            f"unknown metrics format {format!r} (use 'snapshot', 'prometheus', or 'json')"
+        )
+
     def health(self) -> dict:
         """One-call overload/degradation snapshot of the engine.
 
@@ -708,8 +802,11 @@ class GraphZeppelin:
         deadlines, or failed checkpoints were absorbed; answers remain
         exact), or ``"circuit-open"`` (the device breaker is currently
         shedding I/O).  The CLI's ``--report`` prints this; the chaos
-        harness records it per cycle.
+        harness records it per cycle.  Levels are published to the
+        metrics registry first, so ``health()`` and :meth:`metrics`
+        always agree.
         """
+        self.publish_metrics()
         report: dict = {
             "status": "ok",
             "updates_processed": self._updates_processed,
@@ -733,9 +830,10 @@ class GraphZeppelin:
             page_stats = self._pool.page_stats()
             report["page_stats"] = page_stats
             degraded = degraded or page_stats["pressure_degradations"] > 0
-        if self._checkpointer is not None:
-            report["checkpoint_failures"] = self._checkpointer.checkpoint_failures
-            degraded = degraded or self._checkpointer.checkpoint_failures > 0
+        checkpoint_failures = self.checkpoint_failures
+        if self._checkpointer is not None or self._checkpoint_failures_absorbed:
+            report["checkpoint_failures"] = checkpoint_failures
+        degraded = degraded or checkpoint_failures > 0
         if circuit_open:
             report["status"] = "circuit-open"
         elif degraded:
@@ -838,6 +936,9 @@ class GraphZeppelin:
     def _ingest(self, edge: Edge, validated: bool = False) -> None:
         u, v = edge
         self._updates_processed += 1
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("ingest.updates").inc()
         self._cached_forest = None
         if self._buffering is None:
             self._apply_batch(Batch(node=u, neighbors=[v]))

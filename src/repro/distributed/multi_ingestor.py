@@ -29,6 +29,7 @@ live in a temporary directory and are deleted after the merge unless
 
 from __future__ import annotations
 
+import pickle
 import shutil
 import sys
 import tempfile
@@ -43,6 +44,8 @@ import numpy as np
 from repro.core.config import GraphZeppelinConfig
 from repro.core.graph_zeppelin import GraphZeppelin
 from repro.exceptions import ConfigurationError
+from repro.observability.metrics import MetricsSnapshot, default_registry
+from repro.observability.tracing import span
 
 #: How many bytes of a worker's error file travel back in the failure
 #: reason (the full traceback stays on disk until cleanup).
@@ -84,6 +87,11 @@ class DistributedReport:
     worker_retries: int = 0
     straggler_kills: int = 0
     deadline_kills: int = 0
+    #: Merged per-worker metrics registries (each worker process resets
+    #: its registry, records its slice's spans/counters, and ships a
+    #: snapshot back next to its pool snapshot).  ``None`` when the
+    #: workers ran with observability disabled.
+    metrics: Optional[MetricsSnapshot] = None
 
 
 def _worker_ingest(task: Tuple) -> None:
@@ -108,24 +116,40 @@ def _worker_ingest(task: Tuple) -> None:
     err_path = path.with_suffix(path.suffix + ".err")
     err_path.unlink(missing_ok=True)
     try:
-        engine = GraphZeppelin(num_nodes, config=config)
-        if fault_plan is not None and engine.memory is not None:
-            engine.memory.fault_plan = fault_plan
-        pool = engine.tensor_pool
+        # A forked worker inherits the parent's registry contents; reset
+        # so the shipped snapshot covers exactly this attempt's work and
+        # the coordinator's absorb never double-counts.
+        registry = default_registry()
+        registry.reset()
+        with span("worker.attempt"):
+            engine = GraphZeppelin(num_nodes, config=config)
+            if fault_plan is not None and engine.memory is not None:
+                engine.memory.fault_plan = fault_plan
+            pool = engine.tensor_pool
 
-        def chunks():
-            for index, start in enumerate(range(0, edges.shape[0], chunk_size)):
-                if fault_plan is not None:
-                    fault_plan.check_worker_batch(worker, attempt, index + 1)
-                yield edges[start : start + chunk_size]
+            def chunks():
+                for index, start in enumerate(range(0, edges.shape[0], chunk_size)):
+                    if fault_plan is not None:
+                        fault_plan.check_worker_batch(worker, attempt, index + 1)
+                    yield edges[start : start + chunk_size]
 
-        if pool is not None and not pool.is_paged:
-            with engine.parallel_ingestor(backend="threads") as ingestor:
-                ingestor.ingest_stream(chunks())
-        else:
-            for chunk in chunks():
-                engine.ingest_batch(chunk)
-        engine.save_snapshot(path, stream_offset=0)
+            if pool is not None and not pool.is_paged:
+                with engine.parallel_ingestor(backend="threads") as ingestor:
+                    ingestor.ingest_stream(chunks())
+            else:
+                for chunk in chunks():
+                    engine.ingest_batch(chunk)
+            engine.save_snapshot(path, stream_offset=0)
+        if registry.enabled:
+            # Ship this attempt's registry back next to the snapshot (the
+            # same sidecar pattern as the .err traceback); best-effort --
+            # a failed metrics write must not fail a healthy ingest.
+            engine.publish_metrics()
+            try:
+                with path.with_suffix(path.suffix + ".metrics").open("wb") as handle:
+                    pickle.dump(registry.snapshot(), handle)
+            except OSError:
+                pass
         if fault_plan is not None:
             # Post-promote corruption hook, attempt-scoped: a ``corrupt``
             # snapshot fault bound to this attempt silently damages the
@@ -245,7 +269,8 @@ def distributed_ingest(
         process = context.Process(
             target=_worker_ingest, args=(task,), daemon=True
         )
-        process.start()
+        with span("distributed.dispatch"):
+            process.start()
         return process
 
     def validate(worker: int) -> Optional[str]:
@@ -275,11 +300,30 @@ def distributed_ingest(
         # Partial (incremental) merge: XOR this snapshot in now, while
         # slower or re-dispatched peers are still running.
         merge_start = time.perf_counter()
-        meta = merge_snapshots_into([paths[worker]], engine.tensor_pool)
+        with span("distributed.merge"):
+            meta = merge_snapshots_into([paths[worker]], engine.tensor_pool)
         report.merge_seconds += time.perf_counter() - merge_start
         engine._updates_processed += meta.engine_updates
         report.per_worker_updates[worker] = meta.engine_updates
         report.snapshot_bytes += paths[worker].stat().st_size
+        # Fold the worker's metrics sidecar (when it shipped one) into
+        # the report and the coordinator's live registry -- worker
+        # telemetry aggregates across processes exactly like the pool
+        # snapshots the workers shipped alongside it.
+        metrics_path = paths[worker].with_suffix(paths[worker].suffix + ".metrics")
+        try:
+            with metrics_path.open("rb") as handle:
+                worker_metrics = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            worker_metrics = None
+        if isinstance(worker_metrics, MetricsSnapshot):
+            report.metrics = (
+                worker_metrics
+                if report.metrics is None
+                else report.metrics.merged_with(worker_metrics)
+            )
+            if default_registry().enabled:
+                default_registry().absorb(worker_metrics)
 
     def describe_failure(worker: int) -> Optional[str]:
         return _read_error_tail(

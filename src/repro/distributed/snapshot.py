@@ -61,6 +61,7 @@ from repro.core.edge_encoding import EdgeEncoder
 from repro.exceptions import CorruptionError, StreamFormatError
 from repro.integrity.digest import StreamingDigest, payload_digest
 from repro.memory.hybrid import HybridMemory
+from repro.observability.tracing import span
 from repro.sketch.paged_pool import PagedTensorPool
 from repro.sketch.serialization import check_magic, check_payload_length
 from repro.sketch.tensor_pool import NodeTensorPool
@@ -227,28 +228,30 @@ def save_pool_snapshot(
     digests: List[int] = []
     tmp_path = path.with_name(path.name + ".tmp")
     try:
-        with tmp_path.open("wb") as handle:
-            handle.write(_pack_header(meta))
-            if pool.is_paged:
-                for key in _section_keys(meta.packed):
-                    for round_index in range(meta.num_rounds):
-                        digest = StreamingDigest()
-                        for page in range(pool.num_pages):
-                            stripe = pool._page_round_array(page, key, round_index)
-                            data = np.ascontiguousarray(stripe).tobytes(order="C")
-                            digest.update(data)
+        with span("snapshot.save"):
+            with tmp_path.open("wb") as handle:
+                handle.write(_pack_header(meta))
+                if pool.is_paged:
+                    for key in _section_keys(meta.packed):
+                        for round_index in range(meta.num_rounds):
+                            digest = StreamingDigest()
+                            for page in range(pool.num_pages):
+                                stripe = pool._page_round_array(page, key, round_index)
+                                data = np.ascontiguousarray(stripe).tobytes(order="C")
+                                digest.update(data)
+                                handle.write(data)
+                            digests.append(digest.digest())
+                else:
+                    for tensor in _flat_tensors(pool):
+                        for round_index in range(meta.num_rounds):
+                            data = np.ascontiguousarray(tensor[round_index]).tobytes(
+                                order="C"
+                            )
+                            digests.append(payload_digest(data))
                             handle.write(data)
-                        digests.append(digest.digest())
-            else:
-                for tensor in _flat_tensors(pool):
-                    for round_index in range(meta.num_rounds):
-                        data = np.ascontiguousarray(tensor[round_index]).tobytes(
-                            order="C"
-                        )
-                        digests.append(payload_digest(data))
-                        handle.write(data)
-            handle.write(struct.pack(f"<{len(digests)}Q", *digests))
-        os.replace(tmp_path, path)
+                handle.write(struct.pack(f"<{len(digests)}Q", *digests))
+            with span("snapshot.promote"):
+                os.replace(tmp_path, path)
     except BaseException:
         # A failed write must not leave a half-written .tmp sibling
         # around (checkpoint rotation would otherwise accumulate them).
@@ -486,20 +489,21 @@ def load_snapshot_into(path: PathLike, pool: NodeTensorPool) -> SnapshotMeta:
     it.
     """
     path = Path(path)
-    meta = read_snapshot_meta(path)
-    _check_pool_matches(meta, pool, str(path))
-    # Version-2 payloads are digest-verified end to end *before* the
-    # first bucket is applied; a silently corrupted snapshot raises
-    # CorruptionError here and leaves the pool untouched.
-    verify_snapshot_payload(path, meta)
-    with path.open("rb") as handle:
-        if pool.is_paged:
-            _apply_paged(handle, meta, pool, xor=False)
-        else:
-            handle.seek(_HEADER.size)
-            _apply_flat(handle, pool, xor=False)
-    pool._updates_applied = meta.pool_updates
-    pool._version += 1
+    with span("snapshot.load"):
+        meta = read_snapshot_meta(path)
+        _check_pool_matches(meta, pool, str(path))
+        # Version-2 payloads are digest-verified end to end *before* the
+        # first bucket is applied; a silently corrupted snapshot raises
+        # CorruptionError here and leaves the pool untouched.
+        verify_snapshot_payload(path, meta)
+        with path.open("rb") as handle:
+            if pool.is_paged:
+                _apply_paged(handle, meta, pool, xor=False)
+            else:
+                handle.seek(_HEADER.size)
+                _apply_flat(handle, pool, xor=False)
+        pool._updates_applied = meta.pool_updates
+        pool._version += 1
     return meta
 
 
@@ -602,20 +606,21 @@ def merge_snapshots_into(
     if not paths:
         raise ValueError("merge_snapshots_into needs at least one snapshot path")
     paths = [Path(p) for p in paths]
-    metas = [read_snapshot_meta(p) for p in paths]
-    for path, meta in zip(paths, metas):
-        _check_pool_matches(meta, pool, str(path))
-    _check_snapshots_compatible(paths, metas)
-    for path, meta in zip(paths, metas):
-        verify_snapshot_payload(path, meta)
-    for path, meta in zip(paths, metas):
-        with path.open("rb") as handle:
-            if pool.is_paged:
-                _apply_paged(handle, meta, pool, xor=True)
-            else:
-                handle.seek(_HEADER.size)
-                _apply_flat(handle, pool, xor=True)
-    pool.mark_external_updates(sum(meta.pool_updates for meta in metas))
+    with span("snapshot.merge"):
+        metas = [read_snapshot_meta(p) for p in paths]
+        for path, meta in zip(paths, metas):
+            _check_pool_matches(meta, pool, str(path))
+        _check_snapshots_compatible(paths, metas)
+        for path, meta in zip(paths, metas):
+            verify_snapshot_payload(path, meta)
+        for path, meta in zip(paths, metas):
+            with path.open("rb") as handle:
+                if pool.is_paged:
+                    _apply_paged(handle, meta, pool, xor=True)
+                else:
+                    handle.seek(_HEADER.size)
+                    _apply_flat(handle, pool, xor=True)
+        pool.mark_external_updates(sum(meta.pool_updates for meta in metas))
     return replace(
         metas[0],
         pool_updates=sum(meta.pool_updates for meta in metas),

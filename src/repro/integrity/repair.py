@@ -38,6 +38,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.exceptions import CorruptionError, RecoveryError, StreamFormatError
+from repro.observability.tracing import span
 
 PathLike = Union[str, Path]
 
@@ -233,16 +234,17 @@ def scrub_and_repair(
     report = RepairReport(corrupt_pages=list(engine.scrub_storage()))
     if report.clean:
         return report
-    path, meta, skipped = find_valid_checkpoint(engine, checkpoint_dir)
-    report.checkpoint_path = str(path)
-    report.skipped_checkpoints = skipped
-    report.replayed_updates = repair_pages(
-        engine, report.corrupt_pages, path, meta, edges
-    )
-    still_corrupt = engine.scrub_storage()
-    if still_corrupt:
-        raise RecoveryError(
-            f"read-repair from {path.name} did not heal pages {still_corrupt}"
+    with span("repair.pass"):
+        path, meta, skipped = find_valid_checkpoint(engine, checkpoint_dir)
+        report.checkpoint_path = str(path)
+        report.skipped_checkpoints = skipped
+        report.replayed_updates = repair_pages(
+            engine, report.corrupt_pages, path, meta, edges
         )
-    report.repaired_pages = list(report.corrupt_pages)
+        still_corrupt = engine.scrub_storage()
+        if still_corrupt:
+            raise RecoveryError(
+                f"read-repair from {path.name} did not heal pages {still_corrupt}"
+            )
+        report.repaired_pages = list(report.corrupt_pages)
     return report

@@ -35,13 +35,13 @@ out of :meth:`~repro.core.config.GraphZeppelinConfig.sketch_fingerprint`
 
 from __future__ import annotations
 
-import logging
 import threading
 from typing import Optional
 
 from repro.exceptions import ConfigurationError
+from repro.observability.log import get_logger
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 #: Valid values of ``config.kernel_backend``.
 KERNEL_BACKENDS = ("numpy", "native", "auto")

@@ -39,6 +39,7 @@ from repro.integrity.digest import block_digests
 from repro.memory.block_device import DEFAULT_BLOCK_SIZE, BlockDevice, DeviceProfile
 from repro.memory.cache import LRUCache
 from repro.memory.metrics import IOStats
+from repro.observability.tracing import span
 
 T = TypeVar("T")
 
@@ -475,14 +476,18 @@ class HybridMemory:
             except CircuitOpenError:
                 self.stats.breaker_rejections += 1
                 raise
-        try:
-            result = self._retried_call(call, is_write)
-        except CorruptionError:
-            raise
-        except OSError:
-            if self.breaker is not None:
-                self.breaker.record_failure()
-            raise
+        # The span covers the full operation -- retries, backoff sleeps,
+        # and injected latency included -- because that is the latency a
+        # caller actually experienced.
+        with span("device.write" if is_write else "device.read"):
+            try:
+                result = self._retried_call(call, is_write)
+            except CorruptionError:
+                raise
+            except OSError:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
         if self.breaker is not None:
             self.breaker.record_success()
         return result

@@ -105,6 +105,17 @@ class IOStats:
         self.deadline_misses = 0
         self.breaker_rejections = 0
 
+    def diff(self, earlier: dict) -> dict:
+        """Per-counter deltas versus an earlier :meth:`snapshot` dict.
+
+        The canonical way to report "what did this phase cost": take a
+        snapshot before, run the phase, and ``stats.diff(before)``
+        afterwards.  Keys absent from ``earlier`` are treated as zero,
+        so a snapshot taken before a counter existed still diffs.
+        """
+        current = self.snapshot()
+        return {key: value - earlier.get(key, 0) for key, value in current.items()}
+
     def snapshot(self) -> dict:
         """A plain-dict copy, convenient for result tables."""
         return {

@@ -1,0 +1,83 @@
+"""Render a :class:`MetricsSnapshot` for humans and scrapers.
+
+Two formats:
+
+* :func:`prometheus_text` -- Prometheus text exposition (0.0.4): one
+  ``# TYPE`` line per metric, cumulative ``_bucket{le=...}`` series
+  plus ``_sum`` / ``_count`` for histograms.  Dots in metric names
+  become underscores (Prometheus identifier rules).
+* :func:`metrics_json` -- plain-dict form for ``--metrics-out`` files
+  and the ``stats`` subcommand, stable enough to diff across runs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.observability.metrics import MetricsSnapshot
+
+__all__ = ["metrics_json", "prometheus_text"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(snapshot: MetricsSnapshot) -> str:
+    lines: List[str] = []
+    for name in sorted(snapshot.counters):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {snapshot.counters[name]}")
+    for name in sorted(snapshot.gauges):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_fmt(snapshot.gauges[name])}")
+    for name in sorted(snapshot.histograms):
+        hist = snapshot.histograms[name]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, count in zip(hist.bounds, hist.counts):
+            cumulative += count
+            lines.append(f'{prom}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{prom}_sum {repr(hist.sum)}")
+        lines.append(f"{prom}_count {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+def metrics_json(snapshot: MetricsSnapshot) -> Dict[str, object]:
+    return {
+        "counters": dict(sorted(snapshot.counters.items())),
+        "gauges": dict(sorted(snapshot.gauges.items())),
+        "histograms": {
+            name: {
+                "count": hist.count,
+                "sum": hist.sum,
+                "p50": hist.quantile(0.50),
+                "p99": hist.quantile(0.99),
+                "buckets": [
+                    {"le": bound, "count": count}
+                    for bound, count in zip(hist.bounds, hist.counts)
+                    if count
+                ],
+                "overflow": hist.counts[-1],
+            }
+            for name, hist in sorted(snapshot.histograms.items())
+        },
+    }

@@ -53,6 +53,7 @@ from repro.exceptions import (
     RecoveryError,
     WorkerFailure,
 )
+from repro.observability.metrics import MetricsSnapshot, default_registry
 from repro.resilience.faults import FaultPlan, FaultSpec
 
 #: The menu serial cycles rotate through; each entry exercises one
@@ -226,6 +227,11 @@ class ChaosReport:
     elapsed_seconds: float = 0.0
     #: The surviving engine's :meth:`GraphZeppelin.health` snapshot.
     final_health: dict = field(default_factory=dict)
+    #: Final metrics-registry snapshot of the soak (spans over every
+    #: ingest/query/checkpoint/recovery the soak ran, plus worker
+    #: registries merged in by the distributed cycles).  ``None`` when
+    #: observability was disabled.
+    metrics: Optional[MetricsSnapshot] = None
 
 
 def run_chaos_soak(
@@ -294,10 +300,14 @@ def run_chaos_soak(
         # fold the counters into the report first.
         stats = old_engine.io_stats
         if stats is not None:
-            report.pressure_events += stats.pressure_events
-            report.deadline_misses += stats.deadline_misses
-            report.breaker_rejections += stats.breaker_rejections
-            report.io_retries += stats.io_retries
+            snapshot = stats.snapshot()
+            for key in (
+                "pressure_events",
+                "deadline_misses",
+                "breaker_rejections",
+                "io_retries",
+            ):
+                setattr(report, key, getattr(report, key) + snapshot[key])
         if old_checkpointer is not None:
             report.checkpoints_written += old_checkpointer.checkpoints_written
             report.checkpoint_failures += old_checkpointer.checkpoint_failures
@@ -410,4 +420,6 @@ def run_chaos_soak(
     report.updates_total = engine.updates_processed
     absorb(engine, checkpointer)
     report.final_health = engine.health()
+    if default_registry().enabled:
+        report.metrics = engine.metrics()
     return engine, report

@@ -43,6 +43,8 @@ from repro.exceptions import (
     RecoveryError,
     StreamFormatError,
 )
+from repro.observability.metrics import default_registry
+from repro.observability.tracing import span
 
 #: Default checkpoint cadence when a policy does not specify one: large
 #: enough that checkpoint I/O stays a few percent of ingest time at the
@@ -189,6 +191,9 @@ class Checkpointer:
             # the previous generation stands and a later cadence tick
             # retries once the breaker admits traffic again.
             self.checkpoint_failures += 1
+            registry = default_registry()
+            if registry.enabled:
+                registry.counter("checkpoint.failures").inc()
             return None
 
     def checkpoint(self) -> Path:
@@ -203,7 +208,11 @@ class Checkpointer:
         if self.fault_plan is not None:
             self.fault_plan.before_snapshot_write()
         path = self.directory / checkpoint_filename(self._generation + 1)
-        self.engine.save_snapshot(path)
+        with span("checkpoint.write"):
+            self.engine.save_snapshot(path)
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("checkpoint.written").inc()
         self._generation += 1
         self.checkpoints_written += 1
         self._updates_since = 0

@@ -63,6 +63,7 @@ import numpy as np
 from repro.core.edge_encoding import EdgeEncoder
 from repro.exceptions import ConfigurationError
 from repro.memory.hybrid import HybridMemory
+from repro.observability.tracing import span
 from repro.sketch.flat_node_sketch import (
     fold_hashed,
     hash_depths_checksums,
@@ -291,18 +292,23 @@ class PagedTensorPool(NodeTensorPool):
             if self._packed:
                 return (np.zeros(shape, dtype=np.uint64),)
             return (np.zeros(shape, dtype=np.uint64), np.zeros(shape, dtype=np.uint32))
-        payload = self.memory.load(key)
-        self.page_ins += 1
-        count = int(np.prod(shape))
-        if self._packed:
-            return (np.frombuffer(payload, dtype=np.uint64, count=count).reshape(shape).copy(),)
-        alpha = np.frombuffer(payload, dtype=np.uint64, count=count).reshape(shape).copy()
-        gamma = (
-            np.frombuffer(payload, dtype=np.uint32, offset=count * 8, count=count)
-            .reshape(shape)
-            .copy()
-        )
-        return alpha, gamma
+        with span("page.materialize"):
+            payload = self.memory.load(key)
+            self.page_ins += 1
+            count = int(np.prod(shape))
+            if self._packed:
+                return (
+                    np.frombuffer(payload, dtype=np.uint64, count=count)
+                    .reshape(shape)
+                    .copy(),
+                )
+            alpha = np.frombuffer(payload, dtype=np.uint64, count=count).reshape(shape).copy()
+            gamma = (
+                np.frombuffer(payload, dtype=np.uint32, offset=count * 8, count=count)
+                .reshape(shape)
+                .copy()
+            )
+            return alpha, gamma
 
     def _serialize_page(self, page: int, entry: Tuple[np.ndarray, ...]) -> bytes:
         raw = b"".join(tensor.tobytes(order="C") for tensor in entry)
@@ -311,12 +317,13 @@ class PagedTensorPool(NodeTensorPool):
         return raw.ljust(self._page_bytes, b"\0")
 
     def _write_back(self, page: int, entry: Tuple[np.ndarray, ...]) -> None:
-        self.memory.store(self._page_key(page), self._serialize_page(page, entry))
-        self.page_writebacks += 1
+        with span("page.writeback"):
+            self.memory.store(self._page_key(page), self._serialize_page(page, entry))
+            self.page_writebacks += 1
 
     def _pin(self, page: int) -> Tuple[np.ndarray, ...]:
         """Pin a page into the working set; pair with :meth:`_unpin`."""
-        with self._lock:
+        with span("page.pin"), self._lock:
             entry = self._resident.get(page)
             if entry is None:
                 entry = self._materialize(page)
@@ -358,23 +365,26 @@ class PagedTensorPool(NodeTensorPool):
         eviction opportunity retries, exactly like the all-pinned
         overflow above.
         """
-        while len(self._resident) > self.resident_pages:
-            victim = next(
-                (p for p in self._resident if not self._pins.get(p)), None
-            )
-            if victim is None:
-                return
-            entry = self._resident.pop(victim)
-            if victim in self._dirty:
-                try:
-                    self._write_back(victim, entry)
-                except OSError:
-                    # Still dirty (never discarded); re-residency at the
-                    # MRU end keeps the retry from re-picking it first.
-                    self._resident[victim] = entry
-                    self.page_writeback_failures += 1
+        if len(self._resident) <= self.resident_pages:
+            return
+        with span("page.evict"):
+            while len(self._resident) > self.resident_pages:
+                victim = next(
+                    (p for p in self._resident if not self._pins.get(p)), None
+                )
+                if victim is None:
                     return
-                self._dirty.discard(victim)
+                entry = self._resident.pop(victim)
+                if victim in self._dirty:
+                    try:
+                        self._write_back(victim, entry)
+                    except OSError:
+                        # Still dirty (never discarded); re-residency at the
+                        # MRU end keeps the retry from re-picking it first.
+                        self._resident[victim] = entry
+                        self.page_writeback_failures += 1
+                        return
+                    self._dirty.discard(victim)
 
     def _on_memory_pressure(self) -> None:
         """Degrade the working set to the one-page floor under pressure.
@@ -646,27 +656,32 @@ class PagedTensorPool(NodeTensorPool):
         int16-radix fold per page; sparse batches fold once across all
         pages (:data:`COMBINED_FOLD_THRESHOLD`).
         """
-        pages = np.searchsorted(self.page_bounds, dsts, side="right") - 1
-        touched = int(np.unique(pages).size)
-        # Native kernels fold straight into a pinned page tensor (the
-        # fused scatter has no per-page fixed cost worth amortising), so
-        # they always take the per-page split.
-        if self._kernels is not None or dsts.size >= COMBINED_FOLD_THRESHOLD * touched:
-            for page, (page_dsts, rows) in self._split_by_page(
-                dsts, [np.arange(dsts.size)], pages=pages
-            ):
-                self._fold_into_page(
-                    page,
-                    page_dsts,
-                    indices[rows],
-                    depths=None if depths is None else depths[rows],
-                    checksums=None if checksums is None else checksums[rows],
+        with span("ingest.fold"):
+            pages = np.searchsorted(self.page_bounds, dsts, side="right") - 1
+            touched = int(np.unique(pages).size)
+            # Native kernels fold straight into a pinned page tensor (the
+            # fused scatter has no per-page fixed cost worth amortising),
+            # so they always take the per-page split.
+            if self._kernels is not None or dsts.size >= COMBINED_FOLD_THRESHOLD * touched:
+                for page, (page_dsts, rows) in self._split_by_page(
+                    dsts, [np.arange(dsts.size)], pages=pages
+                ):
+                    self._fold_into_page(
+                        page,
+                        page_dsts,
+                        indices[rows],
+                        depths=None if depths is None else depths[rows],
+                        checksums=None if checksums is None else checksums[rows],
+                        chunk_size=chunk_size,
+                    )
+            else:
+                self._fold_combined(
+                    dsts,
+                    indices,
+                    depths=depths,
+                    checksums=checksums,
                     chunk_size=chunk_size,
                 )
-        else:
-            self._fold_combined(
-                dsts, indices, depths=depths, checksums=checksums, chunk_size=chunk_size
-            )
 
     def fold_shard(
         self,
@@ -788,9 +803,10 @@ class PagedTensorPool(NodeTensorPool):
             # shared-hash hoist below would be wasted work.
             self._fold_columns(dsts, idx[two_rows], chunk_size=chunk_size)
         else:
-            depths, checksums = hash_depths_checksums(
-                idx, self._mixed_membership, self._mixed_checksum, self.num_rows
-            )
+            with span("ingest.hash"):
+                depths, checksums = hash_depths_checksums(
+                    idx, self._mixed_membership, self._mixed_checksum, self.num_rows
+                )
             self._fold_columns(
                 dsts,
                 idx[two_rows],
@@ -808,7 +824,8 @@ class PagedTensorPool(NodeTensorPool):
             return
         page = self.page_of(node)
         dsts = np.full(indices.size, node, dtype=np.int64)
-        self._fold_into_page(page, dsts, indices.astype(np.uint64, copy=False))
+        with span("ingest.fold"):
+            self._fold_into_page(page, dsts, indices.astype(np.uint64, copy=False))
         self._version += 1
         self._updates_applied += int(indices.size)
 

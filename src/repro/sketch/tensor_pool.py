@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.core.edge_encoding import EdgeEncoder
 from repro.exceptions import ConfigurationError, IncompatibleSketchError
+from repro.observability.tracing import span
 from repro.sketch.flat_node_sketch import (
     BATCH_CHUNK,
     FlatNodeSketch,
@@ -301,22 +302,24 @@ class NodeTensorPool:
         if self._kernels is not None:
             # The native fold fuses hash + depth + XOR scatter with no
             # temporaries, so the whole batch goes in one call.
-            self._kernels.fold_pool(self, idx, dsts)
+            with span("ingest.fold"):
+                self._kernels.fold_pool(self, idx, dsts)
             self._version += 1
             self._updates_applied += int(idx.size)
             return
         chunk = int(chunk_size) if chunk_size else auto_fold_chunk(self.num_slots, idx.size)
         for start in range(0, idx.size, chunk):
-            targets, alpha_vals, gamma_vals = columnar_fold(
-                idx[start : start + chunk].astype(np.uint64, copy=False),
-                self._mixed_membership,
-                self._mixed_checksum,
-                self.num_rows,
-                dsts=dsts[start : start + chunk],
-                dst_stride=self.num_columns,
-                slot_offsets=self._slot_offsets,
-            )
-            self._scatter(targets, alpha_vals, gamma_vals)
+            with span("ingest.fold"):
+                targets, alpha_vals, gamma_vals = columnar_fold(
+                    idx[start : start + chunk].astype(np.uint64, copy=False),
+                    self._mixed_membership,
+                    self._mixed_checksum,
+                    self.num_rows,
+                    dsts=dsts[start : start + chunk],
+                    dst_stride=self.num_columns,
+                    slot_offsets=self._slot_offsets,
+                )
+                self._scatter(targets, alpha_vals, gamma_vals)
         self._updates_applied += int(idx.size)
 
     def apply_edges(
@@ -347,8 +350,10 @@ class NodeTensorPool:
         self._check_destinations(np.asarray(hi))
         if self._kernels is not None:
             # Mirrored native fold: hashes each edge slot once and
-            # scatters to both endpoints' bundles in the same pass.
-            self._kernels.fold_pool_edges(self, idx, lo, hi)
+            # scatters to both endpoints' bundles in the same pass
+            # (hash + fold are fused, so the span covers both).
+            with span("ingest.fold"):
+                self._kernels.fold_pool_edges(self, idx, lo, hi)
             self._version += 1
             self._updates_applied += 2 * int(idx.size)
             return
@@ -358,21 +363,23 @@ class NodeTensorPool:
             edge_chunk = max(auto_fold_chunk(self.num_slots, idx.size) // 2, 1)
         for start in range(0, idx.size, edge_chunk):
             chunk = idx[start : start + edge_chunk]
-            depths, checksums = hash_depths_checksums(
-                chunk, self._mixed_membership, self._mixed_checksum, self.num_rows
-            )
-            targets, alpha_vals, gamma_vals = fold_hashed(
-                np.concatenate([chunk, chunk]),
-                np.concatenate([depths, depths]),
-                np.concatenate([checksums, checksums]),
-                self.num_rows,
-                dsts=np.concatenate(
-                    [lo[start : start + edge_chunk], hi[start : start + edge_chunk]]
-                ),
-                dst_stride=self.num_columns,
-                slot_offsets=self._slot_offsets,
-            )
-            self._scatter(targets, alpha_vals, gamma_vals)
+            with span("ingest.hash"):
+                depths, checksums = hash_depths_checksums(
+                    chunk, self._mixed_membership, self._mixed_checksum, self.num_rows
+                )
+            with span("ingest.fold"):
+                targets, alpha_vals, gamma_vals = fold_hashed(
+                    np.concatenate([chunk, chunk]),
+                    np.concatenate([depths, depths]),
+                    np.concatenate([checksums, checksums]),
+                    self.num_rows,
+                    dsts=np.concatenate(
+                        [lo[start : start + edge_chunk], hi[start : start + edge_chunk]]
+                    ),
+                    dst_stride=self.num_columns,
+                    slot_offsets=self._slot_offsets,
+                )
+                self._scatter(targets, alpha_vals, gamma_vals)
         self._updates_applied += 2 * int(idx.size)
 
     def apply_node_batch(self, node: int, neighbors) -> None:
@@ -387,28 +394,30 @@ class NodeTensorPool:
         if indices.size == 0:
             return
         if self._kernels is not None:
-            self._kernels.fold_pool(
-                self, indices, np.full(indices.size, int(node), dtype=np.int64)
-            )
+            with span("ingest.fold"):
+                self._kernels.fold_pool(
+                    self, indices, np.full(indices.size, int(node), dtype=np.int64)
+                )
             self._version += 1
             self._updates_applied += int(indices.size)
             return
         rows = np.int64(self.num_rows)
         node_base = np.int64(node * self.num_columns)
         for start in range(0, indices.size, BATCH_CHUNK):
-            targets, alpha_vals, gamma_vals = columnar_fold(
-                indices[start : start + BATCH_CHUNK],
-                self._mixed_membership,
-                self._mixed_checksum,
-                self.num_rows,
-            )
-            # The single-destination kernel emits node-local slot-major
-            # offsets; relocate them into the round-major pool.
-            slot = targets // rows
-            targets = (self._slot_offsets[slot] + node_base) * rows + (
-                targets - slot * rows
-            )
-            self._scatter(targets, alpha_vals, gamma_vals)
+            with span("ingest.fold"):
+                targets, alpha_vals, gamma_vals = columnar_fold(
+                    indices[start : start + BATCH_CHUNK],
+                    self._mixed_membership,
+                    self._mixed_checksum,
+                    self.num_rows,
+                )
+                # The single-destination kernel emits node-local slot-major
+                # offsets; relocate them into the round-major pool.
+                slot = targets // rows
+                targets = (self._slot_offsets[slot] + node_base) * rows + (
+                    targets - slot * rows
+                )
+                self._scatter(targets, alpha_vals, gamma_vals)
         self._updates_applied += int(indices.size)
 
     def fold_shard(
@@ -457,20 +466,22 @@ class NodeTensorPool:
             # the same reason as the numpy path (disjoint node ranges),
             # and the compiled region releases the GIL, so concurrent
             # thread-backend shards now overlap fully.
-            self._kernels.fold_pool(self, idx, dsts)
+            with span("ingest.fold"):
+                self._kernels.fold_pool(self, idx, dsts)
             return int(idx.size)
         chunk = int(chunk_size) if chunk_size else auto_fold_chunk(self.num_slots, idx.size)
         for start in range(0, idx.size, chunk):
-            targets, alpha_vals, gamma_vals = columnar_fold(
-                idx[start : start + chunk].astype(np.uint64, copy=False),
-                self._mixed_membership,
-                self._mixed_checksum,
-                self.num_rows,
-                dsts=dsts[start : start + chunk],
-                dst_stride=self.num_columns,
-                slot_offsets=self._slot_offsets,
-            )
-            self._scatter(targets, alpha_vals, gamma_vals, bump_version=False)
+            with span("ingest.fold"):
+                targets, alpha_vals, gamma_vals = columnar_fold(
+                    idx[start : start + chunk].astype(np.uint64, copy=False),
+                    self._mixed_membership,
+                    self._mixed_checksum,
+                    self.num_rows,
+                    dsts=dsts[start : start + chunk],
+                    dst_stride=self.num_columns,
+                    slot_offsets=self._slot_offsets,
+                )
+                self._scatter(targets, alpha_vals, gamma_vals, bump_version=False)
         return int(idx.size)
 
     def fold_shard_hashed(
@@ -515,23 +526,25 @@ class NodeTensorPool:
             # gathering the precomputed matrices, and hashing is
             # deterministic, so re-deriving depths/checksums from the
             # indices keeps the buckets bit-identical.
-            self._kernels.fold_pool(self, np.asarray(indices)[edge_rows], dsts)
+            with span("ingest.fold"):
+                self._kernels.fold_pool(self, np.asarray(indices)[edge_rows], dsts)
             return int(dsts.size)
         chunk = (
             int(chunk_size) if chunk_size else auto_fold_chunk(self.num_slots, dsts.size)
         )
         for start in range(0, dsts.size, chunk):
             rows = edge_rows[start : start + chunk]
-            targets, alpha_vals, gamma_vals = fold_hashed(
-                indices[rows],
-                depths[rows],
-                checksums[rows],
-                self.num_rows,
-                dsts=dsts[start : start + chunk],
-                dst_stride=self.num_columns,
-                slot_offsets=self._slot_offsets,
-            )
-            self._scatter(targets, alpha_vals, gamma_vals, bump_version=False)
+            with span("ingest.fold"):
+                targets, alpha_vals, gamma_vals = fold_hashed(
+                    indices[rows],
+                    depths[rows],
+                    checksums[rows],
+                    self.num_rows,
+                    dsts=dsts[start : start + chunk],
+                    dst_stride=self.num_columns,
+                    slot_offsets=self._slot_offsets,
+                )
+                self._scatter(targets, alpha_vals, gamma_vals, bump_version=False)
         return int(dsts.size)
 
     def fold_page_batch(
@@ -766,18 +779,20 @@ class NodeTensorPool:
         # Phase 1: reduce and decode column 0 alone for every component.
         # Most components resolve here, so the common case touches only
         # an (M, num_rows) stripe of the slab per round.
-        alpha0, gamma0 = self._merged_round_cols(
-            sorted_nodes, seg_starts, excluded, round_index, 0, 1
-        )
+        with span("query.reduce"):
+            alpha0, gamma0 = self._merged_round_cols(
+                sorted_nodes, seg_starts, excluded, round_index, 0, 1
+            )
         decode = (
             decode_column_batch if self._kernels is None else self._kernels.decode_column
         )
-        good, column0_zero, index = decode(
-            alpha0.reshape(count, self.num_rows),
-            gamma0.reshape(count, self.num_rows),
-            self.encoder.vector_length,
-            self._mixed_checksum[base],
-        )
+        with span("query.decode"):
+            good, column0_zero, index = decode(
+                alpha0.reshape(count, self.num_rows),
+                gamma0.reshape(count, self.num_rows),
+                self.encoder.vector_length,
+                self._mixed_checksum[base],
+            )
         statuses[good] = SAMPLE_GOOD
         indices[good] = index[good]
 
@@ -802,17 +817,19 @@ class NodeTensorPool:
         rest_excluded = np.ones(self.num_nodes, dtype=bool)
         rest_excluded[rest_nodes] = False
         rest_excluded = np.flatnonzero(rest_excluded)
-        rest_alpha, rest_gamma = self._merged_round_cols(
-            rest_nodes, rest_starts, rest_excluded, round_index, 1, self.num_columns
-        )
+        with span("query.reduce"):
+            rest_alpha, rest_gamma = self._merged_round_cols(
+                rest_nodes, rest_starts, rest_excluded, round_index, 1, self.num_columns
+            )
         rest_shape = (rest_sizes.size, self.num_columns - 1, self.num_rows)
-        rest_statuses, rest_indices = query_bucket_arrays_batch(
-            rest_alpha.reshape(rest_shape),
-            rest_gamma.reshape(rest_shape),
-            self.encoder.vector_length,
-            self._checksum_seeds[base + 1 : base + self.num_columns],
-            kernels=self._kernels,
-        )
+        with span("query.decode"):
+            rest_statuses, rest_indices = query_bucket_arrays_batch(
+                rest_alpha.reshape(rest_shape),
+                rest_gamma.reshape(rest_shape),
+                self.encoder.vector_length,
+                self._checksum_seeds[base + 1 : base + self.num_columns],
+                kernels=self._kernels,
+            )
 
         positions = np.flatnonzero(unresolved)
         rest_good = rest_statuses == SAMPLE_GOOD
